@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark suite.
+
+The experiment benches share one :class:`ExperimentContext` per session so
+the VQ-VAE/estimator train once.  The preset is selected with the
+``REPRO_BENCH_PRESET`` environment variable (default ``tiny`` so the suite
+completes in minutes; use ``fast`` to regenerate the EXPERIMENTS.md
+numbers, ``paper`` for the full-size configuration).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx(tmp_path_factory):
+    preset = os.environ.get("REPRO_BENCH_PRESET", "tiny")
+    results = tmp_path_factory.mktemp("bench_results")
+    return ExperimentContext(preset=preset, results_dir=results,
+                             use_artifact_cache=False)

@@ -1,0 +1,28 @@
+"""Benchmarks that regenerate every paper table/figure (DESIGN.md index).
+
+Each bench runs its experiment once (``pedantic`` with a single round — the
+experiments are full studies, not microkernels) and reports the runtime.
+The regenerated rows are attached to the benchmark's ``extra_info`` so the
+JSON output carries the actual reproduction data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+def _run(benchmark, ctx, name: str) -> None:
+    result = benchmark.pedantic(
+        lambda: run_experiment(name, ctx), rounds=1, iterations=1,
+    )
+    benchmark.extra_info["experiment"] = name
+    benchmark.extra_info["rows"] = [
+        [str(c) for c in row] for row in result.rows[:40]
+    ]
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_bench_experiment(benchmark, ctx, name):
+    _run(benchmark, ctx, name)

@@ -1,0 +1,120 @@
+"""Micro-benchmarks of the performance-critical kernels.
+
+These are the hot paths of the reproduction: the steady-state contention
+solver (called for every evaluated mapping), Q-tensor assembly, estimator
+forward pass, VQ-VAE encoding, and one MCTS planning step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OraclePredictor, RankMap, RankMapConfig
+from repro.estimator import EstimatorConfig, ThroughputEstimator
+from repro.hw import orange_pi_5
+from repro.mapping import build_q_tensor, random_partition_mapping
+from repro.search import MCTSConfig
+from repro.sim import simulate
+from repro.vqvae import EmbeddingCache, LayerVQVAE
+from repro.zoo import get_model
+
+PLATFORM = orange_pi_5()
+WORKLOAD = [get_model(n)
+            for n in ("squeezenet_v2", "inception_v4", "resnet50", "vgg16")]
+
+
+@pytest.fixture(scope="module")
+def mappings():
+    rng = np.random.default_rng(0)
+    return [random_partition_mapping(WORKLOAD, 3, rng) for _ in range(16)]
+
+
+def test_bench_simulator_solve(benchmark, mappings):
+    simulate(WORKLOAD, mappings[0], PLATFORM)  # warm latency caches
+    it = iter(range(10**9))
+
+    def step():
+        return simulate(WORKLOAD, mappings[next(it) % len(mappings)], PLATFORM)
+
+    benchmark(step)
+
+
+def test_bench_q_tensor_assembly(benchmark, mappings):
+    vqvae = LayerVQVAE(np.random.default_rng(0))
+    embedder = EmbeddingCache(vqvae)
+    embeddings = embedder.for_workload(WORKLOAD)
+
+    benchmark(lambda: build_q_tensor(WORKLOAD, mappings[0], embeddings,
+                                     3, 5, 96))
+
+
+def test_bench_estimator_forward(benchmark):
+    model = ThroughputEstimator(np.random.default_rng(0), EstimatorConfig())
+    q = np.random.default_rng(1).normal(
+        size=(8, 5, 96, 48)).astype(np.float32)
+    benchmark(lambda: model.predict_log_rates(q))
+
+
+def test_bench_vqvae_embed(benchmark):
+    vqvae = LayerVQVAE(np.random.default_rng(0))
+    model = get_model("resnet50")
+    benchmark(lambda: vqvae.embed_model(model))
+
+
+def test_bench_rankmap_plan_oracle(benchmark):
+    manager = RankMap(
+        PLATFORM, OraclePredictor(PLATFORM),
+        RankMapConfig(mode="dynamic",
+                      mcts=MCTSConfig(iterations=15, rollouts_per_leaf=2)),
+    )
+    benchmark.pedantic(lambda: manager.plan(WORKLOAD), rounds=2, iterations=1)
+
+
+def test_bench_block_latency_model(benchmark):
+    from repro.hw.latency import model_latency
+
+    model = get_model("inception_v4")
+    comp = PLATFORM.components[0]
+    benchmark(lambda: model_latency(model, comp))
+
+
+def test_bench_des_run(benchmark, mappings):
+    """One discrete-event execution of a 4-DNN mapping (10 s horizon)."""
+    from repro.sim import DesConfig, simulate_des
+
+    config = DesConfig(horizon_s=10.0, warmup_s=2.0)
+    it = iter(range(10**9))
+
+    def step():
+        return simulate_des(WORKLOAD, mappings[next(it) % len(mappings)],
+                            PLATFORM, config)
+
+    benchmark(step)
+
+
+def test_bench_energy_report(benchmark, mappings):
+    """Full power/energy accounting of one mapping."""
+    from repro.hw import energy_report, orange_pi_5_power
+
+    power = orange_pi_5_power()
+    it = iter(range(10**9))
+
+    def step():
+        return energy_report(WORKLOAD, mappings[next(it) % len(mappings)],
+                             PLATFORM, power)
+
+    benchmark(step)
+
+
+def test_bench_poisson_trace(benchmark):
+    """Sampling a 1-hour edge-data-center session trace."""
+    from repro.workloads import TraceConfig, poisson_trace
+
+    config = TraceConfig(horizon_s=3600.0, arrival_rate_per_s=1 / 30)
+    it = iter(range(10**9))
+
+    def step():
+        return poisson_trace(np.random.default_rng(next(it)), config)
+
+    benchmark(step)

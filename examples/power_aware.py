@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Throughput/power co-optimisation with the power-aware RankMap extension.
+
+Plain RankMap_D will happily light up every component to squeeze out
+inferences.  On a battery- or thermally-limited deployment you often want
+to trade a little throughput for a lot of power.  This example sweeps the
+power-penalty weight and prints, for each setting, the mapping's measured
+throughput, the modeled board draw and the resulting energy efficiency —
+with the starvation guard intact throughout.
+"""
+
+import numpy as np
+
+from repro.core import OraclePredictor, PowerAwareRankMap, RankMapConfig
+from repro.hw import energy_report, orange_pi_5, orange_pi_5_power
+from repro.search import MCTSConfig
+from repro.sim import simulate
+from repro.zoo import get_model
+
+WORKLOAD = ("alexnet", "squeezenet", "mobilenet_v2")
+LAMBDAS = (0.0, 0.5, 2.0, 8.0)
+
+
+def main() -> None:
+    platform = orange_pi_5()
+    power = orange_pi_5_power()
+    workload = [get_model(n) for n in WORKLOAD]
+
+    print(f"workload: {', '.join(WORKLOAD)}")
+    print(f"{'lambda':>7} {'T inf/s':>8} {'board W':>8} "
+          f"{'inf/J':>6} {'min P':>6}")
+    for lam in LAMBDAS:
+        manager = PowerAwareRankMap(
+            platform, OraclePredictor(platform), power,
+            RankMapConfig(mode="dynamic",
+                          mcts=MCTSConfig(iterations=60, seed=1),
+                          board_validation_top_k=4),
+            objective="penalty", power_weight=lam,
+        )
+        decision = manager.plan(workload)
+        result = simulate(workload, decision.mapping, platform)
+        report = energy_report(workload, decision.mapping, platform, power)
+        print(f"{lam:>7.1f} {result.rates.sum():>8.2f} "
+              f"{report.system_watts:>8.2f} "
+              f"{report.inferences_per_joule:>6.2f} "
+              f"{result.potentials.min():>6.2f}")
+
+    print("\nper-component draw at the last setting:")
+    for name, util, watts in zip(report.component_names,
+                                 report.component_utilisation,
+                                 report.component_watts):
+        print(f"  {name:>7}: {watts:5.2f} W at {util:5.1%} utilisation")
+    print("\nNo DNN starves at any lambda: the threshold guard is applied "
+          "before the power term.")
+
+
+if __name__ == "__main__":
+    np.set_printoptions(precision=3, suppress=True)
+    main()

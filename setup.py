@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this offline image lacks ``wheel`` for PEP 660
+editable builds; ``pip install -e . --no-use-pep517 --no-build-isolation``
+or ``python setup.py develop`` both work through this shim.
+"""
+
+from setuptools import setup
+
+setup()

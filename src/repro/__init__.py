@@ -1,0 +1,26 @@
+"""RankMap reproduction: priority-aware multi-DNN management (DATE 2025).
+
+Top-level convenience imports for the most common entry points; the
+subpackages hold the full API:
+
+* :mod:`repro.zoo` — the 23-model DNN pool and Eq. 1 layer vectors
+* :mod:`repro.hw` / :mod:`repro.sim` — the simulated heterogeneous board
+  (plus the power model and the discrete-event cross-validator)
+* :mod:`repro.autodiff` — numpy training substrate
+* :mod:`repro.vqvae` / :mod:`repro.estimator` — the learned components
+* :mod:`repro.search` — MCTS and the starvation-guarded reward
+* :mod:`repro.core` — the RankMap manager (and its power-aware variant)
+* :mod:`repro.baselines` — comparison managers
+* :mod:`repro.workloads` — mixes, scenarios, traces and SLA tiers
+* :mod:`repro.experiments` — per-figure reproduction harness
+"""
+
+from .core import RankMap, RankMapConfig
+from .hw import orange_pi_5
+from .sim import simulate
+from .zoo import get_model
+
+__version__ = "1.0.0"
+
+__all__ = ["RankMap", "RankMapConfig", "orange_pi_5", "simulate",
+           "get_model", "__version__"]

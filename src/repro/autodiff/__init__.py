@@ -1,0 +1,23 @@
+"""Numpy reverse-mode autodiff engine (training substrate).
+
+The paper trains its learned components (VQ-VAE layer encoder, multi-task
+throughput estimator) with PyTorch; this package provides the equivalent
+capability offline: tensors with backpropagation, the operator set those
+models require, a small module system, and optimisers.
+"""
+
+from . import nn, ops, optim
+from .gradcheck import check_gradients, numeric_gradient
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "nn",
+    "ops",
+    "optim",
+    "check_gradients",
+    "numeric_gradient",
+]

@@ -1,0 +1,19 @@
+"""Comparison managers from the paper's evaluation (Sec. V)."""
+
+from .ga import GAConfig, GeneticManager
+from .gpu_baseline import GpuBaseline
+from .mosaic import Mosaic
+from .odmdef import Odmdef
+from .omniboost import OmniBoost
+from .profiling import LinearLatencyModel, block_features
+
+__all__ = [
+    "GAConfig",
+    "GeneticManager",
+    "GpuBaseline",
+    "Mosaic",
+    "Odmdef",
+    "OmniBoost",
+    "LinearLatencyModel",
+    "block_features",
+]

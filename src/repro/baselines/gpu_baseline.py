@@ -1,0 +1,36 @@
+"""The paper's baseline manager: every DNN whole on the GPU."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.manager import Manager
+from ..mapping.mapping import gpu_only_mapping
+from ..sim.dynamic import MappingDecision
+from ..zoo.layers import ModelSpec
+
+__all__ = ["GpuBaseline"]
+
+
+class GpuBaseline(Manager):
+    """Maps everything onto the highest-performing component (index 0).
+
+    Fastest possible decision, no use of the platform's heterogeneity —
+    Sec. V-D's reference point.
+    """
+
+    name = "baseline"
+
+    #: Modeled on-device decision latency: effectively instantaneous.
+    MODELED_DECISION_S = 0.05
+
+    def plan(self, workload: list[ModelSpec],
+             priorities: np.ndarray | None = None) -> MappingDecision:
+        t0 = time.perf_counter()
+        if not workload:
+            raise ValueError("workload must not be empty")
+        mapping = gpu_only_mapping(workload)
+        self.last_wall_seconds = time.perf_counter() - t0
+        return MappingDecision(mapping, decision_seconds=self.MODELED_DECISION_S)

@@ -1,0 +1,60 @@
+"""OmniBoost baseline (Karatzas & Anagnostopoulos, DAC 2023).
+
+OmniBoost pairs a learned CNN throughput estimator with MCTS, like RankMap,
+but its reward is the plain *average* predicted throughput: no priority
+weighting and no starvation disqualification.  It therefore happily trades
+one DNN's survival for aggregate throughput — the behaviour the paper's
+Figs. 7 and 8 document.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.manager import Manager
+from ..core.predictor import RatePredictor
+from ..hw.platform import Platform
+from ..mapping.mapping import Mapping
+from ..search.mcts import MCTS, MCTSConfig
+from ..sim.dynamic import MappingDecision
+from ..zoo.layers import ModelSpec
+
+__all__ = ["OmniBoost"]
+
+
+class OmniBoost(Manager):
+    """Estimator-guided MCTS maximising mean throughput."""
+
+    name = "omniboost"
+
+    def __init__(self, platform: Platform, predictor: RatePredictor,
+                 mcts: MCTSConfig = MCTSConfig()):
+        self.platform = platform
+        self.predictor = predictor
+        self.mcts_config = mcts
+        self._plan_counter = 0
+
+    def plan(self, workload: list[ModelSpec],
+             priorities: np.ndarray | None = None) -> MappingDecision:
+        t0 = time.perf_counter()
+        if not workload:
+            raise ValueError("workload must not be empty")
+
+        def evaluate(mappings: list[Mapping]) -> np.ndarray:
+            rates = self.predictor.predict(workload, mappings)
+            return rates.mean(axis=1)
+
+        self._plan_counter += 1
+        cfg = MCTSConfig(
+            iterations=self.mcts_config.iterations,
+            rollouts_per_leaf=self.mcts_config.rollouts_per_leaf,
+            exploration=self.mcts_config.exploration,
+            seed=self.mcts_config.seed + self._plan_counter,
+        )
+        search = MCTS(workload, self.platform.num_components, evaluate, cfg)
+        mapping, stats = search.search()
+        self.last_wall_seconds = time.perf_counter() - t0
+        modeled = stats.evaluations * self.predictor.board_latency_per_eval
+        return MappingDecision(mapping, decision_seconds=modeled)

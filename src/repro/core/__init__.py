@@ -1,0 +1,23 @@
+"""RankMap core: the priority-aware manager and its building blocks."""
+
+from .manager import Manager, RankMap, RankMapConfig
+from .power import PowerAwareRankMap
+from .predictor import EstimatorPredictor, OraclePredictor, RatePredictor
+from .priorities import (
+    dynamic_priorities,
+    normalize_priorities,
+    static_priorities,
+)
+
+__all__ = [
+    "Manager",
+    "RankMap",
+    "RankMapConfig",
+    "PowerAwareRankMap",
+    "EstimatorPredictor",
+    "OraclePredictor",
+    "RatePredictor",
+    "dynamic_priorities",
+    "normalize_priorities",
+    "static_priorities",
+]

@@ -1,0 +1,134 @@
+"""Power-aware RankMap (extension; see DESIGN.md §6).
+
+``PowerAwareRankMap`` keeps the paper's machinery — estimator-scored MCTS,
+priority weighting, starvation disqualification — and folds an estimated
+board power draw into the reward, the co-optimisation the authors pursue
+in their MapFormer follow-up (reference [2] of the paper).
+
+Per-candidate power is estimated analytically: stage service demands come
+from the same layer-latency model every manager profiles with, utilisation
+per component is (predicted rate x demand) summed over resident stages,
+and the platform power model converts utilisations to watts.  Two
+objectives are offered:
+
+* ``"penalty"`` — ``reward - power_weight · watts``: a soft power cap
+  whose weight dials the throughput/power trade-off.
+* ``"efficiency"`` — ``reward / watts``: maximise inferences per joule.
+
+Both keep the starvation guard: disqualified mappings stay disqualified no
+matter how little power they would draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.energy import EnergyReport, PlatformPower, energy_report
+from ..hw.platform import Platform
+from ..mapping.mapping import Mapping
+from ..search.mcts import MCTS, MCTSConfig, MCTSStats
+from ..search.reward import DISQUALIFIED, mapping_reward
+from ..sim.demands import compute_stage_demands
+from ..zoo.layers import ModelSpec
+from .manager import RankMap, RankMapConfig
+from .predictor import RatePredictor
+
+__all__ = ["PowerAwareRankMap"]
+
+
+class PowerAwareRankMap(RankMap):
+    """RankMap with power folded into the search objective."""
+
+    def __init__(self, platform: Platform, predictor: RatePredictor,
+                 power: PlatformPower,
+                 config: RankMapConfig = RankMapConfig(),
+                 objective: str = "penalty",
+                 power_weight: float = 0.5):
+        if objective not in ("penalty", "efficiency"):
+            raise ValueError(f"unknown power objective {objective!r}")
+        if power_weight < 0:
+            raise ValueError("power_weight must be non-negative")
+        if not power.matches(platform):
+            raise ValueError("power model does not match platform components")
+        super().__init__(platform, predictor, config)
+        self.power = power
+        self.objective = objective
+        self.power_weight = power_weight
+        self.name = f"rankmap_p_{objective}"
+
+    # ------------------------------------------------------------------
+    def estimated_watts(self, workload: list[ModelSpec], mapping: Mapping,
+                        rates: np.ndarray) -> float:
+        """Analytical board draw estimate for one candidate mapping."""
+        demands = compute_stage_demands(workload, mapping, self.platform)
+        util = np.zeros(self.platform.num_components)
+        for d in demands:
+            util[d.component] += rates[d.dnn_index] * d.seconds_per_inference
+        return self.power.system_watts(np.clip(util, 0.0, 1.0))
+
+    def measured_energy(self, workload: list[ModelSpec],
+                        mapping: Mapping) -> EnergyReport:
+        """Ground-truth (simulated-board) energy report for a mapping."""
+        return energy_report(workload, mapping, self.platform, self.power)
+
+    def _validate_on_board(self, workload, candidates, p, thresholds,
+                           ideals, kind, fallback) -> tuple[Mapping, int]:
+        """Board validation scores candidates with *measured* power.
+
+        Mirrors the base class's saturation behaviour: if every candidate
+        measures disqualified, deploy the one with the largest worst-case
+        rate-to-threshold margin — starvation avoidance outranks power.
+        """
+        best_mapping = fallback
+        best_reward = DISQUALIFIED
+        best_margin = -np.inf
+        margin_mapping = fallback
+        for _, candidate in candidates:
+            report = self.measured_energy(workload, candidate)
+            reward = mapping_reward(report.rates, p, thresholds, ideals,
+                                    kind)
+            if reward > DISQUALIFIED:
+                if self.objective == "penalty":
+                    reward -= self.power_weight * report.system_watts
+                else:
+                    reward /= max(report.system_watts, 1e-9)
+            if reward > best_reward:
+                best_reward = reward
+                best_mapping = candidate
+            margin = float(
+                (report.rates / np.maximum(thresholds, 1e-12)).min())
+            if margin > best_margin:
+                best_margin = margin
+                margin_mapping = candidate
+        if best_reward <= DISQUALIFIED:
+            best_mapping = margin_mapping
+        return best_mapping, len(candidates)
+
+    # ------------------------------------------------------------------
+    def _search(self, workload: list[ModelSpec], p: np.ndarray,
+                thresholds: np.ndarray, ideals: np.ndarray | None,
+                kind: str) -> tuple[Mapping, MCTSStats]:
+        def evaluate(mappings: list[Mapping]) -> np.ndarray:
+            rates = self.predictor.predict(workload, mappings)
+            rewards = np.empty(len(mappings))
+            for i, (mapping, row) in enumerate(zip(mappings, rates)):
+                base = mapping_reward(row, p, thresholds, ideals, kind)
+                if base <= DISQUALIFIED:
+                    rewards[i] = base
+                    continue
+                watts = self.estimated_watts(workload, mapping, row)
+                if self.objective == "penalty":
+                    rewards[i] = base - self.power_weight * watts
+                else:
+                    rewards[i] = base / max(watts, 1e-9)
+            return rewards
+
+        self._plan_counter += 1
+        cfg = MCTSConfig(
+            iterations=self.config.mcts.iterations,
+            rollouts_per_leaf=self.config.mcts.rollouts_per_leaf,
+            exploration=self.config.mcts.exploration,
+            seed=self.config.mcts.seed + self._plan_counter,
+        )
+        search = MCTS(workload, self.platform.num_components, evaluate, cfg)
+        return search.search()

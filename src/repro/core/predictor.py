@@ -1,0 +1,86 @@
+"""Rate predictors: how a manager scores candidate mappings.
+
+``EstimatorPredictor`` is the paper's path — Q tensor through the learned
+multi-task CNN.  ``OraclePredictor`` queries the simulator directly; it
+stands in for on-board measurement and is used by the GA baseline (which
+evaluates every chromosome on the device) and by search ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..estimator.model import ThroughputEstimator
+from ..hw.platform import Platform
+from ..mapping.mapping import Mapping
+from ..mapping.qtensor import build_q_tensor
+from ..sim.engine import simulate
+from ..vqvae.train import EmbeddingCache
+from ..zoo.layers import ModelSpec
+
+__all__ = ["RatePredictor", "EstimatorPredictor", "OraclePredictor"]
+
+
+class RatePredictor:
+    """Interface: per-DNN rate predictions for a batch of mappings."""
+
+    def predict(self, workload: list[ModelSpec],
+                mappings: list[Mapping]) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    @property
+    def board_latency_per_eval(self) -> float:
+        """Modeled on-device seconds per candidate evaluation (Sec. V-D)."""
+        raise NotImplementedError  # pragma: no cover
+
+
+class EstimatorPredictor(RatePredictor):
+    """Predict rates with the trained multi-task estimator."""
+
+    def __init__(self, estimator: ThroughputEstimator,
+                 embedder: EmbeddingCache):
+        self.estimator = estimator
+        self.embedder = embedder
+
+    def predict(self, workload: list[ModelSpec],
+                mappings: list[Mapping]) -> np.ndarray:
+        cfg = self.estimator.config
+        if len(workload) > cfg.max_dnns:
+            raise ValueError(
+                f"workload of {len(workload)} exceeds estimator capacity "
+                f"{cfg.max_dnns}"
+            )
+        embeddings = self.embedder.for_workload(workload)
+        q = np.stack([
+            build_q_tensor(workload, m, embeddings, cfg.num_components,
+                           cfg.max_dnns, cfg.max_layers)
+            for m in mappings
+        ]).astype(np.float32)
+        rates = self.estimator.predict_rates(q)
+        return rates[:, : len(workload)]
+
+    @property
+    def board_latency_per_eval(self) -> float:
+        # One estimator forward pass on the board (paper: ~30 s for the
+        # full search budget).
+        return 0.04
+
+
+class OraclePredictor(RatePredictor):
+    """Measure rates on the (simulated) board itself."""
+
+    def __init__(self, platform: Platform,
+                 measurement_window_s: float = 2.0):
+        self.platform = platform
+        self.measurement_window_s = measurement_window_s
+
+    def predict(self, workload: list[ModelSpec],
+                mappings: list[Mapping]) -> np.ndarray:
+        return np.stack([
+            simulate(workload, m, self.platform).rates for m in mappings
+        ])
+
+    @property
+    def board_latency_per_eval(self) -> float:
+        # Measuring a mapping on the device means running it for a window.
+        return self.measurement_window_s

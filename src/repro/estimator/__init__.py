@@ -1,0 +1,26 @@
+"""Multi-task throughput estimator (Sec. IV-D) and its training data."""
+
+from .dataset import EstimatorDataset, EstimatorSample, generate_dataset
+from .metrics import l2_loss, pairwise_ranking_accuracy, spearman_r
+from .model import EstimatorConfig, ThroughputEstimator
+from .train import (
+    EstimatorTrainConfig,
+    TrainReport,
+    evaluate_estimator,
+    train_estimator,
+)
+
+__all__ = [
+    "EstimatorDataset",
+    "EstimatorSample",
+    "generate_dataset",
+    "l2_loss",
+    "pairwise_ranking_accuracy",
+    "spearman_r",
+    "EstimatorConfig",
+    "ThroughputEstimator",
+    "EstimatorTrainConfig",
+    "TrainReport",
+    "evaluate_estimator",
+    "train_estimator",
+]

@@ -1,0 +1,61 @@
+"""Experiment suite: one module per paper figure/table (see DESIGN.md)."""
+
+from . import (
+    des_validation,
+    estimator_table,
+    fig01_motivation,
+    fig02_potential,
+    fig05_throughput,
+    fig06_priority,
+    fig07_starvation,
+    fig08_dynamic,
+    fig09_correlation,
+    fig10_priority_shift,
+    power_study,
+    runtime_table,
+    sample_efficiency,
+    table1_features,
+    trace_study,
+)
+from .common import PRESETS, ExperimentContext, ExperimentResult
+
+__all__ = [
+    "PRESETS",
+    "ExperimentContext",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+]
+
+#: Registry: experiment id -> module with a ``run(ctx)`` function.
+EXPERIMENTS = {
+    "fig1": fig01_motivation,
+    "fig2": fig02_potential,
+    "table1": table1_features,
+    "fig5": fig05_throughput,
+    "fig6": fig06_priority,
+    "fig7": fig07_starvation,
+    "fig8": fig08_dynamic,
+    "fig9": fig09_correlation,
+    "fig10": fig10_priority_shift,
+    "runtime": runtime_table,
+    "estimator": estimator_table,
+    # Extensions beyond the paper's evaluation (DESIGN.md §6).
+    "power": power_study,
+    "desval": des_validation,
+    "sampleff": sample_efficiency,
+    "trace": trace_study,
+}
+
+
+def run_experiment(name: str, ctx: ExperimentContext) -> ExperimentResult:
+    """Run one experiment by id and save its artefacts to the results dir."""
+    try:
+        module = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from None
+    result = module.run(ctx)
+    result.save(ctx.results_dir)
+    return result

@@ -1,0 +1,54 @@
+"""CLI entry point: ``python -m repro.experiments [ids...] [--preset fast]``.
+
+Examples
+--------
+    python -m repro.experiments fig1 fig2
+    python -m repro.experiments all --preset fast --results results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS, ExperimentContext, run_experiment
+from .common import PRESETS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="+",
+                        help=f"experiment ids ({', '.join(EXPERIMENTS)}) "
+                             "or 'all'")
+    parser.add_argument("--preset", default="fast", choices=sorted(PRESETS),
+                        help="scaling preset (default: fast)")
+    parser.add_argument("--results", default="results",
+                        help="output directory (default: results/)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="retrain artifacts instead of loading the cache")
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments \
+        else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    ctx = ExperimentContext(preset=args.preset, results_dir=args.results,
+                            use_artifact_cache=not args.no_cache)
+    for name in names:
+        t0 = time.perf_counter()
+        result = run_experiment(name, ctx)
+        elapsed = time.perf_counter() - t0
+        print(f"=== {name} ({elapsed:.1f}s) ===")
+        print(result.text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

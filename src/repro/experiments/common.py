@@ -1,0 +1,247 @@
+"""Shared experiment infrastructure: presets, trained artifacts, managers.
+
+Every experiment runs through an :class:`ExperimentContext` that owns the
+platform, the trained VQ-VAE + estimator (cached on disk per preset, so 11
+experiments share one training run), the manager roster and the output
+directory.  Presets trade fidelity for runtime:
+
+* ``tiny``  — CI-sized smoke configuration (seconds).
+* ``fast``  — the default recorded in EXPERIMENTS.md (minutes).
+* ``paper`` — the paper's published sizes (10 K dataset, 50 epochs, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..baselines import GAConfig, GeneticManager, GpuBaseline, Mosaic, Odmdef, OmniBoost
+from ..core import EstimatorPredictor, OraclePredictor, RankMap, RankMapConfig
+from ..core.manager import Manager
+from ..estimator import (
+    EstimatorConfig,
+    EstimatorTrainConfig,
+    ThroughputEstimator,
+    evaluate_estimator,
+    generate_dataset,
+    train_estimator,
+)
+from ..hw import orange_pi_5
+from ..hw.platform import Platform
+from ..search import MCTSConfig
+from ..vqvae import EmbeddingCache, LayerVQVAE, VQVAETrainConfig, train_vqvae
+from ..workloads import sample_mix
+
+__all__ = ["ExperimentPreset", "PRESETS", "Artifacts", "ExperimentContext",
+           "ExperimentResult", "sample_mix"]
+
+
+@dataclass(frozen=True)
+class ExperimentPreset:
+    """Scaling knobs shared by all experiments."""
+
+    name: str
+    dataset_samples: int
+    estimator_epochs: int
+    vqvae_epochs: int
+    mcts_iterations: int
+    mcts_rollouts: int
+    motivation_mappings: int
+    mixes_per_size: int
+    ga_population: int
+    ga_generations: int
+    odmdef_profiling_runs: int
+    seed: int = 0
+
+
+PRESETS: dict[str, ExperimentPreset] = {
+    "tiny": ExperimentPreset(
+        name="tiny", dataset_samples=48, estimator_epochs=1, vqvae_epochs=2,
+        mcts_iterations=8, mcts_rollouts=2, motivation_mappings=30,
+        mixes_per_size=1, ga_population=6, ga_generations=2,
+        odmdef_profiling_runs=6,
+    ),
+    "fast": ExperimentPreset(
+        name="fast", dataset_samples=2200, estimator_epochs=12,
+        vqvae_epochs=12, mcts_iterations=70, mcts_rollouts=4,
+        motivation_mappings=300, mixes_per_size=6, ga_population=16,
+        ga_generations=8, odmdef_profiling_runs=40,
+    ),
+    "paper": ExperimentPreset(
+        name="paper", dataset_samples=10_000, estimator_epochs=50,
+        vqvae_epochs=30, mcts_iterations=250, mcts_rollouts=4,
+        motivation_mappings=300, mixes_per_size=6, ga_population=24,
+        ga_generations=15, odmdef_profiling_runs=120,
+    ),
+}
+
+
+@dataclass
+class Artifacts:
+    """Trained learning components shared across experiments."""
+
+    vqvae: LayerVQVAE
+    embedder: EmbeddingCache
+    estimator: ThroughputEstimator
+    estimator_val_l2: float
+    estimator_val_spearman: float
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform experiment output: rows for CSV plus rendered text."""
+
+    experiment: str
+    headers: list[str]
+    rows: list[list]
+    text: str
+    extras: dict = field(default_factory=dict)
+
+    def save(self, directory: Path) -> None:
+        from ..utils import to_csv
+
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"{self.experiment}.csv").write_text(
+            to_csv(self.headers, self.rows))
+        (directory / f"{self.experiment}.txt").write_text(self.text + "\n")
+
+
+
+
+class ExperimentContext:
+    """Holds the platform, trained artifacts and the manager roster."""
+
+    def __init__(self, preset: str | ExperimentPreset = "fast",
+                 results_dir: str | Path = "results",
+                 platform: Platform | None = None,
+                 use_artifact_cache: bool = True):
+        self.preset = (preset if isinstance(preset, ExperimentPreset)
+                       else PRESETS[preset])
+        self.platform = platform or orange_pi_5()
+        self.results_dir = Path(results_dir)
+        self.use_artifact_cache = use_artifact_cache
+        self._artifacts: Artifacts | None = None
+        self._mix_study = None  # filled by experiments.mix_study
+
+    # ------------------------------------------------------------------
+    @property
+    def artifacts(self) -> Artifacts:
+        if self._artifacts is None:
+            self._artifacts = self._build_or_load_artifacts()
+        return self._artifacts
+
+    def _cache_path(self) -> Path:
+        return self.results_dir / f"artifacts_{self.preset.name}.npz"
+
+    def _build_or_load_artifacts(self) -> Artifacts:
+        cache = self._cache_path()
+        rng = np.random.default_rng(self.preset.seed)
+        vqvae = LayerVQVAE(np.random.default_rng(self.preset.seed))
+        estimator = ThroughputEstimator(
+            np.random.default_rng(self.preset.seed + 1), EstimatorConfig())
+
+        if self.use_artifact_cache and cache.exists():
+            blob = np.load(cache, allow_pickle=False)
+            vqvae.load_arrays([blob[f"vq_{i}"]
+                               for i in range(int(blob["n_vq"]))])
+            vqvae.quantizer.load_arrays([blob[f"cb_{i}"]
+                                         for i in range(int(blob["n_cb"]))])
+            vqvae.eval()
+            estimator.load_arrays([blob[f"est_{i}"]
+                                   for i in range(int(blob["n_est"]))])
+            return Artifacts(
+                vqvae=vqvae, embedder=EmbeddingCache(vqvae),
+                estimator=estimator,
+                estimator_val_l2=float(blob["val_l2"]),
+                estimator_val_spearman=float(blob["val_rho"]),
+            )
+
+        vqvae, _ = train_vqvae(
+            config=VQVAETrainConfig(epochs=self.preset.vqvae_epochs,
+                                    seed=self.preset.seed))
+        embedder = EmbeddingCache(vqvae)
+        dataset = generate_dataset(self.platform, rng,
+                                   self.preset.dataset_samples)
+        report = train_estimator(
+            estimator, dataset, embedder,
+            EstimatorTrainConfig(epochs=self.preset.estimator_epochs,
+                                 seed=self.preset.seed),
+        )
+        _, val = dataset.split(0.1, np.random.default_rng(self.preset.seed))
+        val_l2, val_rho = evaluate_estimator(estimator, val, embedder)
+        del report
+
+        artifacts = Artifacts(
+            vqvae=vqvae, embedder=embedder, estimator=estimator,
+            estimator_val_l2=val_l2, estimator_val_spearman=val_rho,
+        )
+        if self.use_artifact_cache:
+            self._save_artifacts(artifacts, cache)
+        return artifacts
+
+    def _save_artifacts(self, artifacts: Artifacts, cache: Path) -> None:
+        cache.parent.mkdir(parents=True, exist_ok=True)
+        payload: dict[str, np.ndarray] = {}
+        vq_arrays = artifacts.vqvae.state_arrays()
+        cb_arrays = artifacts.vqvae.quantizer.state_arrays()
+        est_arrays = artifacts.estimator.state_arrays()
+        payload["n_vq"] = np.array(len(vq_arrays))
+        payload["n_cb"] = np.array(len(cb_arrays))
+        payload["n_est"] = np.array(len(est_arrays))
+        payload["val_l2"] = np.array(artifacts.estimator_val_l2)
+        payload["val_rho"] = np.array(artifacts.estimator_val_spearman)
+        for i, a in enumerate(vq_arrays):
+            payload[f"vq_{i}"] = a
+        for i, a in enumerate(cb_arrays):
+            payload[f"cb_{i}"] = a
+        for i, a in enumerate(est_arrays):
+            payload[f"est_{i}"] = a
+        np.savez_compressed(cache, **payload)
+
+    # ------------------------------------------------------------------
+    def mcts_config(self, seed_offset: int = 0) -> MCTSConfig:
+        return MCTSConfig(iterations=self.preset.mcts_iterations,
+                          rollouts_per_leaf=self.preset.mcts_rollouts,
+                          seed=self.preset.seed + seed_offset)
+
+    def managers(self) -> dict[str, Manager]:
+        """The paper's full roster, in the evaluation's display order."""
+        predictor = EstimatorPredictor(self.artifacts.estimator,
+                                       self.artifacts.embedder)
+        return {
+            "baseline": GpuBaseline(),
+            "mosaic": Mosaic(self.platform),
+            "odmdef": Odmdef(
+                self.platform,
+                profiling_runs=self.preset.odmdef_profiling_runs,
+                seed=self.preset.seed,
+            ),
+            "ga": GeneticManager(
+                self.platform,
+                GAConfig(population=self.preset.ga_population,
+                         generations=self.preset.ga_generations,
+                         seed=self.preset.seed),
+            ),
+            "omniboost": OmniBoost(self.platform, predictor,
+                                   self.mcts_config(100)),
+            # RankMap re-measures its top-4 candidates on the board before
+            # deploying (deployment hardening; see EXPERIMENTS.md) — the
+            # extra 4 measurement windows are part of its modeled latency.
+            "rankmap_s": RankMap(
+                self.platform, predictor,
+                RankMapConfig(mode="static", mcts=self.mcts_config(200),
+                              board_validation_top_k=4),
+            ),
+            "rankmap_d": RankMap(
+                self.platform, predictor,
+                RankMapConfig(mode="dynamic", mcts=self.mcts_config(300),
+                              board_validation_top_k=4),
+            ),
+        }
+
+    def rankmap_oracle(self, mode: str) -> RankMap:
+        """RankMap driven by the simulator oracle (ablation helper)."""
+        return RankMap(self.platform, OraclePredictor(self.platform),
+                       RankMapConfig(mode=mode, mcts=self.mcts_config(400)))

@@ -1,0 +1,74 @@
+"""Sec. V estimator-training result: channel-shuffle augmentation ablation.
+
+The paper trains the multi-task estimator to an L2 loss of ~0.14 after 50
+epochs and reports that random channel shuffling as augmentation further
+reduces it to ~0.08.  This experiment trains two estimators on the same
+dataset — with and without the augmentation — and reports the validation
+L2 (log1p target space) plus rank quality (Spearman), which is the property
+MCTS actually relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..estimator import (
+    EstimatorConfig,
+    EstimatorTrainConfig,
+    ThroughputEstimator,
+    generate_dataset,
+    train_estimator,
+)
+from ..utils import render_table
+from .common import ExperimentContext, ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    preset = ctx.preset
+    rng = np.random.default_rng(preset.seed + 7)
+    config = EstimatorConfig()
+    # The ablation compares two trainings, so its cost is capped via the
+    # dataset size; epochs are NOT capped low because augmentation needs
+    # training length to pay off: at 600 samples the shuffled variant
+    # overtakes the plain one between epoch 12 and 18 (before that it is
+    # still underfitting the harder augmented objective while the plain
+    # model is already overfitting slot identity).
+    if preset.name == "paper":
+        samples, epochs = preset.dataset_samples, preset.estimator_epochs
+    else:
+        samples = min(max(preset.dataset_samples // 2, 40), 600)
+        epochs = max(6, min(18, preset.estimator_epochs * 3 // 2))
+    dataset = generate_dataset(ctx.platform, rng, samples, config)
+    embedder = ctx.artifacts.embedder
+
+    rows: list[list] = []
+    for shuffle in (False, True):
+        model = ThroughputEstimator(np.random.default_rng(preset.seed + 11),
+                                    config)
+        report = train_estimator(
+            model, dataset, embedder,
+            EstimatorTrainConfig(epochs=epochs, channel_shuffle=shuffle,
+                                 seed=preset.seed),
+        )
+        rows.append([
+            "with_shuffle" if shuffle else "no_shuffle",
+            float(report.final_val_loss),
+            float(report.val_spearman),
+            float(report.train_loss[-1]),
+        ])
+
+    improvement = rows[0][1] / max(rows[1][1], 1e-9)
+    text = "\n\n".join([
+        render_table(
+            ["augmentation", "val_l2", "val_spearman", "train_l2"], rows,
+            title="Estimator training: channel-shuffle ablation"),
+        f"shuffle improves val L2 by x{improvement:.2f} "
+        "(paper: 0.14 -> 0.08, i.e. x1.75)",
+    ])
+    return ExperimentResult(
+        experiment="estimator_table",
+        headers=["augmentation", "val_l2", "val_spearman", "train_l2"],
+        rows=rows, text=text, extras={"improvement": improvement},
+    )

@@ -1,0 +1,46 @@
+"""Fig. 7 — starvation comparison across all mix-study DNN instances.
+
+Counts starved DNNs (P below the measurement-resolution epsilon) per
+manager over the 6x(3+4+5) = 72 DNN instances.  Paper: Baseline 19,
+MOSAIC 9, ODMDEF 13, GA 11, OmniBoost 5, RankMap_S 0, RankMap_D 0.
+"""
+
+from __future__ import annotations
+
+from ..metrics import STARVATION_EPSILON
+from ..utils import render_histogram, render_table
+from .common import ExperimentContext, ExperimentResult
+from .mix_study import MANAGER_ORDER, run_mix_study
+
+__all__ = ["run"]
+
+_PAPER_COUNTS = {"baseline": 19, "mosaic": 9, "odmdef": 13, "ga": 11,
+                 "omniboost": 5, "rankmap_s": 0, "rankmap_d": 0}
+
+
+def run(ctx: ExperimentContext) -> ExperimentResult:
+    study = run_mix_study(ctx)
+    headers = ["manager", "instances", "starved", "paper_starved",
+               "min_P", "median_P"]
+    rows: list[list] = []
+    histograms: list[str] = []
+    for manager in MANAGER_ORDER:
+        potentials = study.all_potentials(manager)
+        starved = int((potentials < STARVATION_EPSILON).sum())
+        rows.append([
+            manager, len(potentials), starved, _PAPER_COUNTS[manager],
+            float(potentials.min()),
+            float(sorted(potentials)[len(potentials) // 2]),
+        ])
+        histograms.append(render_histogram(
+            potentials, bins=10, value_range=(0.0, 1.0),
+            title=f"P histogram - {manager}"))
+
+    text = "\n\n".join([
+        render_table(headers, rows,
+                     title="Fig. 7: starved DNN instances per manager "
+                           f"(starved = P < {STARVATION_EPSILON})"),
+        *histograms,
+    ])
+    return ExperimentResult(experiment="fig07_starvation", headers=headers,
+                            rows=rows, text=text)

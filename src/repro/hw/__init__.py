@@ -1,0 +1,38 @@
+"""Hardware platform model (the board substitute — see DESIGN.md)."""
+
+from .component import ComputeComponent, default_efficiency
+from .energy import (
+    ComponentPower,
+    EnergyReport,
+    PlatformPower,
+    energy_report,
+    jetson_class_power,
+    orange_pi_5_power,
+)
+from .latency import block_latency, layer_latency, model_latency, solo_throughput
+from .link import TransferLink
+from .platform import Platform
+from .presets import BIG, COMPONENT_NAMES, GPU, LITTLE, jetson_class, orange_pi_5
+
+__all__ = [
+    "ComputeComponent",
+    "default_efficiency",
+    "ComponentPower",
+    "PlatformPower",
+    "EnergyReport",
+    "orange_pi_5_power",
+    "jetson_class_power",
+    "energy_report",
+    "TransferLink",
+    "Platform",
+    "orange_pi_5",
+    "jetson_class",
+    "GPU",
+    "BIG",
+    "LITTLE",
+    "COMPONENT_NAMES",
+    "layer_latency",
+    "block_latency",
+    "model_latency",
+    "solo_throughput",
+]

@@ -1,0 +1,212 @@
+"""Platform power and energy model (extension; see DESIGN.md §6).
+
+The paper optimises throughput only, but its sequel line of work
+(MapFormer, ICCAD 2024 — reference [2] of the paper) co-optimises
+throughput and power on the same class of boards.  This module adds the
+measurement side of that extension: a utilisation-driven power model per
+component and an energy report for any simulated mapping, which
+:class:`repro.core.power.PowerAwareRankMap` uses as its search signal.
+
+Model shape: each component draws ``idle_w`` when powered plus a dynamic
+term that scales with its utilisation, ``P_c = idle + dyn · util^gamma``.
+``gamma < 1`` captures race-to-idle effects (clock/power gating recovers
+less than linearly as load drops); ``gamma = 1`` is the classic
+linear-in-activity CMOS approximation.  Numbers for the Orange Pi 5 preset
+are public-datasheet estimates, not board measurements — they set plausible
+*relative* magnitudes (the big cluster burns ~3x the LITTLE cluster at full
+tilt; the GPU is the most efficient MAC engine), which is all the mapping
+comparisons need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mapping.mapping import Mapping
+from ..zoo.layers import ModelSpec
+from .platform import Platform
+
+__all__ = [
+    "ComponentPower",
+    "PlatformPower",
+    "EnergyReport",
+    "orange_pi_5_power",
+    "jetson_class_power",
+    "energy_report",
+]
+
+
+@dataclass(frozen=True)
+class ComponentPower:
+    """Power envelope of one computing component."""
+
+    name: str
+    idle_w: float            # static draw while powered (W)
+    dynamic_w: float         # extra draw at 100 % utilisation (W)
+    util_exponent: float = 0.9
+
+    def __post_init__(self):
+        if self.idle_w < 0 or self.dynamic_w < 0:
+            raise ValueError(f"{self.name}: power terms must be >= 0")
+        if self.util_exponent <= 0:
+            raise ValueError(f"{self.name}: util_exponent must be positive")
+
+    def watts(self, utilisation: float) -> float:
+        """Instantaneous draw at a utilisation in [0, 1]."""
+        u = float(np.clip(utilisation, 0.0, 1.0))
+        return self.idle_w + self.dynamic_w * u ** self.util_exponent
+
+
+@dataclass(frozen=True)
+class PlatformPower:
+    """Per-component power models plus uncore/board overhead."""
+
+    components: tuple[ComponentPower, ...]
+    board_overhead_w: float = 0.0   # SoC uncore, DRAM refresh, rails, ...
+
+    def __post_init__(self):
+        if self.board_overhead_w < 0:
+            raise ValueError("board_overhead_w must be >= 0")
+        names = [c.name for c in self.components]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate component power names: {names}")
+
+    def matches(self, platform: Platform) -> bool:
+        """True when component names align positionally with ``platform``."""
+        if len(self.components) != platform.num_components:
+            return False
+        return all(p.name == platform.component(i).name
+                   for i, p in enumerate(self.components))
+
+    def system_watts(self, utilisations: np.ndarray) -> float:
+        """Total board draw for per-component utilisations."""
+        if len(utilisations) != len(self.components):
+            raise ValueError("utilisation vector must match components")
+        return self.board_overhead_w + sum(
+            c.watts(u) for c, u in zip(self.components, utilisations))
+
+
+def orange_pi_5_power() -> PlatformPower:
+    """Estimated power envelopes for the paper's Orange Pi 5 (RK3588S)."""
+    return PlatformPower(
+        components=(
+            ComponentPower("gpu", idle_w=0.30, dynamic_w=4.0),
+            ComponentPower("big", idle_w=0.35, dynamic_w=4.5),
+            ComponentPower("little", idle_w=0.15, dynamic_w=1.3),
+        ),
+        board_overhead_w=1.5,
+    )
+
+
+def jetson_class_power() -> PlatformPower:
+    """Estimated power envelopes matching :func:`repro.hw.jetson_class`.
+
+    Orin-NX-class module budgets (10-25 W modes): the Ampere iGPU
+    dominates the envelope; the two 3-core A78AE groups are symmetric.
+    """
+    return PlatformPower(
+        components=(
+            ComponentPower("gpu", idle_w=0.8, dynamic_w=12.0),
+            ComponentPower("big", idle_w=0.4, dynamic_w=3.6),
+            ComponentPower("little", idle_w=0.4, dynamic_w=3.4),
+        ),
+        board_overhead_w=3.0,
+    )
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Power/energy accounting for one mapping at steady state."""
+
+    component_names: tuple[str, ...]
+    component_utilisation: np.ndarray
+    component_watts: np.ndarray        # per component, incl. its idle term
+    system_watts: float                # components + board overhead
+    workload_names: tuple[str, ...]
+    rates: np.ndarray                  # inferences/s per DNN
+    dnn_joules_per_inference: np.ndarray  # dynamic energy attribution
+
+    @property
+    def total_throughput(self) -> float:
+        """Sum of per-DNN rates (inferences/s)."""
+        return float(self.rates.sum())
+
+    @property
+    def inferences_per_joule(self) -> float:
+        """System energy efficiency: total inferences per joule."""
+        if self.system_watts <= 0:
+            return float("inf")
+        return self.total_throughput / self.system_watts
+
+    def __repr__(self) -> str:
+        return (f"EnergyReport({self.system_watts:.2f} W, "
+                f"{self.total_throughput:.2f} inf/s, "
+                f"{self.inferences_per_joule:.2f} inf/J)")
+
+
+def energy_report(workload: list[ModelSpec], mapping: Mapping,
+                  platform: Platform, power: PlatformPower) -> EnergyReport:
+    """Simulate ``mapping`` and account its steady-state power and energy.
+
+    Per-DNN energy attribution covers each component's *dynamic* draw,
+    split among resident stages by their share of the component's busy
+    time; idle and board overhead are shared infrastructure and appear
+    only in ``system_watts``.
+    """
+    from ..sim.demands import compute_stage_demands
+    from ..sim.engine import simulate
+
+    if not power.matches(platform):
+        raise ValueError("power model does not match platform components")
+
+    result = simulate(workload, mapping, platform)
+    solution = result.solution
+    demands = compute_stage_demands(workload, mapping, platform)
+
+    util = np.clip(solution.component_utilisation, 0.0, 1.0)
+    watts = np.array([c.watts(u)
+                      for c, u in zip(power.components, util)])
+    system = power.system_watts(util)
+
+    # Stage busy time per second of wall clock: rate x service demand
+    # (interference-inflated execution only — head-of-line *waiting* burns
+    # no energy and is excluded, consistent with the solver's utilisation).
+    n = len(workload)
+    dyn_power_per_dnn = np.zeros(n)
+    inflation = np.ones(platform.num_components)
+    for c in range(platform.num_components):
+        contexts = len({d.dnn_index for d in demands if d.component == c})
+        if contexts:
+            inflation[c] = platform.component(c).interference_factor(contexts)
+    busy = np.array([
+        solution.rates[d.dnn_index] * d.seconds_per_inference
+        * inflation[d.component]
+        for d in demands
+    ])
+    for c in range(platform.num_components):
+        stage_idx = [i for i, d in enumerate(demands) if d.component == c]
+        if not stage_idx:
+            continue
+        comp_busy = busy[stage_idx].sum()
+        if comp_busy <= 0:
+            continue
+        dyn_watts = power.components[c].dynamic_w * \
+            float(util[c]) ** power.components[c].util_exponent
+        for i in stage_idx:
+            share = busy[i] / comp_busy
+            dyn_power_per_dnn[demands[i].dnn_index] += dyn_watts * share
+
+    joules = np.where(solution.rates > 0,
+                      dyn_power_per_dnn / np.maximum(solution.rates, 1e-12),
+                      np.inf)
+    return EnergyReport(
+        component_names=tuple(c.name for c in power.components),
+        component_utilisation=util,
+        component_watts=watts,
+        system_watts=system,
+        workload_names=tuple(m.name for m in workload),
+        rates=solution.rates,
+        dnn_joules_per_inference=joules,
+    )

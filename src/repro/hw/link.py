@@ -1,0 +1,31 @@
+"""Inter-component transfer model.
+
+On the Orange Pi 5 all components share LPDDR4X DRAM, so a pipeline-stage
+handoff between components is a buffer ownership transfer: cache
+flush/invalidate plus driver synchronisation, modelled as a fixed latency
+plus a bandwidth term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TransferLink"]
+
+
+@dataclass(frozen=True)
+class TransferLink:
+    """Cost model for moving a feature map between two components."""
+
+    bandwidth_bytes_per_s: float
+    latency_s: float
+
+    def __post_init__(self):
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("link latency must be non-negative")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to hand ``nbytes`` to the next stage."""
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s

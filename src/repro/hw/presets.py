@@ -1,0 +1,144 @@
+"""Calibrated platform presets.
+
+``orange_pi_5`` reproduces the paper's evaluation board: a Mali-G610 GPU,
+a quad-core Cortex-A76 (big) cluster at 2.4 GHz and a quad-core Cortex-A55
+(LITTLE) cluster at 1.8 GHz sharing LPDDR4X memory.  Parameters are
+calibrated so the GPU's solo ("ideal") throughputs land near the values the
+paper reports: AlexNet ~43 inf/s, SqueezeNet-V1 ~67 inf/s, ResNet-50
+~20 inf/s, Inception-ResNet-V1 ~4 inf/s (Sec. V-B); see
+tests/test_hw_calibration.py for the asserted bands.
+"""
+
+from __future__ import annotations
+
+from .component import ComputeComponent, default_efficiency
+from .link import TransferLink
+from .platform import Platform
+
+__all__ = ["orange_pi_5", "jetson_class", "GPU", "BIG", "LITTLE",
+           "COMPONENT_NAMES"]
+
+# Canonical component indices (mapping alphabet).
+GPU, BIG, LITTLE = 0, 1, 2
+COMPONENT_NAMES = ("gpu", "big", "little")
+
+
+def orange_pi_5() -> Platform:
+    """The calibrated Orange Pi 5 platform model."""
+    gpu = ComputeComponent(
+        name="gpu",
+        kind="gpu",
+        # Mali-G610 MC4: ~500 GFLOPS fp32 peak => ~250 GMAC/s.
+        peak_macs_per_s=250e9,
+        mem_bw_bytes_per_s=14e9,
+        elem_ops_per_s=40e9,
+        # OpenCL kernel launch + ARM CL scheduling per layer.
+        dispatch_overhead_s=0.25e-3,
+        type_efficiency=default_efficiency(conv=0.55, dwconv=0.20, fc=0.35),
+        macs_half=4e6,
+        channel_sat=48,
+        # Non-preemptive command queues favour long-kernel contexts.
+        sharing_bias=0.70,
+        interference_alpha=0.60,
+        interference_beta=1.2,
+        # Non-preemptive kernel queue: launches wait behind running kernels.
+        hol_blocking=0.5,
+    )
+    big = ComputeComponent(
+        name="big",
+        kind="big",
+        # 4x Cortex-A76 @ 2.4 GHz, 2x128-bit NEON FMA: ~38 GMAC/s peak,
+        # ACL GEMM reaches a large fraction of it.
+        peak_macs_per_s=30e9,
+        mem_bw_bytes_per_s=10e9,
+        elem_ops_per_s=12e9,
+        dispatch_overhead_s=0.03e-3,
+        type_efficiency=default_efficiency(conv=0.65, dwconv=0.55, fc=0.60),
+        macs_half=2e6,
+        channel_sat=16,
+        sharing_bias=0.15,
+        interference_alpha=0.25,
+        interference_beta=1.0,
+        # CFS preempts at millisecond scale: little head-of-line blocking.
+        hol_blocking=0.05,
+    )
+    little = ComputeComponent(
+        name="little",
+        kind="little",
+        # 4x Cortex-A55 @ 1.8 GHz, single 128-bit NEON pipe.
+        peak_macs_per_s=8e9,
+        mem_bw_bytes_per_s=5e9,
+        elem_ops_per_s=4e9,
+        dispatch_overhead_s=0.04e-3,
+        type_efficiency=default_efficiency(conv=0.60, dwconv=0.50, fc=0.55),
+        macs_half=1e6,
+        channel_sat=8,
+        sharing_bias=0.15,
+        interference_alpha=0.30,
+        interference_beta=1.0,
+        hol_blocking=0.05,
+    )
+    # Shared-DRAM handoff: map/unmap + cache maintenance + driver sync.
+    link = TransferLink(bandwidth_bytes_per_s=5e9, latency_s=0.4e-3)
+    return Platform("orange_pi_5", (gpu, big, little), link)
+
+
+def jetson_class() -> Platform:
+    """A Jetson-Orin-NX-class alternative platform.
+
+    Much stronger, better-behaved GPU (CUDA stack: lower dispatch
+    overhead, preemptive scheduling) with a uniform 6-core CPU complex
+    exposed as two 3-core scheduling groups.  Used to show the manager
+    generalises beyond the paper's board: on this platform the GPU
+    dominates harder, so good mappings keep more work there.
+    """
+    gpu = ComputeComponent(
+        name="gpu",
+        kind="gpu",
+        # Ampere-class iGPU: ~2 TFLOPS fp32 sustained => ~1 TMAC/s peak.
+        peak_macs_per_s=1000e9,
+        mem_bw_bytes_per_s=60e9,
+        elem_ops_per_s=150e9,
+        dispatch_overhead_s=0.05e-3,
+        type_efficiency=default_efficiency(conv=0.60, dwconv=0.30, fc=0.45),
+        macs_half=8e6,
+        channel_sat=64,
+        sharing_bias=0.3,          # preemptive MPS-style time slicing
+        interference_alpha=0.35,
+        interference_beta=1.1,
+        hol_blocking=0.15,
+    )
+    cpu_a = ComputeComponent(
+        name="big",
+        kind="big",
+        # 3x Cortex-A78AE @ 2.0 GHz.
+        peak_macs_per_s=24e9,
+        mem_bw_bytes_per_s=20e9,
+        elem_ops_per_s=10e9,
+        dispatch_overhead_s=0.03e-3,
+        type_efficiency=default_efficiency(conv=0.65, dwconv=0.55, fc=0.60),
+        macs_half=2e6,
+        channel_sat=16,
+        sharing_bias=0.15,
+        interference_alpha=0.25,
+        interference_beta=1.0,
+        hol_blocking=0.05,
+    )
+    cpu_b = ComputeComponent(
+        name="little",
+        kind="little",
+        # Second 3-core group (same silicon, shared L3: slightly worse).
+        peak_macs_per_s=22e9,
+        mem_bw_bytes_per_s=18e9,
+        elem_ops_per_s=9e9,
+        dispatch_overhead_s=0.03e-3,
+        type_efficiency=default_efficiency(conv=0.62, dwconv=0.52, fc=0.57),
+        macs_half=2e6,
+        channel_sat=16,
+        sharing_bias=0.15,
+        interference_alpha=0.28,
+        interference_beta=1.0,
+        hol_blocking=0.05,
+    )
+    link = TransferLink(bandwidth_bytes_per_s=20e9, latency_s=0.15e-3)
+    return Platform("jetson_class", (gpu, cpu_a, cpu_b), link)

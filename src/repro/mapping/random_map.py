@@ -1,0 +1,57 @@
+"""Random mapping generators.
+
+Two distributions are used in the paper:
+
+* :func:`random_partition_mapping` mirrors Sec. II's motivation study — each
+  DNN is split into a small number of contiguous stages at random partition
+  points and every stage is assigned a random component.
+* :func:`uniform_block_mapping` draws every block's component independently;
+  this spans the raw ``d^blocks`` space that MCTS rollouts explore.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..zoo.layers import ModelSpec
+from .mapping import Mapping
+
+__all__ = ["random_partition_mapping", "uniform_block_mapping"]
+
+
+def _random_assignment(num_blocks: int, num_components: int,
+                       rng: np.random.Generator, max_stages: int) -> tuple[int, ...]:
+    n_stages = int(rng.integers(1, min(max_stages, num_blocks) + 1))
+    if n_stages == 1:
+        comp = int(rng.integers(num_components))
+        return tuple([comp] * num_blocks)
+    cuts = rng.choice(np.arange(1, num_blocks), size=n_stages - 1, replace=False)
+    bounds = [0, *sorted(int(c) for c in cuts), num_blocks]
+    assignment: list[int] = []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        comp = int(rng.integers(num_components))
+        assignment.extend([comp] * (hi - lo))
+    return tuple(assignment)
+
+
+def random_partition_mapping(workload: list[ModelSpec], num_components: int,
+                             rng: np.random.Generator,
+                             max_stages: int = 4) -> Mapping:
+    """Split each DNN at random cut points into random-component stages."""
+    if num_components < 1:
+        raise ValueError("need at least one component")
+    return Mapping(tuple(
+        _random_assignment(m.num_blocks, num_components, rng, max_stages)
+        for m in workload
+    ))
+
+
+def uniform_block_mapping(workload: list[ModelSpec], num_components: int,
+                          rng: np.random.Generator) -> Mapping:
+    """Draw every block's component independently and uniformly."""
+    if num_components < 1:
+        raise ValueError("need at least one component")
+    return Mapping(tuple(
+        tuple(int(c) for c in rng.integers(num_components, size=m.num_blocks))
+        for m in workload
+    ))

@@ -1,0 +1,109 @@
+"""Deployment records: persist a planned mapping as JSON.
+
+A manager's decision is only useful if the runtime that executes it can
+reload it after a reboot.  A :class:`DeploymentRecord` binds everything a
+deployment needs — platform name, workload model names, per-block
+assignments, and the priority vector the plan was made for — and
+round-trips through JSON.  Loading re-validates against the model zoo, so
+a record written for a different zoo revision fails loudly instead of
+executing a mis-shaped mapping.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..zoo.layers import ModelSpec
+from ..zoo.registry import get_model
+from .mapping import Mapping
+
+__all__ = ["DeploymentRecord", "save_deployment", "load_deployment"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DeploymentRecord:
+    """A planned mapping plus the context needed to redeploy it."""
+
+    platform: str
+    workload: tuple[str, ...]
+    assignments: tuple[tuple[int, ...], ...]
+    priorities: tuple[float, ...] | None = None
+
+    def __post_init__(self):
+        if len(self.workload) != len(self.assignments):
+            raise ValueError("workload and assignments must align")
+        if self.priorities is not None and \
+                len(self.priorities) != len(self.workload):
+            raise ValueError("priorities must match workload length")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_plan(cls, platform_name: str, workload: list[ModelSpec],
+                  mapping: Mapping,
+                  priorities=None) -> "DeploymentRecord":
+        """Snapshot a manager's plan for ``workload``."""
+        mapping_names = tuple(m.name for m in workload)
+        if len(mapping.assignments) != len(workload):
+            raise ValueError("mapping does not cover the workload")
+        return cls(
+            platform=platform_name,
+            workload=mapping_names,
+            assignments=mapping.assignments,
+            priorities=(None if priorities is None
+                        else tuple(float(p) for p in priorities)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "format_version": _FORMAT_VERSION,
+            "platform": self.platform,
+            "workload": list(self.workload),
+            "assignments": [list(a) for a in self.assignments],
+            "priorities": (None if self.priorities is None
+                           else list(self.priorities)),
+        }, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DeploymentRecord":
+        payload = json.loads(text)
+        version = payload.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported deployment record version {version!r}")
+        return cls(
+            platform=payload["platform"],
+            workload=tuple(payload["workload"]),
+            assignments=tuple(tuple(int(c) for c in a)
+                              for a in payload["assignments"]),
+            priorities=(None if payload.get("priorities") is None
+                        else tuple(float(p)
+                                   for p in payload["priorities"])),
+        )
+
+    # ------------------------------------------------------------------
+    def restore(self, num_components: int
+                ) -> tuple[list[ModelSpec], Mapping]:
+        """Rebuild (workload, mapping), validating against the zoo.
+
+        Raises ``KeyError`` for unknown model names and ``ValueError``
+        when the stored assignments no longer match the zoo's block
+        structure or the platform's component count.
+        """
+        workload = [get_model(name) for name in self.workload]
+        mapping = Mapping(self.assignments)
+        mapping.validate_against(workload, num_components)
+        return workload, mapping
+
+
+def save_deployment(path: str | Path, record: DeploymentRecord) -> None:
+    """Write a deployment record to ``path`` as JSON."""
+    Path(path).write_text(record.to_json() + "\n")
+
+
+def load_deployment(path: str | Path) -> DeploymentRecord:
+    """Read a deployment record back from ``path``."""
+    return DeploymentRecord.from_json(Path(path).read_text())

@@ -1,0 +1,27 @@
+"""Solution-space accounting (Sec. IV-E).
+
+The number of mappings for a workload is ``d ** total_blocks`` where ``d``
+is the component count: AlexNet + MobileNet + ResNet-50 + ShuffleNet on a
+3-component platform gives 3^(8+20+18+18) — the ~4e10-at-coarse-granularity
+example the paper uses to motivate stochastic search.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..zoo.layers import ModelSpec
+
+__all__ = ["solution_space_size", "log10_solution_space"]
+
+
+def solution_space_size(workload: list[ModelSpec], num_components: int) -> int:
+    """Exact number of block-level mappings for ``workload``."""
+    total_blocks = sum(m.num_blocks for m in workload)
+    return num_components**total_blocks
+
+
+def log10_solution_space(workload: list[ModelSpec], num_components: int) -> float:
+    """log10 of the mapping count (readable for astronomically large spaces)."""
+    total_blocks = sum(m.num_blocks for m in workload)
+    return total_blocks * math.log10(num_components)

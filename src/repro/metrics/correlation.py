@@ -1,0 +1,27 @@
+"""Priority/performance correlation (the paper's Fig. 9 metric)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pearson_r"]
+
+
+def pearson_r(x, y) -> float:
+    """Pearson correlation coefficient r in [-1, 1].
+
+    Returns 0.0 for degenerate inputs (constant vectors), which is how a
+    flat potential profile should score against any priority vector.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("pearson_r needs two equal-length 1-D vectors")
+    if x.size < 2:
+        raise ValueError("pearson_r needs at least two points")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.sqrt((xc**2).sum() * (yc**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((xc * yc).sum() / denom)

@@ -1,0 +1,16 @@
+"""Mapping-space search: MCTS (Sec. IV-E), rewards, random ablation."""
+
+from .mcts import MCTS, MCTSConfig, MCTSStats
+from .random_search import random_search
+from .reward import DISQUALIFIED, RewardConfig, mapping_reward, thresholds_for
+
+__all__ = [
+    "MCTS",
+    "MCTSConfig",
+    "MCTSStats",
+    "random_search",
+    "DISQUALIFIED",
+    "RewardConfig",
+    "mapping_reward",
+    "thresholds_for",
+]

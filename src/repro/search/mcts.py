@@ -1,0 +1,223 @@
+"""Monte-Carlo Tree Search over the mapping space (Sec. IV-E).
+
+The decision sequence flattens every DNN's blocks in workload order; each
+tree level assigns the next block to one of the platform's components, so a
+root-to-depth-D path is a complete mapping (D = total blocks, spanning the
+``d^D`` solution space).  Selection uses UCB1 with min-max value
+normalisation; expansion adds one child; simulation completes the prefix
+with uniform random assignments and scores the batch of completed mappings
+with the (estimator-backed) evaluator; the best completed mapping ever
+scored is returned.
+
+The evaluator is injected as a callable so the same search runs on the
+learned estimator (RankMap, OmniBoost) or directly on the simulator
+(ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..mapping.mapping import Mapping
+from ..zoo.layers import ModelSpec
+from .reward import DISQUALIFIED
+
+__all__ = ["MCTSConfig", "MCTSStats", "MCTS"]
+
+# Batch evaluator: list of complete mappings -> array of rewards.
+Evaluator = Callable[[list[Mapping]], np.ndarray]
+
+
+@dataclass(frozen=True)
+class MCTSConfig:
+    """Search budget and exploration parameters."""
+
+    iterations: int = 160          # tree expansions
+    rollouts_per_leaf: int = 4     # random completions scored per expansion
+    exploration: float = 0.7       # UCB1 constant (values are minmax-normed)
+    # Rollout policy: probability that the next block stays on the previous
+    # block's component.  Coherent (low-fragmentation) completions cover
+    # the useful region of the space far better than iid assignments.
+    rollout_persistence: float = 0.85
+    seed: int = 0
+
+    @property
+    def total_evaluations(self) -> int:
+        return self.iterations * self.rollouts_per_leaf
+
+
+@dataclass
+class MCTSStats:
+    """Diagnostics of one search run."""
+
+    evaluations: int = 0
+    disqualified: int = 0
+    best_reward: float = DISQUALIFIED
+    tree_nodes: int = 1
+    # Best distinct mappings seen, sorted by reward (descending); used by
+    # RankMap's optional board-validation pass.
+    top_candidates: list = None
+
+    def record_candidate(self, reward: float, mapping, keep: int = 8) -> None:
+        if self.top_candidates is None:
+            self.top_candidates = []
+        for _, existing in self.top_candidates:
+            if existing.assignments == mapping.assignments:
+                return
+        self.top_candidates.append((reward, mapping))
+        self.top_candidates.sort(key=lambda rm: -rm[0])
+        del self.top_candidates[keep:]
+
+
+class _Node:
+    __slots__ = ("visits", "value_sum", "children")
+
+    def __init__(self):
+        self.visits = 0
+        self.value_sum = 0.0
+        self.children: dict[int, _Node] = {}
+
+    def mean(self) -> float:
+        return self.value_sum / self.visits if self.visits else 0.0
+
+
+class MCTS:
+    """UCB1 tree search producing the highest-reward mapping found."""
+
+    def __init__(self, workload: list[ModelSpec], num_components: int,
+                 evaluator: Evaluator, config: MCTSConfig = MCTSConfig()):
+        if not workload:
+            raise ValueError("workload must not be empty")
+        if num_components < 1:
+            raise ValueError("need at least one component")
+        self.workload = workload
+        self.num_components = num_components
+        self.evaluator = evaluator
+        self.config = config
+        self._block_counts = [m.num_blocks for m in workload]
+        self.depth = sum(self._block_counts)
+        self._rng = np.random.default_rng(config.seed)
+        self._root = _Node()
+        # Running bounds of valid rewards for value normalisation.
+        self._lo = np.inf
+        self._hi = -np.inf
+
+    # ------------------------------------------------------------------
+    def search(self) -> tuple[Mapping, MCTSStats]:
+        """Run the budgeted search; returns (best mapping, diagnostics)."""
+        stats = MCTSStats()
+        best_mapping: Mapping | None = None
+
+        for _ in range(self.config.iterations):
+            path, prefix = self._select_and_expand()
+            mappings = [self._complete(prefix)
+                        for _ in range(self.config.rollouts_per_leaf)]
+            rewards = np.asarray(self.evaluator(mappings), dtype=np.float64)
+            if rewards.shape != (len(mappings),):
+                raise ValueError("evaluator must return one reward per mapping")
+
+            for mapping, reward in zip(mappings, rewards):
+                stats.evaluations += 1
+                if reward <= DISQUALIFIED:
+                    stats.disqualified += 1
+                else:
+                    self._lo = min(self._lo, reward)
+                    self._hi = max(self._hi, reward)
+                if best_mapping is None or reward > stats.best_reward:
+                    stats.best_reward = reward
+                    best_mapping = mapping
+                if reward > DISQUALIFIED:
+                    stats.record_candidate(reward, mapping)
+
+            value = self._backup_value(rewards)
+            for node in path:
+                node.visits += 1
+                node.value_sum += value
+
+        stats.tree_nodes = self._count_nodes(self._root)
+        if best_mapping is None:  # pragma: no cover - iterations >= 1
+            raise RuntimeError("search produced no mapping")
+        return best_mapping, stats
+
+    # ------------------------------------------------------------------
+    def _select_and_expand(self) -> tuple[list[_Node], list[int]]:
+        """Walk the tree with UCB1; expand one new child at the frontier."""
+        node = self._root
+        path = [node]
+        prefix: list[int] = []
+        c = self.config.exploration
+        while len(prefix) < self.depth:
+            if len(node.children) < self.num_components:
+                # Expand: add the first untried component at this level.
+                untried = [a for a in range(self.num_components)
+                           if a not in node.children]
+                action = int(self._rng.choice(untried))
+                child = _Node()
+                node.children[action] = child
+                path.append(child)
+                prefix.append(action)
+                return path, prefix
+            # All children exist: UCB1 descent.
+            log_n = np.log(max(node.visits, 1))
+            best_action, best_score = 0, -np.inf
+            for action, child in node.children.items():
+                explore = c * np.sqrt(log_n / child.visits) \
+                    if child.visits else np.inf
+                score = self._normalise(child.mean()) + explore
+                if score > best_score:
+                    best_action, best_score = action, score
+            node = node.children[best_action]
+            path.append(node)
+            prefix.append(best_action)
+        return path, prefix
+
+    def _complete(self, prefix: list[int]) -> Mapping:
+        """Markov-persistent random completion of a decision prefix.
+
+        Within a DNN, each block repeats the previous block's component
+        with probability ``rollout_persistence``; DNN boundaries and the
+        first block draw uniformly.  This biases rollouts toward coherent
+        few-stage mappings without excluding any mapping from the support.
+        """
+        persist = self.config.rollout_persistence
+        flat = list(prefix)
+        boundaries = set(np.cumsum([0] + self._block_counts[:-1]).tolist())
+        while len(flat) < self.depth:
+            pos = len(flat)
+            if pos in boundaries or not flat or self._rng.random() > persist:
+                flat.append(int(self._rng.integers(self.num_components)))
+            else:
+                flat.append(flat[-1])
+        assignments = []
+        pos = 0
+        for count in self._block_counts:
+            assignments.append(tuple(flat[pos : pos + count]))
+            pos += count
+        return Mapping(tuple(assignments))
+
+    def _backup_value(self, rewards: np.ndarray) -> float:
+        """Mean of the batch in raw reward units (disqualified -> floor)."""
+        floor = self._floor()
+        clipped = np.where(rewards <= DISQUALIFIED, floor, rewards)
+        return float(clipped.mean())
+
+    def _floor(self) -> float:
+        """Raw-value stand-in for disqualified rollouts."""
+        if not np.isfinite(self._lo):
+            return 0.0
+        spread = max(self._hi - self._lo, 1e-9)
+        return self._lo - 0.25 * spread
+
+    def _normalise(self, raw: float) -> float:
+        """Min-max normalise a raw mean value into ~[0, 1] for UCB1."""
+        if not np.isfinite(self._lo):
+            return 0.0
+        spread = max(self._hi - self._lo, 1e-9)
+        return (raw - self._floor()) / (self._hi - self._floor() + 1e-12) \
+            if spread else 0.0
+
+    def _count_nodes(self, node: _Node) -> int:
+        return 1 + sum(self._count_nodes(ch) for ch in node.children.values())

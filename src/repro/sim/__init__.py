@@ -1,0 +1,38 @@
+"""Execution simulator (the paper's board-measurement substitute)."""
+
+from .contention import ContentionSolution, solve_steady_state
+from .demands import StageDemand, compute_stage_demands
+from .des import DesConfig, DesResult, simulate_des
+from .dynamic import (
+    MappingDecision,
+    Planner,
+    ScenarioEvent,
+    Segment,
+    Timeline,
+    arrival,
+    departure,
+    priority_change,
+    run_dynamic_scenario,
+)
+from .engine import SimResult, simulate
+
+__all__ = [
+    "ContentionSolution",
+    "solve_steady_state",
+    "StageDemand",
+    "compute_stage_demands",
+    "SimResult",
+    "simulate",
+    "DesConfig",
+    "DesResult",
+    "simulate_des",
+    "MappingDecision",
+    "Planner",
+    "ScenarioEvent",
+    "Segment",
+    "Timeline",
+    "arrival",
+    "departure",
+    "priority_change",
+    "run_dynamic_scenario",
+]

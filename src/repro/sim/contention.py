@@ -1,0 +1,196 @@
+"""Steady-state contention solver.
+
+Models how co-resident pipeline stages share each computing component:
+
+* **Interference** — every demand on a component with ``n`` resident stages
+  is inflated by ``1 + α·(n−1)^β`` (cache/memory-system thrashing; the GPU's
+  α is the largest, which is what collapses the all-on-GPU baseline).
+* **Scheduling** — each component divides its time between resident stages
+  with entitlements ∝ ``demand^κ`` (``κ = sharing_bias``): fair processor
+  sharing on the CPU clusters, service-time-biased sharing on the GPU whose
+  non-preemptive command queues favour long-kernel contexts.
+* **Head-of-line blocking** — on a non-preemptive component every kernel
+  launch of a stage may have to wait behind a co-resident's running kernel:
+  a stage with ``L`` launches pays ``hol · L · Σ_t u_t · k_t`` extra seconds
+  per inference, where ``u_t`` is the co-resident's utilisation and ``k_t``
+  its mean kernel time.  Because the blocking term scales with utilisation
+  it is solved inside the fixed point; it is the board effect that starves
+  many-kernel light DNNs (SqueezeNet) sharing a saturated GPU with
+  long-kernel heavy DNNs (VGG) — the paper's baseline pathology.
+* **Work conservation** — a stage that is not its DNN's bottleneck only
+  consumes what the pipeline feeds it; the surplus is redistributed to
+  co-resident stages that can use it.
+
+The resulting allocation is the fixed point of a damped iteration:
+``rate_i = min_s alloc_s / demand_s`` coupled with per-component
+water-filling of allocations.  Every DNN's steady-state throughput is its
+bottleneck stage's rate, the classic pipeline result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hw.platform import Platform
+from .demands import StageDemand
+
+__all__ = ["ContentionSolution", "solve_steady_state"]
+
+_MAX_ITER = 800
+_DAMPING = 0.85
+_TOL = 1e-8
+# The discrete bottleneck-set switching can produce small limit cycles; a
+# cycle with relative amplitude below this is resolved to its time average
+# (the physical system time-shares through the same oscillation).
+_CYCLE_WINDOW = 40
+_CYCLE_TOL = 0.03
+_CYCLE_BURN_IN = 150
+
+
+@dataclass(frozen=True)
+class ContentionSolution:
+    """Solver output: per-DNN rates plus diagnostics."""
+
+    rates: np.ndarray              # inferences/s per DNN
+    stage_allocations: np.ndarray  # component-time fraction per stage
+    stage_demands: np.ndarray      # effective (interference-inflated) demands
+    component_utilisation: np.ndarray
+    iterations: int
+    converged: bool
+
+
+def solve_steady_state(demands: list[StageDemand], num_dnns: int,
+                       platform: Platform) -> ContentionSolution:
+    """Solve steady-state per-DNN inference rates for one mapping."""
+    if not demands:
+        return ContentionSolution(
+            rates=np.zeros(num_dnns), stage_allocations=np.zeros(0),
+            stage_demands=np.zeros(0),
+            component_utilisation=np.zeros(platform.num_components),
+            iterations=0, converged=True,
+        )
+
+    n_stages = len(demands)
+    comp_of = np.array([d.component for d in demands])
+    dnn_of = np.array([d.dnn_index for d in demands])
+    base_demand = np.array([d.seconds_per_inference for d in demands])
+    if np.any(base_demand <= 0):
+        raise ValueError("stage demands must be positive")
+
+    # Interference-inflated demands: thrashing grows with the number of
+    # distinct DNN contexts resident on the component.
+    inflated = base_demand.copy()
+    for c in range(platform.num_components):
+        mask = comp_of == c
+        if not mask.any():
+            continue
+        contexts = len(set(dnn_of[mask].tolist()))
+        gamma = platform.component(c).interference_factor(contexts)
+        inflated[mask] *= gamma
+
+    kernels = np.array([max(1, d.num_kernels) for d in demands], dtype=np.float64)
+    kernel_time = base_demand / kernels
+    hol_coeff = np.array([
+        platform.component(int(c)).hol_blocking for c in comp_of
+    ])
+
+    # Scheduling entitlements: weight ∝ demand^κ per component.
+    weights = np.empty(n_stages)
+    for c in range(platform.num_components):
+        mask = comp_of == c
+        if not mask.any():
+            continue
+        kappa = platform.component(c).sharing_bias
+        weights[mask] = inflated[mask] ** kappa
+
+    alloc = np.empty(n_stages)
+    for c in range(platform.num_components):
+        mask = comp_of == c
+        if mask.any():
+            alloc[mask] = weights[mask] / weights[mask].sum()
+
+    rates = np.zeros(num_dnns)
+    hol_wait = np.zeros(n_stages)
+    history: list[np.ndarray] = []
+    converged = False
+    iterations = 0
+    for iterations in range(1, _MAX_ITER + 1):
+        # Head-of-line waiting per inference, from current utilisations:
+        # each launch waits behind co-residents in proportion to how busy
+        # they keep the component.
+        if hol_coeff.any():
+            busy = rates[dnn_of] * inflated          # per-stage utilisation
+            blocked = busy * kernel_time             # u_t * k_t
+            new_wait = np.zeros(n_stages)
+            for c in range(platform.num_components):
+                mask = comp_of == c
+                if not mask.any():
+                    continue
+                total = blocked[mask].sum()
+                new_wait[mask] = (
+                    hol_coeff[mask] * kernels[mask] * (total - blocked[mask])
+                )
+            # Damped so the rate<->waiting feedback loop cannot oscillate.
+            hol_wait = _DAMPING * hol_wait + (1.0 - _DAMPING) * new_wait
+
+        # A stage's rate is capped by its capacity share and by the serial
+        # latency ceiling (service + waiting); a DNN runs at its slowest
+        # stage's rate (pipeline bottleneck).
+        cap_rate = alloc / inflated
+        ceiling_rate = 1.0 / (inflated + hol_wait)
+        stage_rate = np.minimum(cap_rate, ceiling_rate)
+        new_rates = np.full(num_dnns, np.inf)
+        np.minimum.at(new_rates, dnn_of, stage_rate)
+        new_rates[np.isinf(new_rates)] = 0.0  # DNNs with no stages
+
+        # Water-fill each component: non-bottleneck stages keep only what
+        # they use; capacity-limited bottleneck stages split the remainder
+        # by entitlement.  Ceiling-limited stages gain nothing from more
+        # capacity, so they are treated as satisfied.
+        target = alloc.copy()
+        need = new_rates[dnn_of] * inflated
+        limiting = stage_rate <= new_rates[dnn_of] * (1 + 1e-9)
+        wants_more = limiting & (cap_rate <= ceiling_rate)
+        for c in range(platform.num_components):
+            mask = comp_of == c
+            if not mask.any():
+                continue
+            hot = mask & wants_more
+            sat = mask & ~wants_more
+            if hot.any():
+                free = 1.0 - need[sat].sum()
+                target[sat] = need[sat]
+                target[hot] = max(free, 0.0) * weights[hot] / weights[hot].sum()
+            # If nothing here is capacity-hungry, allocations stay as-is.
+
+        max_rate = new_rates.max() if new_rates.size else 0.0
+        if np.abs(new_rates - rates).max() <= _TOL * max(max_rate, 1e-12):
+            rates = new_rates
+            converged = True
+            break
+        rates = new_rates
+        history.append(new_rates.copy())
+        if len(history) > _CYCLE_WINDOW:
+            history.pop(0)
+        if iterations >= _CYCLE_BURN_IN and len(history) == _CYCLE_WINDOW:
+            window = np.stack(history)
+            span = window.max(axis=0) - window.min(axis=0)
+            floor = np.maximum(window.mean(axis=0), 1e-12)
+            if (span / floor).max() <= _CYCLE_TOL:
+                rates = window.mean(axis=0)
+                converged = True
+                break
+        alloc = _DAMPING * alloc + (1.0 - _DAMPING) * target
+
+    utilisation = np.zeros(platform.num_components)
+    used = rates[dnn_of] * inflated
+    np.add.at(utilisation, comp_of, used)
+
+    return ContentionSolution(
+        rates=rates, stage_allocations=alloc,
+        stage_demands=inflated + hol_wait,
+        component_utilisation=utilisation, iterations=iterations,
+        converged=converged,
+    )

@@ -1,0 +1,67 @@
+"""Per-stage service demands.
+
+A pipeline stage's *demand* is the component-time (seconds) it consumes per
+inference: the sum of its blocks' layer latencies plus, when the previous
+stage lives on a different component, the feature-map handoff cost charged
+to the receiving stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.latency import block_latencies
+from ..hw.platform import Platform
+from ..mapping.mapping import Mapping, Stage
+from ..zoo.layers import ModelSpec
+
+__all__ = ["StageDemand", "compute_stage_demands"]
+
+
+@dataclass(frozen=True)
+class StageDemand:
+    """A pipeline stage together with its per-inference service demand."""
+
+    stage: Stage
+    seconds_per_inference: float
+    num_kernels: int  # layer/kernel launches per inference of this stage
+
+    @property
+    def dnn_index(self) -> int:
+        return self.stage.dnn_index
+
+    @property
+    def component(self) -> int:
+        return self.stage.component
+
+    @property
+    def mean_kernel_time(self) -> float:
+        return self.seconds_per_inference / max(1, self.num_kernels)
+
+
+def compute_stage_demands(workload: list[ModelSpec], mapping: Mapping,
+                          platform: Platform) -> list[StageDemand]:
+    """Demands for every stage of ``mapping`` over ``workload``."""
+    mapping.validate_against(workload, platform.num_components)
+    all_stages = mapping.stages()
+    demands: list[StageDemand] = []
+    per_comp_latencies = [
+        [block_latencies(model, platform.component(c))
+         for c in range(platform.num_components)]
+        for model in workload
+    ]
+    for dnn_index, model in enumerate(workload):
+        prev_comp: int | None = None
+        for stage in (s for s in all_stages if s.dnn_index == dnn_index):
+            latencies = per_comp_latencies[dnn_index][stage.component]
+            seconds = sum(latencies[stage.block_start : stage.block_end])
+            if prev_comp is not None and prev_comp != stage.component:
+                handoff = model.blocks[stage.block_start].input_bytes
+                seconds += platform.link.transfer_time(handoff)
+            kernels = sum(
+                len(model.blocks[b].layers)
+                for b in range(stage.block_start, stage.block_end)
+            )
+            demands.append(StageDemand(stage, seconds, kernels))
+            prev_comp = stage.component
+    return demands

@@ -1,0 +1,5 @@
+"""Shared utilities (ASCII rendering, misc helpers)."""
+
+from .ascii_plots import render_bars, render_histogram, render_table, to_csv
+
+__all__ = ["render_bars", "render_histogram", "render_table", "to_csv"]

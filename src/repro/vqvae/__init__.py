@@ -1,0 +1,14 @@
+"""VQ-VAE layer-embedding compression (Sec. IV-C)."""
+
+from .model import EMBEDDING_DIM, LayerVQVAE
+from .quantizer import GroupedResidualVQ
+from .train import EmbeddingCache, VQVAETrainConfig, train_vqvae
+
+__all__ = [
+    "EMBEDDING_DIM",
+    "LayerVQVAE",
+    "GroupedResidualVQ",
+    "EmbeddingCache",
+    "VQVAETrainConfig",
+    "train_vqvae",
+]

@@ -1,0 +1,95 @@
+"""VQ-VAE layer encoder (Sec. IV-C).
+
+Compresses the raw 22-dimensional Eq. 1 layer vectors into 16-dimensional
+discrete-codebook embeddings.  1-D convolutions run along a DNN's layer
+sequence so each embedding carries local architectural context; the
+bottleneck is quantised with :class:`GroupedResidualVQ` and trained with a
+straight-through estimator plus commitment loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, nn, no_grad, ops
+from ..zoo.layers import ModelSpec
+from ..zoo.vectorize import LAYER_VECTOR_DIM, vectorize_model
+from .quantizer import GroupedResidualVQ
+
+__all__ = ["LayerVQVAE", "EMBEDDING_DIM"]
+
+#: The paper's compressed layer-embedding width.
+EMBEDDING_DIM = 16
+
+
+class LayerVQVAE(nn.Module):
+    """Conv1d encoder / decoder around a grouped-residual VQ bottleneck."""
+
+    def __init__(self, rng: np.random.Generator, hidden: int = 32,
+                 embed_dim: int = EMBEDDING_DIM, groups: int = 2,
+                 stages: int = 2, codebook_size: int = 64,
+                 commitment_beta: float = 0.25):
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.commitment_beta = commitment_beta
+        self.encoder = nn.Sequential(
+            nn.Conv1d(LAYER_VECTOR_DIM, hidden, 3, rng, padding=1),
+            nn.ReLU(),
+            nn.Conv1d(hidden, hidden, 3, rng, padding=1),
+            nn.ReLU(),
+            nn.Conv1d(hidden, embed_dim, 1, rng),
+        )
+        self.decoder = nn.Sequential(
+            nn.Conv1d(embed_dim, hidden, 3, rng, padding=1),
+            nn.ReLU(),
+            nn.Conv1d(hidden, hidden, 3, rng, padding=1),
+            nn.ReLU(),
+            nn.Conv1d(hidden, LAYER_VECTOR_DIM, 1, rng),
+        )
+        self.quantizer = GroupedResidualVQ(
+            embed_dim, groups=groups, stages=stages,
+            codebook_size=codebook_size, rng=rng,
+        )
+
+    # ------------------------------------------------------------------
+    def encode_continuous(self, features: Tensor) -> Tensor:
+        """Encoder output before quantisation; ``features`` is (1, 22, L)."""
+        return self.encoder(features)
+
+    def forward(self, features: Tensor) -> tuple[Tensor, Tensor, np.ndarray]:
+        """Run the full autoencoder.
+
+        Returns (reconstruction (1, 22, L), continuous latents (1, E, L),
+        quantised latents as a plain array).
+        """
+        ze = self.encode_continuous(features)
+        flat = ze.data[0].T  # (L, E)
+        zq_flat, _ = self.quantizer.quantize(flat, update=self.training)
+        zq_data = zq_flat.T[None]
+        zq = ops.straight_through(Tensor(zq_data), ze)
+        recon = self.decoder(zq)
+        return recon, ze, zq_data
+
+    def loss(self, features: Tensor) -> tuple[Tensor, float]:
+        """Training objective: reconstruction + commitment.
+
+        Returns (total loss tensor, reconstruction L2 as a float).
+        """
+        recon, ze, zq_data = self.forward(features)
+        recon_err = ((recon - features) ** 2).mean()
+        commit = ((ze - Tensor(zq_data)) ** 2).mean()
+        total = recon_err + commit * self.commitment_beta
+        return total, float(recon_err.data)
+
+    # ------------------------------------------------------------------
+    def embed_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Quantised embeddings for a (layers, 22) feature matrix."""
+        x = Tensor(matrix.T[None])  # (1, 22, L)
+        with no_grad():
+            ze = self.encode_continuous(x)
+        zq, _ = self.quantizer.quantize(ze.data[0].T, update=False)
+        return zq
+
+    def embed_model(self, model: ModelSpec) -> np.ndarray:
+        """Quantised (num_layers, EMBEDDING_DIM) embedding of ``model``."""
+        return self.embed_matrix(vectorize_model(model))

@@ -1,0 +1,157 @@
+"""Grouped Residual Vector Quantisation (Sec. IV-C).
+
+The paper quantises the VQ-VAE latent space with Grouped Residual Vector
+Quantisation (HiFi-Codec, Yang et al. 2023): the embedding dimensions are
+split into groups, each group is quantised by a cascade of residual
+codebooks, and codebooks are learned with exponential-moving-average
+k-means updates plus dead-code restarts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GroupedResidualVQ"]
+
+
+class GroupedResidualVQ:
+    """EMA-trained grouped residual vector quantiser.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality (split evenly across ``groups``).
+    groups:
+        Number of dimension groups quantised independently.
+    stages:
+        Residual quantisation depth per group.
+    codebook_size:
+        Entries per (group, stage) codebook.
+    """
+
+    def __init__(self, dim: int, groups: int = 2, stages: int = 2,
+                 codebook_size: int = 64, decay: float = 0.95,
+                 epsilon: float = 1e-5, rng: np.random.Generator | None = None):
+        if dim % groups:
+            raise ValueError(f"dim {dim} not divisible by groups {groups}")
+        self.dim = dim
+        self.groups = groups
+        self.stages = stages
+        self.codebook_size = codebook_size
+        self.decay = decay
+        self.epsilon = epsilon
+        self.group_dim = dim // groups
+        rng = rng or np.random.default_rng(0)
+        self._rng = rng
+        # codebooks[g][s]: (K, group_dim)
+        self.codebooks = [
+            [rng.normal(0, 0.5, size=(codebook_size, self.group_dim))
+             for _ in range(stages)]
+            for _ in range(groups)
+        ]
+        self._ema_count = [
+            [np.ones(codebook_size) for _ in range(stages)]
+            for _ in range(groups)
+        ]
+        self._ema_sum = [
+            [self.codebooks[g][s].copy() for s in range(stages)]
+            for g in range(groups)
+        ]
+
+    # ------------------------------------------------------------------
+    def quantize(self, x: np.ndarray, update: bool = False
+                 ) -> tuple[np.ndarray, np.ndarray]:
+        """Quantise rows of ``x`` (N, dim).
+
+        Returns (quantised (N, dim), codes (N, groups, stages)).  With
+        ``update=True`` codebooks receive an EMA k-means step.
+        """
+        if x.ndim != 2 or x.shape[1] != self.dim:
+            raise ValueError(f"expected (N, {self.dim}), got {x.shape}")
+        n = x.shape[0]
+        quantized = np.zeros_like(x)
+        codes = np.zeros((n, self.groups, self.stages), dtype=np.int64)
+        for g in range(self.groups):
+            lo, hi = g * self.group_dim, (g + 1) * self.group_dim
+            residual = x[:, lo:hi].copy()
+            acc = np.zeros_like(residual)
+            for s in range(self.stages):
+                book = self.codebooks[g][s]
+                dists = (
+                    (residual**2).sum(axis=1, keepdims=True)
+                    - 2 * residual @ book.T
+                    + (book**2).sum(axis=1)
+                )
+                idx = dists.argmin(axis=1)
+                codes[:, g, s] = idx
+                chosen = book[idx]
+                if update:
+                    self._ema_update(g, s, residual, idx)
+                acc += chosen
+                residual -= chosen
+            quantized[:, lo:hi] = acc
+        return quantized, codes
+
+    def _ema_update(self, g: int, s: int, vectors: np.ndarray,
+                    idx: np.ndarray) -> None:
+        k = self.codebook_size
+        onehot = np.zeros((vectors.shape[0], k))
+        onehot[np.arange(vectors.shape[0]), idx] = 1.0
+        counts = onehot.sum(axis=0)
+        sums = onehot.T @ vectors
+
+        self._ema_count[g][s] = (
+            self.decay * self._ema_count[g][s] + (1 - self.decay) * counts
+        )
+        self._ema_sum[g][s] = (
+            self.decay * self._ema_sum[g][s] + (1 - self.decay) * sums
+        )
+        # Laplace-smoothed means.
+        total = self._ema_count[g][s].sum()
+        smoothed = (
+            (self._ema_count[g][s] + self.epsilon)
+            / (total + k * self.epsilon) * total
+        )
+        self.codebooks[g][s] = self._ema_sum[g][s] / smoothed[:, None]
+
+        # Dead-code restart: entries that have essentially never been used
+        # are re-seeded from the current batch.
+        dead = self._ema_count[g][s] < 0.01
+        if dead.any() and vectors.shape[0] > 0:
+            picks = self._rng.integers(vectors.shape[0], size=int(dead.sum()))
+            self.codebooks[g][s][dead] = vectors[picks]
+            self._ema_sum[g][s][dead] = vectors[picks]
+            self._ema_count[g][s][dead] = 1.0
+
+    # ------------------------------------------------------------------
+    def codebook_usage(self) -> float:
+        """Fraction of codebook entries in active use (perplexity proxy)."""
+        used = 0
+        total = 0
+        for g in range(self.groups):
+            for s in range(self.stages):
+                used += int((self._ema_count[g][s] > 0.01).sum())
+                total += self.codebook_size
+        return used / total
+
+    def state_arrays(self) -> list[np.ndarray]:
+        out = []
+        for g in range(self.groups):
+            for s in range(self.stages):
+                out.extend([
+                    self.codebooks[g][s].copy(),
+                    self._ema_count[g][s].copy(),
+                    self._ema_sum[g][s].copy(),
+                ])
+        return out
+
+    def load_arrays(self, arrays: list[np.ndarray]) -> None:
+        expected = self.groups * self.stages * 3
+        if len(arrays) != expected:
+            raise ValueError(f"expected {expected} arrays, got {len(arrays)}")
+        it = iter(arrays)
+        for g in range(self.groups):
+            for s in range(self.stages):
+                self.codebooks[g][s] = next(it).copy()
+                self._ema_count[g][s] = next(it).copy()
+                self._ema_sum[g][s] = next(it).copy()

@@ -1,0 +1,94 @@
+"""Stochastic edge-data-center traces.
+
+The paper's introduction motivates RankMap with edge data centers "where
+multiple users submit DNN queries".  This module generates that setting as
+a dynamic-scenario event stream: DNN sessions arrive as a Poisson process,
+run for an exponentially distributed duration, and leave.  Feeding the
+trace to :func:`repro.sim.run_dynamic_scenario` with any manager yields the
+timeline the SLA report (:mod:`repro.workloads.sla`) scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.dynamic import ScenarioEvent, arrival, departure
+from ..zoo.registry import MODEL_POOL, get_model
+
+__all__ = ["TraceConfig", "poisson_trace", "trace_peak_concurrency"]
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Shape of a stochastic arrival trace.
+
+    ``max_concurrent`` is an admission-control cap, not a queue: arrivals
+    that would exceed it are dropped, mirroring an edge node that rejects
+    queries beyond its configured multi-tenancy level (the paper evaluates
+    up to 5 concurrent DNNs).
+    """
+
+    horizon_s: float = 600.0
+    arrival_rate_per_s: float = 1.0 / 60.0   # one new session per minute
+    mean_session_s: float = 180.0
+    max_concurrent: int = 5
+    pool: tuple[str, ...] = MODEL_POOL
+
+    def __post_init__(self):
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival_rate_per_s must be positive")
+        if self.mean_session_s <= 0:
+            raise ValueError("mean_session_s must be positive")
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be at least 1")
+        if not self.pool:
+            raise ValueError("pool must not be empty")
+
+
+def poisson_trace(rng: np.random.Generator,
+                  config: TraceConfig = TraceConfig()) -> list[ScenarioEvent]:
+    """Sample one session trace as a sorted scenario event list.
+
+    Each admitted session contributes an arrival and (if its exponential
+    duration ends before the horizon) a departure.  Model names are drawn
+    uniformly from the pool *without* replacement among concurrently active
+    sessions — the dynamic-scenario engine identifies DNNs by name, so two
+    live sessions must not share one.
+    """
+    events: list[ScenarioEvent] = []
+    active: dict[str, float] = {}    # name -> departure time
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / config.arrival_rate_per_s)
+        if t >= config.horizon_s:
+            break
+        active = {n: end for n, end in active.items() if end > t}
+        if len(active) >= config.max_concurrent:
+            continue
+        free = [n for n in config.pool if n not in active]
+        if not free:
+            continue
+        name = str(rng.choice(free))
+        end = t + rng.exponential(config.mean_session_s)
+        events.append(arrival(t, get_model(name)))
+        if end < config.horizon_s:
+            events.append(departure(end, get_model(name)))
+        active[name] = end
+    return sorted(events, key=lambda e: e.time)
+
+
+def trace_peak_concurrency(events: list[ScenarioEvent]) -> int:
+    """Largest number of simultaneously active DNNs in a trace."""
+    peak = 0
+    live = 0
+    for event in sorted(events, key=lambda e: (e.time, e.kind != "departure")):
+        if event.kind == "arrival":
+            live += 1
+            peak = max(peak, live)
+        elif event.kind == "departure":
+            live -= 1
+    return peak

@@ -1,0 +1,50 @@
+"""CLI: inspect the model zoo.
+
+    python -m repro.zoo                 # list all models with stats
+    python -m repro.zoo resnet50        # per-block detail of one model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..hw import orange_pi_5, solo_throughput
+from .registry import ALL_MODELS, get_model
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.zoo",
+                                     description="Inspect the DNN zoo.")
+    parser.add_argument("model", nargs="?",
+                        help="model name for per-block detail")
+    args = parser.parse_args(argv)
+    platform = orange_pi_5()
+
+    if args.model is None:
+        print(f"{'model':24s} {'blocks':>6s} {'layers':>6s} {'GMACs':>8s} "
+              f"{'params(M)':>9s} {'gpu':>7s} {'big':>7s} {'little':>7s}")
+        for name in ALL_MODELS:
+            m = get_model(name)
+            rates = [solo_throughput(m, c) for c in platform.components]
+            print(f"{name:24s} {m.num_blocks:6d} {m.num_layers:6d} "
+                  f"{m.macs / 1e9:8.2f} {m.params / 1e6:9.1f} "
+                  f"{rates[0]:7.1f} {rates[1]:7.1f} {rates[2]:7.1f}")
+        return 0
+
+    try:
+        model = get_model(args.model)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(f"{model.name}: input {model.input_shape}, "
+          f"{model.macs / 1e9:.2f} GMACs, {model.params / 1e6:.1f} M params")
+    print(f"{'block':20s} {'layers':>6s} {'MMACs':>9s} {'out_bytes':>10s}")
+    for block in model.blocks:
+        print(f"{block.name:20s} {len(block.layers):6d} "
+              f"{block.macs / 1e6:9.1f} {block.output_bytes:10d}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,260 @@
+"""Declarative network builder used by the model zoo.
+
+:class:`NetBuilder` tracks the current feature-map shape and emits
+:class:`~repro.zoo.layers.LayerSpec` records.  Branching topologies
+(inception cells, residual units, fire modules) are supported through
+:meth:`branches` / :meth:`residual`: each branch is built from a fork of the
+current shape and the join (concat or add) is emitted as its own layer.  The
+layer list is a valid sequential execution order, which is what the hardware
+model and the Eq. 1 vectorisation need.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .layers import Activation, BlockSpec, LayerSpec, LayerType, ModelSpec
+
+__all__ = ["NetBuilder"]
+
+Shape = tuple[int, int, int]  # (channels, height, width)
+
+
+def _conv_out(size: int, kernel: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size: in={size} k={kernel} s={stride} p={pad}"
+        )
+    return out
+
+
+def _same_pad(kernel: int) -> int:
+    return (kernel - 1) // 2
+
+
+class NetBuilder:
+    """Incremental builder for a :class:`ModelSpec`.
+
+    Parameters
+    ----------
+    name:
+        Model name (registry key).
+    input_shape:
+        (channels, height, width) of the network input.
+    """
+
+    def __init__(self, name: str, input_shape: Shape):
+        self.name = name
+        self.input_shape = input_shape
+        self.shape: Shape = input_shape
+        self._blocks: list[BlockSpec] = []
+        self._current: list[LayerSpec] | None = None
+        self._block_name = ""
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Block management
+    # ------------------------------------------------------------------
+    def block(self, name: str) -> "NetBuilder":
+        """Start a new partitionable block; closes the previous one."""
+        self._flush()
+        self._current = []
+        self._block_name = name
+        return self
+
+    def _flush(self) -> None:
+        if self._current is not None:
+            if not self._current:
+                raise ValueError(f"block {self._block_name!r} has no layers")
+            self._blocks.append(BlockSpec(self._block_name, self._current))
+            self._current = None
+
+    def build(self) -> ModelSpec:
+        """Finalise and return the model."""
+        self._flush()
+        if not self._blocks:
+            raise ValueError("model has no blocks")
+        return ModelSpec(self.name, self.input_shape, self._blocks)
+
+    # ------------------------------------------------------------------
+    # Layer emission
+    # ------------------------------------------------------------------
+    def _emit(self, op_type: int, ofm: Shape, weight_shape=(0, 0, 0, 0),
+              biases: int = 0, act: int = Activation.NONE,
+              pad: tuple[int, int] = (0, 0), stride: tuple[int, int] = (1, 1),
+              groups: int = 1, name: str = "", ifm: Shape | None = None) -> LayerSpec:
+        if self._current is None:
+            raise RuntimeError("call block(...) before adding layers")
+        layer = LayerSpec(
+            index=self._index, op_type=op_type, ifm=ifm or self.shape, ofm=ofm,
+            weight_shape=weight_shape, biases=biases, activation=act,
+            pad=pad, stride=stride, groups=groups, name=name,
+        )
+        self._current.append(layer)
+        self._index += 1
+        self.shape = ofm
+        return layer
+
+    def conv(self, out_c: int, kernel: int | tuple[int, int], stride: int = 1,
+             pad: int | None = None, act: int = Activation.RELU,
+             bias: bool = True, groups: int = 1, name: str = "") -> "NetBuilder":
+        """Standard or grouped convolution ('same' padding when pad is None).
+
+        ``kernel`` may be an int or an (kh, kw) pair — rectangular kernels
+        cover the Inception family's factorised 1x7 / 7x1 convolutions.
+        """
+        c, h, w = self.shape
+        if c % groups or out_c % groups:
+            raise ValueError(f"channels {c}->{out_c} not divisible by groups={groups}")
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        ph = _same_pad(kh) if pad is None else pad
+        pw = _same_pad(kw) if pad is None else pad
+        oh, ow = _conv_out(h, kh, stride, ph), _conv_out(w, kw, stride, pw)
+        op = LayerType.GROUP_CONV if groups > 1 else LayerType.CONV
+        self._emit(op, (out_c, oh, ow), (out_c, c // groups, kh, kw),
+                   biases=out_c if bias else 0, act=act, pad=(ph, pw),
+                   stride=(stride, stride), groups=groups, name=name)
+        return self
+
+    def dwconv(self, kernel: int, stride: int = 1, pad: int | None = None,
+               act: int = Activation.RELU, name: str = "") -> "NetBuilder":
+        """Depthwise convolution (channels preserved)."""
+        c, h, w = self.shape
+        p = _same_pad(kernel) if pad is None else pad
+        oh, ow = _conv_out(h, kernel, stride, p), _conv_out(w, kernel, stride, p)
+        self._emit(LayerType.DWCONV, (c, oh, ow), (c, 1, kernel, kernel),
+                   biases=c, act=act, pad=(p, p), stride=(stride, stride),
+                   groups=c, name=name)
+        return self
+
+    def pwconv(self, out_c: int, act: int = Activation.RELU,
+               name: str = "") -> "NetBuilder":
+        """Pointwise (1x1) convolution."""
+        return self.conv(out_c, 1, stride=1, pad=0, act=act, name=name)
+
+    def maxpool(self, kernel: int, stride: int | None = None,
+                pad: int = 0, name: str = "") -> "NetBuilder":
+        c, h, w = self.shape
+        s = stride or kernel
+        oh, ow = _conv_out(h, kernel, s, pad), _conv_out(w, kernel, s, pad)
+        self._emit(LayerType.MAXPOOL, (c, oh, ow), (0, 0, kernel, kernel),
+                   pad=(pad, pad), stride=(s, s), name=name)
+        return self
+
+    def avgpool(self, kernel: int, stride: int | None = None,
+                pad: int = 0, name: str = "") -> "NetBuilder":
+        c, h, w = self.shape
+        s = stride or kernel
+        oh, ow = _conv_out(h, kernel, s, pad), _conv_out(w, kernel, s, pad)
+        self._emit(LayerType.AVGPOOL, (c, oh, ow), (0, 0, kernel, kernel),
+                   pad=(pad, pad), stride=(s, s), name=name)
+        return self
+
+    def global_pool(self, name: str = "gap") -> "NetBuilder":
+        c, _, _ = self.shape
+        self._emit(LayerType.GLOBALPOOL, (c, 1, 1), name=name)
+        return self
+
+    def fc(self, out_features: int, act: int = Activation.NONE,
+           name: str = "") -> "NetBuilder":
+        c, h, w = self.shape
+        in_features = c * h * w
+        self._emit(LayerType.FC, (out_features, 1, 1),
+                   (out_features, in_features, 1, 1), biases=out_features,
+                   act=act, name=name)
+        return self
+
+    def lrn(self, name: str = "lrn") -> "NetBuilder":
+        self._emit(LayerType.LRN, self.shape, name=name)
+        return self
+
+    def channel_shuffle(self, groups: int, name: str = "shuffle") -> "NetBuilder":
+        c, _, _ = self.shape
+        if c % groups:
+            raise ValueError(f"{c} channels not divisible by {groups} shuffle groups")
+        self._emit(LayerType.CHANNEL_SHUFFLE, self.shape, groups=groups, name=name)
+        return self
+
+    def upsample(self, factor: int = 2, name: str = "upsample") -> "NetBuilder":
+        c, h, w = self.shape
+        self._emit(LayerType.UPSAMPLE, (c, h * factor, w * factor),
+                   stride=(factor, factor), name=name)
+        return self
+
+    def detect_head(self, anchors: int, classes: int, kernel: int = 3,
+                    name: str = "detect") -> "NetBuilder":
+        """SSD/YOLO style prediction head (boxes + class scores per anchor)."""
+        c, h, w = self.shape
+        out_c = anchors * (classes + 5)
+        p = _same_pad(kernel)
+        self._emit(LayerType.DETECT_HEAD, (out_c, h, w),
+                   (out_c, c, kernel, kernel), biases=out_c,
+                   act=Activation.SIGMOID, pad=(p, p), name=name)
+        return self
+
+    # ------------------------------------------------------------------
+    # Branching topologies
+    # ------------------------------------------------------------------
+    def branches(self, *branch_fns: Callable[["NetBuilder"], None],
+                 name: str = "concat") -> "NetBuilder":
+        """Build parallel branches from the current shape; concat channels.
+
+        Each callable receives a forked builder positioned at the current
+        shape; branch layers are appended to the current block in branch
+        order, followed by a CONCAT join layer.
+        """
+        base_shape = self.shape
+        out_shapes: list[Shape] = []
+        for fn in branch_fns:
+            self.shape = base_shape
+            fn(self)
+            out_shapes.append(self.shape)
+        heights = {s[1] for s in out_shapes}
+        widths = {s[2] for s in out_shapes}
+        if len(heights) != 1 or len(widths) != 1:
+            raise ValueError(f"branch spatial shapes differ: {out_shapes}")
+        total_c = sum(s[0] for s in out_shapes)
+        ofm = (total_c, out_shapes[0][1], out_shapes[0][2])
+        self._emit(LayerType.CONCAT, ofm, ifm=base_shape, name=name)
+        return self
+
+    def concat_with(self, extra_channels: int, name: str = "route") -> "NetBuilder":
+        """Concatenate an earlier feature map (YOLO route / skip connection).
+
+        The earlier tensor is identified only by its channel count; spatial
+        dims must match the current shape (guaranteed by upsampling in YOLO).
+        """
+        c, h, w = self.shape
+        self._emit(LayerType.CONCAT, (c + extra_channels, h, w), name=name)
+        return self
+
+    def set_shape(self, shape: Shape) -> "NetBuilder":
+        """Rewind the tracked shape to an earlier tensor (multi-scale heads).
+
+        Used by SSD/YOLO definitions where prediction heads hang off interior
+        feature maps: emit the head, then restore the trunk shape.
+        """
+        self.shape = shape
+        return self
+
+    def residual(self, body_fn: Callable[["NetBuilder"], None],
+                 projection: Callable[["NetBuilder"], None] | None = None,
+                 act: int = Activation.RELU, name: str = "add") -> "NetBuilder":
+        """Residual unit: body branch + identity (or projection) shortcut."""
+        base_shape = self.shape
+        body_fn(self)
+        body_shape = self.shape
+        if projection is not None:
+            self.shape = base_shape
+            projection(self)
+            if self.shape != body_shape:
+                raise ValueError(
+                    f"projection shape {self.shape} != body shape {body_shape}"
+                )
+        elif base_shape != body_shape:
+            raise ValueError(
+                f"identity shortcut needs matching shapes: {base_shape} vs {body_shape}"
+            )
+        self._emit(LayerType.ADD, body_shape, ifm=body_shape, act=act, name=name)
+        return self

@@ -1,0 +1,221 @@
+"""Layer and block intermediate representation for the DNN zoo.
+
+The paper characterises every DNN layer with the 22-dimensional vector of
+Eq. 1 (layer index, layer type, input/output feature maps, weight tensor,
+bias count, activation type, pad/stride).  :class:`LayerSpec` is the typed
+version of that record, enriched with derived compute/memory quantities the
+hardware model consumes (MACs, element ops, tensor byte sizes).
+
+Models are sequences of :class:`BlockSpec`; blocks are the partitioning
+granularity — a mapping assigns one computing component per block, and runs
+of equal components merge into pipeline stages (Sec. IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "LayerType",
+    "Activation",
+    "LayerSpec",
+    "BlockSpec",
+    "ModelSpec",
+    "BYTES_PER_ELEMENT",
+]
+
+# All tensors are fp32 on the board (ARM Compute Library default path).
+BYTES_PER_ELEMENT = 4
+
+
+class LayerType:
+    """Integer codes for the layer-type field of the Eq. 1 vector."""
+
+    CONV = 1
+    DWCONV = 2        # depthwise convolution
+    GROUP_CONV = 3    # grouped convolution (ResNeXt / ShuffleNet)
+    FC = 4
+    MAXPOOL = 5
+    AVGPOOL = 6
+    GLOBALPOOL = 7
+    ADD = 8           # residual elementwise add
+    CONCAT = 9        # channel concatenation
+    CHANNEL_SHUFFLE = 10
+    LRN = 11          # local response normalisation (AlexNet/GoogleNet era)
+    UPSAMPLE = 12     # nearest-neighbour upsample (YOLO)
+    DETECT_HEAD = 13  # SSD/YOLO box+class prediction head
+
+    ALL = (CONV, DWCONV, GROUP_CONV, FC, MAXPOOL, AVGPOOL, GLOBALPOOL, ADD,
+           CONCAT, CHANNEL_SHUFFLE, LRN, UPSAMPLE, DETECT_HEAD)
+
+    NAMES = {
+        CONV: "conv", DWCONV: "dwconv", GROUP_CONV: "group_conv", FC: "fc",
+        MAXPOOL: "maxpool", AVGPOOL: "avgpool", GLOBALPOOL: "globalpool",
+        ADD: "add", CONCAT: "concat", CHANNEL_SHUFFLE: "channel_shuffle",
+        LRN: "lrn", UPSAMPLE: "upsample", DETECT_HEAD: "detect_head",
+    }
+
+
+class Activation:
+    """Integer codes for the activation-type field of the Eq. 1 vector."""
+
+    NONE = 0
+    RELU = 1
+    RELU6 = 2
+    SWISH = 3
+    SIGMOID = 4
+    LEAKY_RELU = 5
+    SOFTMAX = 6
+
+    NAMES = {NONE: "none", RELU: "relu", RELU6: "relu6", SWISH: "swish",
+             SIGMOID: "sigmoid", LEAKY_RELU: "leaky_relu", SOFTMAX: "softmax"}
+
+
+@dataclass
+class LayerSpec:
+    """One DNN layer in the Eq. 1 representation, plus derived costs.
+
+    Shapes are (channels, height, width) with an implicit minibatch of 1,
+    matching the paper's single-image edge-inference setting.
+    """
+
+    index: int
+    op_type: int
+    ifm: tuple[int, int, int]
+    ofm: tuple[int, int, int]
+    weight_shape: tuple[int, int, int, int]  # (out_c, in_c_per_group, kh, kw)
+    biases: int
+    activation: int
+    pad: tuple[int, int]      # symmetric (pad_h, pad_w)
+    stride: tuple[int, int]   # (stride_h, stride_w)
+    groups: int = 1
+    name: str = ""
+
+    # Derived (filled in __post_init__)
+    macs: int = field(init=False, default=0)
+    elem_ops: int = field(init=False, default=0)
+    params: int = field(init=False, default=0)
+
+    def __post_init__(self):
+        oc, ic_g, kh, kw = self.weight_shape
+        out_elems = _volume(self.ofm)
+        in_elems = _volume(self.ifm)
+        if self.op_type in (LayerType.CONV, LayerType.GROUP_CONV):
+            self.macs = kh * kw * ic_g * oc * self.ofm[1] * self.ofm[2]
+            self.params = oc * ic_g * kh * kw + self.biases
+        elif self.op_type == LayerType.DWCONV:
+            self.macs = kh * kw * out_elems
+            self.params = oc * kh * kw + self.biases
+        elif self.op_type == LayerType.FC:
+            self.macs = oc * ic_g
+            self.params = oc * ic_g + self.biases
+        elif self.op_type in (LayerType.MAXPOOL, LayerType.AVGPOOL):
+            self.elem_ops = kh * kw * out_elems
+        elif self.op_type == LayerType.GLOBALPOOL:
+            self.elem_ops = in_elems
+        elif self.op_type in (LayerType.ADD,):
+            self.elem_ops = out_elems
+        elif self.op_type in (LayerType.CONCAT, LayerType.CHANNEL_SHUFFLE,
+                              LayerType.UPSAMPLE):
+            self.elem_ops = out_elems
+        elif self.op_type == LayerType.LRN:
+            self.elem_ops = 5 * out_elems
+        elif self.op_type == LayerType.DETECT_HEAD:
+            # Treated as a light convolutional predictor over the grid.
+            self.macs = kh * kw * ic_g * oc * self.ofm[1] * self.ofm[2]
+            self.params = oc * ic_g * kh * kw + self.biases
+        else:
+            raise ValueError(f"unknown layer type {self.op_type}")
+        if self.activation != Activation.NONE:
+            self.elem_ops += out_elems
+
+    # -- byte sizes ------------------------------------------------------
+    @property
+    def input_bytes(self) -> int:
+        return _volume(self.ifm) * BYTES_PER_ELEMENT
+
+    @property
+    def output_bytes(self) -> int:
+        return _volume(self.ofm) * BYTES_PER_ELEMENT
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.params * BYTES_PER_ELEMENT
+
+    @property
+    def type_name(self) -> str:
+        return LayerType.NAMES[self.op_type]
+
+    def __repr__(self) -> str:
+        return (f"LayerSpec({self.index}:{self.type_name} {self.ifm}->{self.ofm} "
+                f"macs={self.macs:,})")
+
+
+def _volume(shape: tuple[int, int, int]) -> int:
+    c, h, w = shape
+    return c * h * w
+
+
+@dataclass
+class BlockSpec:
+    """A partitionable group of layers (the mapping granularity)."""
+
+    name: str
+    layers: list[LayerSpec]
+
+    @property
+    def macs(self) -> int:
+        return sum(l.macs for l in self.layers)
+
+    @property
+    def elem_ops(self) -> int:
+        return sum(l.elem_ops for l in self.layers)
+
+    @property
+    def params(self) -> int:
+        return sum(l.params for l in self.layers)
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes entering the block (first layer's input feature map)."""
+        return self.layers[0].input_bytes if self.layers else 0
+
+    @property
+    def output_bytes(self) -> int:
+        return self.layers[-1].output_bytes if self.layers else 0
+
+    def __repr__(self) -> str:
+        return f"BlockSpec({self.name!r}, {len(self.layers)} layers, macs={self.macs:,})"
+
+
+@dataclass
+class ModelSpec:
+    """A complete DNN: named, shaped, and partitioned into blocks."""
+
+    name: str
+    input_shape: tuple[int, int, int]
+    blocks: list[BlockSpec]
+
+    def layers(self) -> list[LayerSpec]:
+        """All layers in execution order."""
+        return [l for b in self.blocks for l in b.layers]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_layers(self) -> int:
+        return sum(len(b.layers) for b in self.blocks)
+
+    @property
+    def macs(self) -> int:
+        return sum(b.macs for b in self.blocks)
+
+    @property
+    def params(self) -> int:
+        return sum(b.params for b in self.blocks)
+
+    def __repr__(self) -> str:
+        return (f"ModelSpec({self.name!r}, blocks={self.num_blocks}, "
+                f"layers={self.num_layers}, macs={self.macs:,})")

@@ -1,0 +1,5 @@
+"""Concrete model definitions, grouped by architecture family."""
+
+from . import classic, densenet, detection, inception, mobile, resnet
+
+__all__ = ["classic", "densenet", "detection", "inception", "mobile", "resnet"]

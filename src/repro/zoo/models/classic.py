@@ -1,0 +1,55 @@
+"""Classic plain CNNs: AlexNet and the VGG family.
+
+Block granularity: one block per convolution / fully-connected layer group.
+AlexNet exposes exactly 8 partitionable blocks, matching the count the paper
+uses in its solution-space example (Sec. IV-E).
+"""
+
+from __future__ import annotations
+
+from ..builder import NetBuilder
+from ..layers import Activation, ModelSpec
+
+__all__ = ["alexnet", "vgg16", "vgg19"]
+
+
+def alexnet() -> ModelSpec:
+    """AlexNet (Krizhevsky et al., 2012); 8 blocks: conv1-5 + fc6-8."""
+    b = NetBuilder("alexnet", (3, 227, 227))
+    b.block("conv1").conv(96, 11, stride=4, pad=0).lrn().maxpool(3, 2)
+    b.block("conv2").conv(256, 5, pad=2).lrn().maxpool(3, 2)
+    b.block("conv3").conv(384, 3)
+    b.block("conv4").conv(384, 3)
+    b.block("conv5").conv(256, 3).maxpool(3, 2)
+    b.block("fc6").fc(4096, act=Activation.RELU)
+    b.block("fc7").fc(4096, act=Activation.RELU)
+    b.block("fc8").fc(1000, act=Activation.SOFTMAX)
+    return b.build()
+
+
+def _vgg(name: str, stage_convs: tuple[int, ...]) -> ModelSpec:
+    """VGG backbone: 3x3 conv stacks with maxpool between stages + 3 FCs."""
+    b = NetBuilder(name, (3, 224, 224))
+    channels = (64, 128, 256, 512, 512)
+    idx = 1
+    for n_convs, out_c in zip(stage_convs, channels):
+        for i in range(n_convs):
+            b.block(f"conv{idx}").conv(out_c, 3)
+            idx += 1
+            # Pool closes each stage inside the stage's final conv block.
+            if i == n_convs - 1:
+                b.maxpool(2, 2)
+    b.block("fc1").fc(4096, act=Activation.RELU)
+    b.block("fc2").fc(4096, act=Activation.RELU)
+    b.block("fc3").fc(1000, act=Activation.SOFTMAX)
+    return b.build()
+
+
+def vgg16() -> ModelSpec:
+    """VGG-16 (Simonyan & Zisserman, 2015): 13 conv + 3 FC blocks."""
+    return _vgg("vgg16", (2, 2, 3, 3, 3))
+
+
+def vgg19() -> ModelSpec:
+    """VGG-19: 16 conv + 3 FC blocks."""
+    return _vgg("vgg19", (2, 2, 4, 4, 4))

@@ -1,0 +1,66 @@
+"""DenseNet-121 / DenseNet-169.
+
+Partition granularity: dense blocks are chunked into groups of four dense
+layers (a dense layer = 1x1 bottleneck conv + 3x3 growth conv + concat), so
+a DNN stage never splits a single concat chain mid-layer while still giving
+the mapper useful flexibility inside the long dense blocks.
+"""
+
+from __future__ import annotations
+
+from ..builder import NetBuilder
+from ..layers import Activation, ModelSpec
+
+__all__ = ["densenet121", "densenet169"]
+
+_GROWTH = 32
+_CHUNK = 4  # dense layers per partitionable block
+
+
+def _dense_layer(b: NetBuilder) -> None:
+    """BN-ReLU-1x1(4k) -> BN-ReLU-3x3(k), concatenated with the input."""
+    b.branches(
+        lambda nb: nb.pwconv(4 * _GROWTH).conv(_GROWTH, 3),
+        _identity,
+        name="dense_concat",
+    )
+
+
+def _identity(nb: NetBuilder) -> None:
+    """Identity branch: contributes the input tensor to the concat."""
+    # No layers: the branch output is the branch input.
+
+
+def _transition(b: NetBuilder) -> None:
+    c = b.shape[0]
+    b.pwconv(c // 2, act=Activation.NONE).avgpool(2, 2)
+
+
+def _densenet(name: str, block_sizes: tuple[int, ...]) -> ModelSpec:
+    b = NetBuilder(name, (3, 224, 224))
+    b.block("stem").conv(64, 7, stride=2, pad=3).maxpool(3, 2, pad=1)
+    for bi, n_layers in enumerate(block_sizes):
+        done = 0
+        chunk_idx = 0
+        while done < n_layers:
+            take = min(_CHUNK, n_layers - done)
+            b.block(f"dense{bi + 1}_{chunk_idx}")
+            for _ in range(take):
+                _dense_layer(b)
+            done += take
+            chunk_idx += 1
+        if bi < len(block_sizes) - 1:
+            b.block(f"transition{bi + 1}")
+            _transition(b)
+    b.block("head").global_pool().fc(1000, act=Activation.SOFTMAX)
+    return b.build()
+
+
+def densenet121() -> ModelSpec:
+    """DenseNet-121 (Huang et al., 2017): dense blocks of 6/12/24/16 layers."""
+    return _densenet("densenet121", (6, 12, 24, 16))
+
+
+def densenet169() -> ModelSpec:
+    """DenseNet-169: dense blocks of 6/12/32/32 layers."""
+    return _densenet("densenet169", (6, 12, 32, 32))

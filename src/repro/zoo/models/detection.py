@@ -1,0 +1,115 @@
+"""Detection models: SSD with MobileNet backbone, and YOLO V3.
+
+Multi-scale prediction heads are emitted immediately after their source
+feature map using ``NetBuilder.set_shape`` to restore the trunk shape, so
+the layer list remains a valid sequential execution order.
+"""
+
+from __future__ import annotations
+
+from ..builder import NetBuilder
+from ..layers import Activation, ModelSpec
+
+from .mobile import _MOBILENET_UNITS
+
+__all__ = ["ssd_mobilenet", "yolo_v3"]
+
+LEAKY = Activation.LEAKY_RELU
+
+
+# ----------------------------------------------------------------------
+# SSD-MobileNet (300x300, COCO-style 90 classes)
+# ----------------------------------------------------------------------
+def ssd_mobilenet() -> ModelSpec:
+    """SSD300 with a MobileNet-V1 feature extractor and 6 box heads."""
+    classes = 90
+    b = NetBuilder("ssd_mobilenet", (3, 300, 300))
+    b.block("stem").conv(32, 3, stride=2)
+    for i, (out_c, stride) in enumerate(_MOBILENET_UNITS):
+        b.block(f"sep{i + 1}").dwconv(3, stride=stride).pwconv(out_c)
+        if i == 10:  # conv11 feature map (19x19): first SSD source
+            src = b.shape
+            b.detect_head(3, classes, name="head_conv11")
+            b.set_shape(src)
+    # conv13 (10x10) is the second source.
+    src = b.shape
+    b.block("head13").detect_head(6, classes, name="head_conv13")
+    b.set_shape(src)
+
+    # SSD extra feature layers, each followed by its prediction head.
+    extra_cfg = [(256, 512), (128, 256), (128, 256), (64, 128)]
+    for i, (mid_c, out_c) in enumerate(extra_cfg):
+        b.block(f"extra{i + 1}")
+        b.pwconv(mid_c)
+        b.conv(out_c, 3, stride=2)
+        src = b.shape
+        b.detect_head(6, classes, name=f"head_extra{i + 1}")
+        b.set_shape(src)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# YOLO V3 (416x416, Darknet-53 backbone)
+# ----------------------------------------------------------------------
+def _dark_residual(b: NetBuilder, channels: int) -> None:
+    def body(nb: NetBuilder) -> None:
+        nb.pwconv(channels // 2, act=LEAKY)
+        nb.conv(channels, 3, act=LEAKY)
+
+    b.residual(body, act=Activation.NONE)
+
+
+def _dark_stage(b: NetBuilder, out_c: int, n_res: int, stage: int) -> None:
+    b.block(f"dark{stage}_down").conv(out_c, 3, stride=2, act=LEAKY)
+    for i in range(n_res):
+        b.block(f"dark{stage}_res{i}")
+        _dark_residual(b, out_c)
+
+
+def _yolo_neck(b: NetBuilder, channels: int, name: str) -> None:
+    """The 5-conv block preceding each YOLO detection head."""
+    b.pwconv(channels, act=LEAKY)
+    b.conv(channels * 2, 3, act=LEAKY)
+    b.pwconv(channels, act=LEAKY)
+    b.conv(channels * 2, 3, act=LEAKY)
+    b.pwconv(channels, act=LEAKY, name=name)
+
+
+def yolo_v3() -> ModelSpec:
+    """YOLOv3 (Redmon & Farhadi, 2018): the heaviest model in the pool."""
+    classes = 80
+    b = NetBuilder("yolo_v3", (3, 416, 416))
+    b.block("stem").conv(32, 3, act=LEAKY)
+    _dark_stage(b, 64, 1, 1)    # 208
+    _dark_stage(b, 128, 2, 2)   # 104
+    _dark_stage(b, 256, 8, 3)   # 52  <- routed to head 3
+    _dark_stage(b, 512, 8, 4)   # 26  <- routed to head 2
+    _dark_stage(b, 1024, 4, 5)  # 13
+
+    # Head 1 at 13x13.
+    b.block("neck13")
+    _yolo_neck(b, 512, "neck13_out")
+    neck13 = b.shape
+    b.block("head13").conv(1024, 3, act=LEAKY).detect_head(3, classes,
+                                                           kernel=1,
+                                                           name="yolo13")
+    # Head 2 at 26x26: upsample neck13 output and concat with dark4 output.
+    b.set_shape(neck13)
+    b.block("neck26")
+    b.pwconv(256, act=LEAKY).upsample(2)
+    b.concat_with(512, name="route26")  # skip from dark4 (512ch @ 26x26)
+    _yolo_neck(b, 256, "neck26_out")
+    neck26 = b.shape
+    b.block("head26").conv(512, 3, act=LEAKY).detect_head(3, classes,
+                                                          kernel=1,
+                                                          name="yolo26")
+    # Head 3 at 52x52.
+    b.set_shape(neck26)
+    b.block("neck52")
+    b.pwconv(128, act=LEAKY).upsample(2)
+    b.concat_with(256, name="route52")  # skip from dark3 (256ch @ 52x52)
+    _yolo_neck(b, 128, "neck52_out")
+    b.block("head52").conv(256, 3, act=LEAKY).detect_head(3, classes,
+                                                          kernel=1,
+                                                          name="yolo52")
+    return b.build()

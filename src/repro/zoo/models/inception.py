@@ -1,0 +1,306 @@
+"""Inception family: GoogleNet, Inception-V3/V4, Inception-ResNet V1/V2.
+
+These are the branch-heavy architectures; their many small kernels make
+them dispatch-overhead-bound on the GPU, which is why the paper's Fig. 2
+finds Inception-V4 the most starvation-prone model.  Branches are emitted
+in execution order followed by a concat join (see ``NetBuilder.branches``).
+"""
+
+from __future__ import annotations
+
+from ..builder import NetBuilder
+from ..layers import Activation, ModelSpec
+
+__all__ = [
+    "googlenet",
+    "inception_v3",
+    "inception_v4",
+    "inception_resnet_v1",
+    "inception_resnet_v2",
+]
+
+NONE = Activation.NONE
+
+
+# ----------------------------------------------------------------------
+# GoogleNet (Inception V1)
+# ----------------------------------------------------------------------
+def _v1_module(b: NetBuilder, c1: int, r3: int, c3: int, r5: int, c5: int,
+               pool_proj: int) -> None:
+    b.branches(
+        lambda nb: nb.pwconv(c1),
+        lambda nb: nb.pwconv(r3).conv(c3, 3),
+        lambda nb: nb.pwconv(r5).conv(c5, 5),
+        lambda nb: nb.maxpool(3, 1, pad=1).pwconv(pool_proj),
+    )
+
+
+def googlenet() -> ModelSpec:
+    """GoogleNet (Szegedy et al., 2015): stem + 9 inception modules + head."""
+    b = NetBuilder("googlenet", (3, 224, 224))
+    b.block("stem")
+    b.conv(64, 7, stride=2, pad=3).maxpool(3, 2, pad=1).lrn()
+    b.pwconv(64).conv(192, 3).lrn().maxpool(3, 2, pad=1)
+
+    params = [
+        ("3a", 64, 96, 128, 16, 32, 32),
+        ("3b", 128, 128, 192, 32, 96, 64),
+        ("4a", 192, 96, 208, 16, 48, 64),
+        ("4b", 160, 112, 224, 24, 64, 64),
+        ("4c", 128, 128, 256, 24, 64, 64),
+        ("4d", 112, 144, 288, 32, 64, 64),
+        ("4e", 256, 160, 320, 32, 128, 128),
+        ("5a", 256, 160, 320, 32, 128, 128),
+        ("5b", 384, 192, 384, 48, 128, 128),
+    ]
+    for name, *cfg in params:
+        b.block(f"inception_{name}")
+        _v1_module(b, *cfg)
+        if name in ("3b", "4e"):
+            b.maxpool(3, 2, pad=1)
+    b.block("head").global_pool().fc(1000, act=Activation.SOFTMAX)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Inception V3
+# ----------------------------------------------------------------------
+def inception_v3() -> ModelSpec:
+    """Inception-V3 (Szegedy et al., 2016), 299x299 input."""
+    b = NetBuilder("inception_v3", (3, 299, 299))
+    b.block("stem")
+    b.conv(32, 3, stride=2, pad=0).conv(32, 3, pad=0).conv(64, 3)
+    b.maxpool(3, 2).pwconv(80).conv(192, 3, pad=0).maxpool(3, 2)
+
+    # 3 x InceptionA at 35x35
+    for i, pool_c in enumerate((32, 64, 64)):
+        b.block(f"mixed_a{i}")
+        b.branches(
+            lambda nb: nb.pwconv(64),
+            lambda nb: nb.pwconv(48).conv(64, 5),
+            lambda nb: nb.pwconv(64).conv(96, 3).conv(96, 3),
+            lambda nb, pc=pool_c: nb.avgpool(3, 1, pad=1).pwconv(pc),
+        )
+
+    # Reduction A -> 17x17
+    b.block("reduction_a")
+    b.branches(
+        lambda nb: nb.conv(384, 3, stride=2, pad=0),
+        lambda nb: nb.pwconv(64).conv(96, 3).conv(96, 3, stride=2, pad=0),
+        lambda nb: nb.maxpool(3, 2),
+    )
+
+    # 4 x InceptionB with factorised 1x7 / 7x1 convolutions
+    for i, width in enumerate((128, 160, 160, 192)):
+        b.block(f"mixed_b{i}")
+        b.branches(
+            lambda nb: nb.pwconv(192),
+            lambda nb, c=width: (
+                nb.pwconv(c).conv(c, (1, 7)).conv(192, (7, 1))
+            ),
+            lambda nb, c=width: (
+                nb.pwconv(c).conv(c, (7, 1)).conv(c, (1, 7))
+                .conv(c, (7, 1)).conv(192, (1, 7))
+            ),
+            lambda nb: nb.avgpool(3, 1, pad=1).pwconv(192),
+        )
+
+    # Reduction B -> 8x8
+    b.block("reduction_b")
+    b.branches(
+        lambda nb: nb.pwconv(192).conv(320, 3, stride=2, pad=0),
+        lambda nb: (
+            nb.pwconv(192).conv(192, (1, 7)).conv(192, (7, 1))
+            .conv(192, 3, stride=2, pad=0)
+        ),
+        lambda nb: nb.maxpool(3, 2),
+    )
+
+    # 2 x InceptionC at 8x8
+    for i in range(2):
+        b.block(f"mixed_c{i}")
+        b.branches(
+            lambda nb: nb.pwconv(320),
+            lambda nb: nb.pwconv(384).conv(768, 3),
+            lambda nb: nb.pwconv(448).conv(384, 3).conv(768, 3),
+            lambda nb: nb.avgpool(3, 1, pad=1).pwconv(192),
+        )
+
+    b.block("head").global_pool().fc(1000, act=Activation.SOFTMAX)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Inception V4
+# ----------------------------------------------------------------------
+def _v4_stem(b: NetBuilder) -> None:
+    b.conv(32, 3, stride=2, pad=0).conv(32, 3, pad=0).conv(64, 3)
+    b.branches(
+        lambda nb: nb.maxpool(3, 2, pad=0),
+        lambda nb: nb.conv(96, 3, stride=2, pad=0),
+    )
+    b.branches(
+        lambda nb: nb.pwconv(64).conv(96, 3, pad=0),
+        lambda nb: (
+            nb.pwconv(64).conv(64, (1, 7)).conv(64, (7, 1)).conv(96, 3, pad=0)
+        ),
+    )
+    b.branches(
+        lambda nb: nb.conv(192, 3, stride=2, pad=0),
+        lambda nb: nb.maxpool(3, 2, pad=0),
+    )
+
+
+def inception_v4() -> ModelSpec:
+    """Inception-V4 (Szegedy et al., 2017): the heaviest pool classifier."""
+    b = NetBuilder("inception_v4", (3, 299, 299))
+    b.block("stem")
+    _v4_stem(b)
+
+    for i in range(4):  # 4 x InceptionA (35x35, 384ch)
+        b.block(f"a{i}")
+        b.branches(
+            lambda nb: nb.pwconv(96),
+            lambda nb: nb.pwconv(64).conv(96, 3),
+            lambda nb: nb.pwconv(64).conv(96, 3).conv(96, 3),
+            lambda nb: nb.avgpool(3, 1, pad=1).pwconv(96),
+        )
+
+    b.block("reduction_a")
+    b.branches(
+        lambda nb: nb.conv(384, 3, stride=2, pad=0),
+        lambda nb: nb.pwconv(192).conv(224, 3).conv(256, 3, stride=2, pad=0),
+        lambda nb: nb.maxpool(3, 2),
+    )
+
+    for i in range(7):  # 7 x InceptionB (17x17, 1024ch)
+        b.block(f"b{i}")
+        b.branches(
+            lambda nb: nb.pwconv(384),
+            lambda nb: nb.pwconv(192).conv(224, (1, 7)).conv(256, (7, 1)),
+            lambda nb: (
+                nb.pwconv(192).conv(192, (1, 7)).conv(224, (7, 1))
+                .conv(224, (1, 7)).conv(256, (7, 1))
+            ),
+            lambda nb: nb.avgpool(3, 1, pad=1).pwconv(128),
+        )
+
+    b.block("reduction_b")
+    b.branches(
+        lambda nb: nb.pwconv(192).conv(192, 3, stride=2, pad=0),
+        lambda nb: (
+            nb.pwconv(256).conv(256, (1, 7)).conv(320, (7, 1))
+            .conv(320, 3, stride=2, pad=0)
+        ),
+        lambda nb: nb.maxpool(3, 2),
+    )
+
+    for i in range(3):  # 3 x InceptionC (8x8, 1536ch)
+        b.block(f"c{i}")
+        b.branches(
+            lambda nb: nb.pwconv(256),
+            lambda nb: nb.pwconv(384).conv(512, 3),
+            lambda nb: nb.pwconv(384).conv(448, 3).conv(512, 3),
+            lambda nb: nb.avgpool(3, 1, pad=1).pwconv(256),
+        )
+
+    b.block("head").global_pool().fc(1000, act=Activation.SOFTMAX)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Inception-ResNet V1 / V2
+# ----------------------------------------------------------------------
+def _ir_stem(b: NetBuilder, v2: bool) -> None:
+    if v2:
+        _v4_stem(b)
+    else:
+        b.conv(32, 3, stride=2, pad=0).conv(32, 3, pad=0).conv(64, 3)
+        b.maxpool(3, 2).pwconv(80).conv(192, 3, pad=0).conv(256, 3, stride=2, pad=0)
+
+
+def _ir_block(b: NetBuilder, branch_fns, out_c: int) -> None:
+    """Inception-ResNet unit: branches -> 1x1 projection -> residual add."""
+
+    def body(nb: NetBuilder) -> None:
+        nb.branches(*branch_fns)
+        nb.pwconv(out_c, act=NONE)
+
+    b.residual(body)
+
+
+def _inception_resnet(name: str, v2: bool) -> ModelSpec:
+    b = NetBuilder(name, (3, 299, 299))
+    b.block("stem")
+    _ir_stem(b, v2)
+    base = b.shape[0]  # 256 (v1) or 384 (v2)
+
+    n_a, n_b, n_c = 5, 10, 5
+    wa = 32
+
+    for i in range(n_a):  # block35
+        b.block(f"a{i}")
+        _ir_block(
+            b,
+            (
+                lambda nb: nb.pwconv(wa),
+                lambda nb: nb.pwconv(wa).conv(wa, 3),
+                lambda nb: nb.pwconv(wa).conv(wa + wa // 2, 3).conv(2 * wa, 3),
+            ),
+            base,
+        )
+
+    b.block("reduction_a")
+    k = 256 if not v2 else 288
+    b.branches(
+        lambda nb: nb.conv(384, 3, stride=2, pad=0),
+        lambda nb, kk=k: nb.pwconv(192).conv(192, 3).conv(kk, 3, stride=2, pad=0),
+        lambda nb: nb.maxpool(3, 2),
+    )
+    mid = b.shape[0]
+
+    wb = 128 if not v2 else 160
+    for i in range(n_b):  # block17
+        b.block(f"b{i}")
+        _ir_block(
+            b,
+            (
+                lambda nb: nb.pwconv(wb),
+                lambda nb: nb.pwconv(wb).conv(wb, (1, 7)).conv(wb, (7, 1)),
+            ),
+            mid,
+        )
+
+    b.block("reduction_b")
+    b.branches(
+        lambda nb: nb.pwconv(256).conv(384, 3, stride=2, pad=0),
+        lambda nb: nb.pwconv(256).conv(256, 3, stride=2, pad=0),
+        lambda nb: nb.pwconv(256).conv(256, 3).conv(256, 3, stride=2, pad=0),
+        lambda nb: nb.maxpool(3, 2),
+    )
+    top = b.shape[0]
+
+    wc = 192
+    for i in range(n_c):  # block8
+        b.block(f"c{i}")
+        _ir_block(
+            b,
+            (
+                lambda nb: nb.pwconv(wc),
+                lambda nb: nb.pwconv(wc).conv(wc, 3),
+            ),
+            top,
+        )
+
+    b.block("head").global_pool().fc(1000, act=Activation.SOFTMAX)
+    return b.build()
+
+
+def inception_resnet_v1() -> ModelSpec:
+    """Inception-ResNet-V1 (Szegedy et al., 2017); Fig. 8's heavy arrival."""
+    return _inception_resnet("inception_resnet_v1", v2=False)
+
+
+def inception_resnet_v2() -> ModelSpec:
+    """Inception-ResNet-V2: wider stem and cells than V1."""
+    return _inception_resnet("inception_resnet_v2", v2=True)

@@ -1,0 +1,269 @@
+"""Mobile-first architectures: MobileNet V1/V2, ShuffleNet, SqueezeNet V1/V2,
+EfficientNet-B0/B1/B2.
+
+MobileNet (V1) exposes exactly 20 partitionable blocks and ShuffleNet exactly
+18, matching the counts the paper quotes in its solution-space example: for
+MobileNet the five widest depthwise-separable units are split into separate
+depthwise and pointwise blocks (documented granularity choice).
+"""
+
+from __future__ import annotations
+
+from ..builder import NetBuilder
+from ..layers import Activation, ModelSpec
+
+__all__ = [
+    "mobilenet",
+    "mobilenet_v2",
+    "shufflenet",
+    "squeezenet",
+    "squeezenet_v2",
+    "efficientnet_b0",
+    "efficientnet_b1",
+    "efficientnet_b2",
+]
+
+RELU6 = Activation.RELU6
+SWISH = Activation.SWISH
+NONE = Activation.NONE
+
+
+# ----------------------------------------------------------------------
+# MobileNet V1
+# ----------------------------------------------------------------------
+# (out_channels, stride) of the 13 depthwise-separable units.
+_MOBILENET_UNITS = [
+    (64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+    (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2), (1024, 1),
+]
+# Units whose dw / pw halves become separate blocks (granularity chosen so
+# the model exposes the paper's 20 partition points).
+_MOBILENET_SPLIT = {1, 3, 5, 11, 12}
+
+
+def mobilenet() -> ModelSpec:
+    """MobileNet V1 (Howard et al., 2017): 20 blocks."""
+    b = NetBuilder("mobilenet", (3, 224, 224))
+    b.block("stem").conv(32, 3, stride=2)
+    for i, (out_c, stride) in enumerate(_MOBILENET_UNITS):
+        if i in _MOBILENET_SPLIT:
+            b.block(f"sep{i + 1}_dw").dwconv(3, stride=stride)
+            b.block(f"sep{i + 1}_pw").pwconv(out_c)
+        else:
+            b.block(f"sep{i + 1}").dwconv(3, stride=stride).pwconv(out_c)
+    b.block("head").global_pool().fc(1000, act=Activation.SOFTMAX)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# MobileNet V2
+# ----------------------------------------------------------------------
+# (expansion, out_channels, repeats, first_stride)
+_MOBILENET_V2_STAGES = [
+    (1, 16, 1, 1), (6, 24, 2, 2), (6, 32, 3, 2), (6, 64, 4, 2),
+    (6, 96, 3, 1), (6, 160, 3, 2), (6, 320, 1, 1),
+]
+
+
+def _inverted_residual(b: NetBuilder, expansion: int, out_c: int,
+                       stride: int) -> None:
+    in_c = b.shape[0]
+    hidden = in_c * expansion
+
+    def body(nb: NetBuilder) -> None:
+        if expansion != 1:
+            nb.pwconv(hidden, act=RELU6)
+        nb.dwconv(3, stride=stride, act=RELU6)
+        nb.pwconv(out_c, act=NONE)
+
+    if stride == 1 and in_c == out_c:
+        b.residual(body, act=NONE)
+    else:
+        body(b)
+
+
+def mobilenet_v2() -> ModelSpec:
+    """MobileNet V2 (Sandler et al., 2018): 19 blocks."""
+    b = NetBuilder("mobilenet_v2", (3, 224, 224))
+    b.block("stem").conv(32, 3, stride=2, act=RELU6)
+    unit = 1
+    for expansion, out_c, repeats, first_stride in _MOBILENET_V2_STAGES:
+        for i in range(repeats):
+            b.block(f"bottleneck{unit}")
+            _inverted_residual(b, expansion, out_c,
+                               first_stride if i == 0 else 1)
+            unit += 1
+    b.block("head").pwconv(1280, act=RELU6).global_pool()
+    b.fc(1000, act=Activation.SOFTMAX)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# ShuffleNet V1 (groups = 3)
+# ----------------------------------------------------------------------
+def _shuffle_unit(b: NetBuilder, out_c: int, stride: int, groups: int,
+                  first_of_net: bool) -> None:
+    in_c = b.shape[0]
+    mid = out_c // 4
+    # First pointwise group conv of the whole net is ungrouped (paper detail).
+    g1 = 1 if first_of_net else groups
+
+    if stride == 1:
+        def body(nb: NetBuilder) -> None:
+            nb.conv(mid, 1, pad=0, groups=g1)
+            nb.channel_shuffle(groups)
+            nb.dwconv(3, act=NONE)
+            nb.conv(out_c, 1, pad=0, groups=groups, act=NONE)
+
+        if in_c != out_c:
+            raise ValueError("stride-1 shuffle unit needs matching channels")
+        b.residual(body)
+    else:
+        # Stride-2 unit concatenates the body with an avg-pooled shortcut.
+        branch_c = out_c - in_c
+
+        def body_branch(nb: NetBuilder) -> None:
+            nb.conv(mid, 1, pad=0, groups=g1)
+            nb.channel_shuffle(groups)
+            nb.dwconv(3, stride=2, act=NONE)
+            nb.conv(branch_c, 1, pad=0, groups=groups, act=NONE)
+
+        b.branches(
+            body_branch,
+            lambda nb: nb.avgpool(3, 2, pad=1),
+        )
+
+
+def shufflenet() -> ModelSpec:
+    """ShuffleNet V1 g=3 (Zhang et al., 2018): 18 blocks."""
+    b = NetBuilder("shufflenet", (3, 224, 224))
+    groups = 3
+    b.block("stem").conv(24, 3, stride=2).maxpool(3, 2, pad=1)
+    stage_cfg = [(240, 4), (480, 8), (960, 4)]
+    unit = 1
+    first = True
+    for out_c, repeats in stage_cfg:
+        for i in range(repeats):
+            b.block(f"unit{unit}")
+            _shuffle_unit(b, out_c, stride=2 if i == 0 else 1, groups=groups,
+                          first_of_net=first)
+            first = False
+            unit += 1
+    b.block("head").global_pool().fc(1000, act=Activation.SOFTMAX)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# SqueezeNet V1.0 ("squeezenet") and V1.1 ("squeezenet_v2")
+# ----------------------------------------------------------------------
+def _fire(b: NetBuilder, squeeze: int, expand: int) -> None:
+    b.pwconv(squeeze)
+    b.branches(
+        lambda nb: nb.pwconv(expand),
+        lambda nb: nb.conv(expand, 3),
+    )
+
+
+def squeezenet() -> ModelSpec:
+    """SqueezeNet V1.0 (Iandola et al., 2016): 10 blocks."""
+    b = NetBuilder("squeezenet", (3, 224, 224))
+    b.block("stem").conv(96, 7, stride=2, pad=3).maxpool(3, 2)
+    fire_cfg = [(16, 64), (16, 64), (32, 128), (32, 128),
+                (48, 192), (48, 192), (64, 256), (64, 256)]
+    for i, (s, e) in enumerate(fire_cfg):
+        b.block(f"fire{i + 2}")
+        _fire(b, s, e)
+        if i in (2, 6):  # pool after fire4 and fire8
+            b.maxpool(3, 2)
+    b.block("head").pwconv(1000).global_pool()
+    return b.build()
+
+
+def squeezenet_v2() -> ModelSpec:
+    """SqueezeNet V1.1 (the lighter revision the paper calls V2): 10 blocks."""
+    b = NetBuilder("squeezenet_v2", (3, 224, 224))
+    b.block("stem").conv(64, 3, stride=2, pad=0).maxpool(3, 2)
+    fire_cfg = [(16, 64), (16, 64), (32, 128), (32, 128),
+                (48, 192), (48, 192), (64, 256), (64, 256)]
+    for i, (s, e) in enumerate(fire_cfg):
+        b.block(f"fire{i + 2}")
+        _fire(b, s, e)
+        if i in (1, 3):  # pool after fire3 and fire5
+            b.maxpool(3, 2)
+    b.block("head").pwconv(1000).global_pool()
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# EfficientNet B0/B1/B2
+# ----------------------------------------------------------------------
+# Baseline (B0) stage table: (expansion, out_channels, repeats, stride, kernel)
+_EFFICIENTNET_STAGES = [
+    (1, 16, 1, 1, 3), (6, 24, 2, 2, 3), (6, 40, 2, 2, 5), (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5), (6, 192, 4, 2, 5), (6, 320, 1, 1, 3),
+]
+
+
+def _round_channels(c: float, multiplier: float, divisor: int = 8) -> int:
+    c *= multiplier
+    new_c = max(divisor, int(c + divisor / 2) // divisor * divisor)
+    if new_c < 0.9 * c:
+        new_c += divisor
+    return new_c
+
+
+def _round_repeats(r: int, multiplier: float) -> int:
+    import math
+
+    return int(math.ceil(r * multiplier))
+
+
+def _mbconv(b: NetBuilder, expansion: int, out_c: int, stride: int,
+            kernel: int) -> None:
+    """MBConv without the SE branch (SE is <1 % of MACs; see DESIGN.md)."""
+    in_c = b.shape[0]
+    hidden = in_c * expansion
+
+    def body(nb: NetBuilder) -> None:
+        if expansion != 1:
+            nb.pwconv(hidden, act=SWISH)
+        nb.dwconv(kernel, stride=stride, act=SWISH)
+        nb.pwconv(out_c, act=NONE)
+
+    if stride == 1 and in_c == out_c:
+        b.residual(body, act=NONE)
+    else:
+        body(b)
+
+
+def _efficientnet(name: str, width: float, depth: float,
+                  resolution: int) -> ModelSpec:
+    b = NetBuilder(name, (3, resolution, resolution))
+    stem_c = _round_channels(32, width)
+    b.block("stem").conv(stem_c, 3, stride=2, act=SWISH)
+    unit = 1
+    for expansion, out_c, repeats, stride, kernel in _EFFICIENTNET_STAGES:
+        c = _round_channels(out_c, width)
+        for i in range(_round_repeats(repeats, depth)):
+            b.block(f"mbconv{unit}")
+            _mbconv(b, expansion, c, stride if i == 0 else 1, kernel)
+            unit += 1
+    head_c = _round_channels(1280, width)
+    b.block("head").pwconv(head_c, act=SWISH).global_pool()
+    b.fc(1000, act=Activation.SOFTMAX)
+    return b.build()
+
+
+def efficientnet_b0() -> ModelSpec:
+    """EfficientNet-B0 (Tan & Le, 2019), 224x224."""
+    return _efficientnet("efficientnet_b0", 1.0, 1.0, 224)
+
+
+def efficientnet_b1() -> ModelSpec:
+    """EfficientNet-B1: depth x1.1, 240x240."""
+    return _efficientnet("efficientnet_b1", 1.0, 1.1, 240)
+
+
+def efficientnet_b2() -> ModelSpec:
+    """EfficientNet-B2: width x1.1, depth x1.2, 260x260."""
+    return _efficientnet("efficientnet_b2", 1.1, 1.2, 260)

@@ -1,0 +1,89 @@
+"""ResNet family: ResNet-12, ResNet-50, ResNet-50 V2, ResNeXt-50.
+
+ResNet-50 and ResNeXt-50 expose 18 blocks (stem + 16 bottleneck units +
+head), matching the partition-point count the paper quotes for ResNet-50.
+"""
+
+from __future__ import annotations
+
+from ..builder import NetBuilder
+from ..layers import Activation, ModelSpec
+
+__all__ = ["resnet12", "resnet50", "resnet50_v2", "resnext50"]
+
+
+def _bottleneck(b: NetBuilder, width: int, out_c: int, stride: int,
+                project: bool, groups: int = 1, preact: bool = False) -> None:
+    """1x1 reduce -> 3x3 (optionally grouped) -> 1x1 expand + shortcut."""
+    act_mid = Activation.RELU
+    act_last = Activation.NONE if not preact else Activation.RELU
+
+    def body(nb: NetBuilder) -> None:
+        nb.pwconv(width, act=act_mid)
+        nb.conv(width, 3, stride=stride, act=act_mid, groups=groups)
+        nb.pwconv(out_c, act=act_last)
+
+    if project:
+        def projection(nb: NetBuilder) -> None:
+            nb.conv(out_c, 1, stride=stride, pad=0, act=Activation.NONE)
+
+        b.residual(body, projection)
+    else:
+        b.residual(body)
+
+
+def _resnet50_like(name: str, groups: int, base_width: int,
+                   preact: bool = False) -> ModelSpec:
+    b = NetBuilder(name, (3, 224, 224))
+    b.block("stem").conv(64, 7, stride=2, pad=3).maxpool(3, 2, pad=1)
+    stages = ((256, 3, 1), (512, 4, 2), (1024, 6, 2), (2048, 3, 2))
+    unit = 1
+    for stage_idx, (out_c, n_units, first_stride) in enumerate(stages):
+        width = base_width * (2**stage_idx)
+        for i in range(n_units):
+            stride = first_stride if i == 0 else 1
+            b.block(f"unit{unit}")
+            _bottleneck(b, width, out_c, stride, project=(i == 0),
+                        groups=groups, preact=preact)
+            unit += 1
+    b.block("head").global_pool().fc(1000, act=Activation.SOFTMAX)
+    return b.build()
+
+
+def resnet50() -> ModelSpec:
+    """ResNet-50 (He et al., 2016): 18 blocks."""
+    return _resnet50_like("resnet50", groups=1, base_width=64)
+
+
+def resnet50_v2() -> ModelSpec:
+    """ResNet-50 V2 (pre-activation variant; identical tensor shapes)."""
+    return _resnet50_like("resnet50_v2", groups=1, base_width=64, preact=True)
+
+
+def resnext50() -> ModelSpec:
+    """ResNeXt-50 32x4d: grouped 3x3 convolutions, doubled bottleneck width."""
+    return _resnet50_like("resnext50", groups=32, base_width=128)
+
+
+def resnet12() -> ModelSpec:
+    """ResNet-12 (the compact 4-stage variant popular on edge devices).
+
+    Four residual stages of three 3x3 convs each, stage-level maxpool, then
+    a classifier; 5 blocks total.  Uses the standard 84x84 input of the
+    few-shot literature where this architecture originates.
+    """
+    b = NetBuilder("resnet12", (3, 84, 84))
+    channels = (64, 128, 256, 512)
+    for i, out_c in enumerate(channels):
+        b.block(f"stage{i + 1}")
+
+        def body(nb: NetBuilder, c=out_c) -> None:
+            nb.conv(c, 3).conv(c, 3).conv(c, 3, act=Activation.NONE)
+
+        def projection(nb: NetBuilder, c=out_c) -> None:
+            nb.conv(c, 1, pad=0, act=Activation.NONE)
+
+        b.residual(body, projection)
+        b.maxpool(2, 2)
+    b.block("head").global_pool().fc(1000, act=Activation.SOFTMAX)
+    return b.build()

@@ -1,0 +1,75 @@
+"""Eq. 1 layer vectorisation: LayerSpec -> 22-dimensional feature vector.
+
+Per the paper, each layer l_j^i is described by:
+
+    [ j | t | ifm(4) | ofm(4) | w(4) | b | a | ps(6) ]   (22 dims)
+
+where ifm/ofm/w carry (minibatch, channels, height, width), b is the bias
+count, a the activation type, and ps the pad-stride information.  Raw entries
+span many orders of magnitude, so :func:`vectorize_layer` also offers the
+log-compressed variant used to train the VQ-VAE and estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import LayerSpec, ModelSpec
+
+__all__ = [
+    "LAYER_VECTOR_DIM",
+    "vectorize_layer",
+    "vectorize_model",
+    "normalize_features",
+]
+
+LAYER_VECTOR_DIM = 22
+
+# Indices of size-like entries that get log1p compression in normalised mode.
+_SIZE_IDX = np.array([0, *range(2, 14), 14])  # j, ifm, ofm, w, b
+
+
+def vectorize_layer(layer: LayerSpec, minibatch: int = 1) -> np.ndarray:
+    """Return the raw 22-dim Eq. 1 vector for ``layer``."""
+    oc, ic_g, kh, kw = layer.weight_shape
+    vec = np.array(
+        [
+            layer.index,                       # j: layer index within DNN
+            layer.op_type,                     # t: layer type
+            minibatch, *layer.ifm,             # ifm: (n, c, h, w)
+            minibatch, *layer.ofm,             # ofm: (n, c, h, w)
+            oc, ic_g, kh, kw,                  # w:  weight tensor dims
+            layer.biases,                      # b:  number of biases
+            layer.activation,                  # a:  activation type
+            layer.pad[0], layer.pad[0],        # ps: pad top/bottom
+            layer.pad[1], layer.pad[1],        #     pad left/right
+            layer.stride[0], layer.stride[1],  #     stride h/w
+        ],
+        dtype=np.float64,
+    )
+    if vec.shape != (LAYER_VECTOR_DIM,):
+        raise AssertionError("layer vector dimensionality drifted from Eq. 1")
+    return vec
+
+
+def normalize_features(matrix: np.ndarray) -> np.ndarray:
+    """Log-compress size-like columns of a (layers, 22) matrix in place-free
+    fashion and scale everything to O(1)."""
+    out = matrix.astype(np.float64).copy()
+    out[..., _SIZE_IDX] = np.log1p(out[..., _SIZE_IDX])
+    # Fixed scales keep the encoding workload-independent (no dataset
+    # statistics leak into the representation).
+    scales = np.ones(LAYER_VECTOR_DIM)
+    scales[_SIZE_IDX] = 10.0      # log1p of big dims tops out ~ 18
+    scales[1] = 13.0              # layer-type code range
+    scales[15] = 6.0              # activation code range
+    scales[16:22] = 4.0           # pads / strides
+    return out / scales
+
+
+def vectorize_model(model: ModelSpec, normalized: bool = True) -> np.ndarray:
+    """Vectorise every layer of ``model`` into a (num_layers, 22) matrix."""
+    matrix = np.stack([vectorize_layer(l) for l in model.layers()])
+    if normalized:
+        matrix = normalize_features(matrix)
+    return matrix

@@ -1,0 +1,176 @@
+"""Integration tests for the paper's structural claims (oracle predictor).
+
+These pin the *shape* results the reproduction must preserve, using the
+simulator-oracle predictor so they are independent of estimator training
+noise (the estimator-backed path is exercised by the experiment suite).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GpuBaseline, Mosaic, OmniBoost
+from repro.core import OraclePredictor, RankMap, RankMapConfig, static_priorities
+from repro.hw import orange_pi_5
+from repro.metrics import STARVATION_EPSILON
+from repro.search import MCTSConfig
+from repro.sim import arrival, run_dynamic_scenario, simulate
+from repro.zoo import get_model
+
+PLATFORM = orange_pi_5()
+MCTS = MCTSConfig(iterations=60, rollouts_per_leaf=4)
+HEAVY_MIX = ("squeezenet_v2", "inception_v4", "resnet50", "vgg16")
+
+
+def wl(names):
+    return [get_model(n) for n in names]
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return OraclePredictor(PLATFORM)
+
+
+@pytest.fixture(scope="module")
+def heavy_results(oracle):
+    workload = wl(HEAVY_MIX)
+    prio = static_priorities(4, critical_index=1)
+    out = {}
+    managers = {
+        "baseline": GpuBaseline(),
+        "mosaic": Mosaic(PLATFORM),
+        "omniboost": OmniBoost(PLATFORM, oracle, MCTS),
+        "rankmap_s": RankMap(PLATFORM, oracle,
+                             RankMapConfig(mode="static", mcts=MCTS)),
+        "rankmap_d": RankMap(PLATFORM, oracle,
+                             RankMapConfig(mode="dynamic", mcts=MCTS)),
+    }
+    for name, manager in managers.items():
+        decision = manager.plan(workload, prio)
+        out[name] = simulate(workload, decision.mapping, PLATFORM)
+    return out
+
+
+class TestThroughputClaims:
+    def test_rankmap_d_beats_baseline_and_slicers(self, heavy_results):
+        """Fig. 5: RankMap_D ahead of Baseline and MOSAIC on T."""
+        t = {k: r.average_throughput for k, r in heavy_results.items()}
+        assert t["rankmap_d"] > 1.5 * t["baseline"]
+        assert t["rankmap_d"] > t["mosaic"]
+
+    def test_rankmap_never_starves_where_omniboost_does(self, heavy_results):
+        """Figs. 7: the no-starvation guarantee vs OmniBoost's greed."""
+        assert (heavy_results["rankmap_s"].potentials
+                >= STARVATION_EPSILON).all()
+        assert (heavy_results["rankmap_d"].potentials
+                >= STARVATION_EPSILON).all()
+        assert heavy_results["omniboost"].potentials.min() < 0.05
+
+    def test_rankmap_s_critical_dnn_dominates_baseline(self, heavy_results):
+        """Fig. 6: the critical DNN's P far above the baseline's."""
+        crit = 1  # inception_v4
+        assert (heavy_results["rankmap_s"].potentials[crit]
+                > 1.5 * heavy_results["baseline"].potentials[crit])
+
+    def test_rankmap_s_critical_dnn_beats_dynamic_mode(self, heavy_results):
+        """Fig. 6: static mode serves the user's critical DNN better than
+        dynamic mode (the paper's x2.2 at 4 DNNs; we require >=)."""
+        crit = 1  # inception_v4
+        assert (heavy_results["rankmap_s"].potentials[crit]
+                >= heavy_results["rankmap_d"].potentials[crit] * 0.95)
+
+
+class TestPriorityCorrelation:
+    def test_dynamic_priorities_track_potentials(self, oracle):
+        """Fig. 9: positive P-p Pearson correlation for RankMap_D."""
+        from repro.core.priorities import dynamic_priorities
+        from repro.metrics import pearson_r
+
+        rng = np.random.default_rng(3)
+        manager = RankMap(PLATFORM, oracle,
+                          RankMapConfig(mode="dynamic", mcts=MCTS))
+        corrs = []
+        from repro.zoo import MODEL_POOL
+
+        for _ in range(3):
+            names = rng.choice(MODEL_POOL, size=3, replace=False)
+            workload = wl(names)
+            decision = manager.plan(workload)
+            result = simulate(workload, decision.mapping, PLATFORM)
+            corrs.append(pearson_r(result.potentials,
+                                   dynamic_priorities(workload)))
+        assert np.mean(corrs) > 0.2
+
+
+def _instant(manager):
+    """Zero the decision gap: these tests probe mapping quality, and the
+    oracle predictor's modeled latency (full board measurements) would
+    otherwise eat the 150 s window before the horizon."""
+    from repro.sim import MappingDecision
+
+    def planner(workload, priorities):
+        decision = manager.plan(workload, priorities)
+        return MappingDecision(decision.mapping, 0.0)
+
+    return planner
+
+
+class TestDynamicScenario:
+    def test_fig8_rankmap_keeps_everyone_alive(self, oracle):
+        arrivals = [
+            arrival(0.0, get_model("inception_resnet_v1")),
+            arrival(150.0, get_model("alexnet")),
+            arrival(300.0, get_model("squeezenet")),
+            arrival(450.0, get_model("resnet50")),
+        ]
+        manager = RankMap(PLATFORM, oracle,
+                          RankMapConfig(mode="dynamic", mcts=MCTS))
+        timeline = run_dynamic_scenario(arrivals, _instant(manager),
+                                        PLATFORM, 600.0)
+        final = timeline.final_potentials()
+        assert len(final) == 4
+        assert all(p >= STARVATION_EPSILON for p in final.values()), final
+
+    def test_fig8_omniboost_sacrifices_a_heavy_dnn(self, oracle):
+        arrivals = [
+            arrival(0.0, get_model("inception_resnet_v1")),
+            arrival(150.0, get_model("alexnet")),
+            arrival(300.0, get_model("squeezenet")),
+            arrival(450.0, get_model("resnet50")),
+        ]
+        manager = OmniBoost(PLATFORM, oracle, MCTS)
+        timeline = run_dynamic_scenario(arrivals, _instant(manager),
+                                        PLATFORM, 600.0)
+        final = timeline.final_potentials()
+        heavy = [final["inception_resnet_v1"], final["resnet50"]]
+        assert min(heavy) < 0.05
+
+
+class TestRuntimeOrdering:
+    def test_modeled_decision_latencies(self):
+        """Sec. V-D: baseline fastest, GA slowest, RankMap in between.
+
+        The deployed RankMap scores candidates with the on-device estimator
+        (~40 ms per forward pass), so an estimator-backed instance models
+        the paper's ~30 s decisions; the GA pays a full measurement window
+        per chromosome.
+        """
+        from repro.baselines import GAConfig, GeneticManager
+        from repro.core import EstimatorPredictor
+        from repro.estimator import EstimatorConfig, ThroughputEstimator
+        from repro.vqvae import EmbeddingCache, LayerVQVAE
+
+        workload = wl(("alexnet", "squeezenet_v2"))
+        rng = np.random.default_rng(0)
+        predictor = EstimatorPredictor(
+            ThroughputEstimator(rng, EstimatorConfig()),
+            EmbeddingCache(LayerVQVAE(np.random.default_rng(1))),
+        )
+        base_t = GpuBaseline().plan(workload).decision_seconds
+        mosaic_t = Mosaic(PLATFORM).plan(workload).decision_seconds
+        rankmap_t = RankMap(
+            PLATFORM, predictor, RankMapConfig(mode="dynamic", mcts=MCTS)
+        ).plan(workload).decision_seconds
+        ga_t = GeneticManager(
+            PLATFORM, GAConfig(population=10, generations=8)
+        ).plan(workload).decision_seconds
+        assert base_t < mosaic_t < rankmap_t < ga_t

@@ -1,0 +1,108 @@
+"""Property-based tests for the reward function, priorities and metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.priorities import dynamic_priorities, normalize_priorities
+from repro.hw import orange_pi_5
+from repro.search.reward import (
+    DISQUALIFIED,
+    RewardConfig,
+    mapping_reward,
+    thresholds_for,
+)
+from repro.zoo import get_model
+
+PLATFORM = orange_pi_5()
+
+
+def rates_strategy(n=4, lo=0.01, hi=80.0):
+    return st.lists(st.floats(lo, hi, allow_nan=False), min_size=n,
+                    max_size=n)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rates_strategy(), st.integers(0, 3))
+def test_weighted_reward_monotone_in_prioritised_rate(rates, boosted):
+    """Raising one DNN's rate never lowers the weighted reward."""
+    rates = np.array(rates)
+    p = np.full(4, 0.25)
+    thresholds = np.zeros(4)
+    base = mapping_reward(rates, p, thresholds, None, "weighted")
+    bumped = rates.copy()
+    bumped[boosted] *= 1.5
+    assert mapping_reward(bumped, p, thresholds, None, "weighted") >= base
+
+
+@settings(max_examples=50, deadline=None)
+@given(rates_strategy())
+def test_reward_disqualifies_iff_any_rate_at_or_below_threshold(rates):
+    rates = np.array(rates)
+    p = np.full(4, 0.25)
+    thresholds = np.full(4, 1.0)
+    reward = mapping_reward(rates, p, thresholds, None, "weighted")
+    if (rates <= thresholds).any():
+        assert reward == DISQUALIFIED
+    else:
+        assert reward > DISQUALIFIED
+        assert reward == float(rates @ p)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rates_strategy(), rates_strategy())
+def test_weighted_reward_scales_linearly_with_rates(rates, _unused):
+    """reward(k * rates) = k * reward(rates) above the threshold."""
+    rates = np.array(rates) + 1.5     # stay clear of the threshold
+    p = np.array([0.7, 0.1, 0.1, 0.1])
+    thresholds = np.full(4, 1.0)
+    r1 = mapping_reward(rates, p, thresholds, None, "weighted")
+    r2 = mapping_reward(2.0 * rates, p, thresholds, None, "weighted")
+    np.testing.assert_allclose(r2, 2.0 * r1, rtol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=6))
+def test_normalize_priorities_sums_to_one_and_preserves_order(weights):
+    p = normalize_priorities(weights)
+    assert p.sum() == np.float64(1.0) or abs(p.sum() - 1.0) < 1e-12
+    assert (p > 0).all()
+    order = np.argsort(weights)
+    assert (np.argsort(p) == order).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.permutations(["alexnet", "vgg16", "squeezenet", "resnet50"]))
+def test_dynamic_priorities_follow_demand_regardless_of_order(names):
+    workload = [get_model(n) for n in names]
+    p = dynamic_priorities(workload)
+    macs = np.array([m.macs for m in workload])
+    assert (np.argsort(p) == np.argsort(macs)).all()
+    assert abs(p.sum() - 1.0) < 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(0.0, 0.2), st.floats(0.0, 1.0))
+def test_floor_thresholds_monotone_in_priority(threshold, gain):
+    """A higher-priority DNN never receives a lower floor."""
+    workload = [get_model(n) for n in ("alexnet", "vgg16")]
+    config = RewardConfig(kind="floor", threshold=threshold,
+                          priority_gain=gain)
+    low = thresholds_for(workload, PLATFORM, config,
+                         np.array([0.2, 0.8]))
+    ideals = np.array([PLATFORM.ideal_throughput(m) for m in workload])
+    # Same DNN, higher priority => floor (as fraction of ideal) rises.
+    high = thresholds_for(workload, PLATFORM, config,
+                          np.array([0.8, 0.2]))
+    assert high[0] / ideals[0] >= low[0] / ideals[0] - 1e-12
+    assert low[1] / ideals[1] >= high[1] / ideals[1] - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(rates_strategy(), st.floats(0.05, 0.95))
+def test_floor_reward_is_average_throughput_when_qualified(rates, frac):
+    rates = np.array(rates) + 2.0
+    p = np.array([frac, (1 - frac) / 3, (1 - frac) / 3, (1 - frac) / 3])
+    thresholds = np.full(4, 0.5)
+    reward = mapping_reward(rates, p, thresholds, None, "floor")
+    assert abs(reward - rates.mean()) < 1e-12

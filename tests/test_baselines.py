@@ -1,0 +1,179 @@
+"""Unit tests for the five comparison managers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GAConfig,
+    GeneticManager,
+    GpuBaseline,
+    LinearLatencyModel,
+    Mosaic,
+    Odmdef,
+    OmniBoost,
+    block_features,
+)
+from repro.core import OraclePredictor
+from repro.hw import GPU, orange_pi_5
+from repro.mapping import gpu_only_mapping
+from repro.search import MCTSConfig
+from repro.sim import simulate
+from repro.zoo import get_model
+
+PLATFORM = orange_pi_5()
+
+
+def wl(*names):
+    return [get_model(n) for n in names]
+
+
+class TestProfiling:
+    def test_block_features_finite_and_fixed_width(self):
+        model = get_model("alexnet")
+        for block in model.blocks:
+            f = block_features(block)
+            assert f.shape == (5,)
+            assert np.isfinite(f).all()
+
+    def test_linear_model_orders_components(self):
+        lm = LinearLatencyModel(PLATFORM).fit(
+            [get_model("vgg16"), get_model("resnet50")]
+        )
+        heavy = get_model("vgg16").blocks[5]  # a large conv block
+        gpu_t = lm.predict(heavy, 0)
+        little_t = lm.predict(heavy, 2)
+        assert gpu_t < little_t
+
+    def test_predict_before_fit_raises(self):
+        lm = LinearLatencyModel(PLATFORM)
+        with pytest.raises(RuntimeError):
+            lm.predict(get_model("alexnet").blocks[0], 0)
+
+    def test_predict_blocks_length(self):
+        lm = LinearLatencyModel(PLATFORM).fit([get_model("alexnet")])
+        preds = lm.predict_blocks(get_model("alexnet"), 1)
+        assert preds.shape == (8,)
+        assert (preds > 0).all()
+
+
+class TestGpuBaseline:
+    def test_everything_on_gpu(self):
+        workload = wl("alexnet", "resnet50")
+        decision = GpuBaseline().plan(workload)
+        assert decision.mapping.components_used() == {GPU}
+        assert decision.mapping.assignments == \
+            gpu_only_mapping(workload).assignments
+
+    def test_fast_decision(self):
+        decision = GpuBaseline().plan(wl("alexnet"))
+        assert decision.decision_seconds < 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GpuBaseline().plan([])
+
+
+class TestMosaic:
+    def test_valid_mapping(self):
+        workload = wl("squeezenet_v2", "resnet50", "vgg16")
+        decision = Mosaic(PLATFORM).plan(workload)
+        decision.mapping.validate_against(workload, 3)
+
+    def test_slices_use_distinct_components_per_dnn(self):
+        workload = wl("vgg16")
+        decision = Mosaic(PLATFORM).plan(workload)
+        from repro.mapping import extract_stages
+
+        stages = extract_stages(0, decision.mapping.assignments[0])
+        comps = [s.component for s in stages]
+        assert len(comps) == len(set(comps))
+
+    def test_contention_blind(self):
+        """Every DNN gets the same slicing regardless of co-runners."""
+        solo = Mosaic(PLATFORM).plan(wl("resnet50"))
+        duo = Mosaic(PLATFORM).plan(wl("resnet50", "vgg16"))
+        assert solo.mapping.assignments[0] == duo.mapping.assignments[0]
+
+    def test_modeled_decision_second_scale(self):
+        decision = Mosaic(PLATFORM).plan(wl("alexnet"))
+        assert 0.1 < decision.decision_seconds < 5.0
+
+
+class TestOdmdef:
+    @pytest.fixture(scope="class")
+    def manager(self):
+        return Odmdef(PLATFORM, profiling_runs=15, seed=1)
+
+    def test_valid_mapping(self, manager):
+        workload = wl("squeezenet_v2", "resnet50", "vgg16")
+        decision = manager.plan(workload)
+        decision.mapping.validate_against(workload, 3)
+
+    def test_load_balances_across_components(self, manager):
+        workload = wl("vgg16", "resnet50", "inception_v4", "alexnet")
+        decision = manager.plan(workload)
+        assert len(decision.mapping.components_used()) >= 2
+
+    def test_beats_pure_baseline(self, manager):
+        workload = wl("squeezenet_v2", "resnet50", "vgg16")
+        ours = simulate(workload, manager.plan(workload).mapping, PLATFORM)
+        base = simulate(workload, gpu_only_mapping(workload), PLATFORM)
+        assert ours.average_throughput > base.average_throughput
+
+
+class TestGeneticManager:
+    def test_valid_mapping_and_modeled_time(self):
+        workload = wl("alexnet", "squeezenet_v2")
+        cfg = GAConfig(population=8, generations=3, seed=0)
+        manager = GeneticManager(PLATFORM, cfg)
+        decision = manager.plan(workload)
+        decision.mapping.validate_against(workload, 3)
+        # 8 x (3+1) evaluations x 2 s measurement window.
+        assert decision.decision_seconds == pytest.approx(8 * 4 * 2.0)
+
+    def test_evolution_beats_random_population(self):
+        workload = wl("squeezenet_v2", "resnet50", "vgg16")
+        short = GeneticManager(PLATFORM, GAConfig(population=10,
+                                                  generations=0, seed=5))
+        long = GeneticManager(PLATFORM, GAConfig(population=10,
+                                                 generations=8, seed=5))
+        t_short = simulate(workload, short.plan(workload).mapping,
+                           PLATFORM).average_throughput
+        t_long = simulate(workload, long.plan(workload).mapping,
+                          PLATFORM).average_throughput
+        assert t_long >= t_short
+
+    def test_ga_is_slowest_manager(self):
+        workload = wl("alexnet")
+        ga = GeneticManager(PLATFORM, GAConfig(population=8, generations=3))
+        others = [GpuBaseline(), Mosaic(PLATFORM)]
+        ga_time = ga.plan(workload).decision_seconds
+        for mgr in others:
+            assert ga_time > mgr.plan(workload).decision_seconds
+
+
+class TestOmniBoost:
+    def test_valid_mapping(self):
+        workload = wl("squeezenet_v2", "resnet50")
+        manager = OmniBoost(PLATFORM, OraclePredictor(PLATFORM),
+                            MCTSConfig(iterations=20, rollouts_per_leaf=3))
+        decision = manager.plan(workload)
+        decision.mapping.validate_against(workload, 3)
+
+    def test_maximises_average_throughput(self):
+        workload = wl("squeezenet_v2", "inception_v4", "resnet50")
+        manager = OmniBoost(PLATFORM, OraclePredictor(PLATFORM),
+                            MCTSConfig(iterations=40, rollouts_per_leaf=4))
+        result = simulate(workload, manager.plan(workload).mapping, PLATFORM)
+        base = simulate(workload, gpu_only_mapping(workload), PLATFORM)
+        assert result.average_throughput > 1.5 * base.average_throughput
+
+    def test_ignores_priorities(self):
+        workload = wl("squeezenet_v2", "resnet50")
+        manager = OmniBoost(PLATFORM, OraclePredictor(PLATFORM),
+                            MCTSConfig(iterations=10, rollouts_per_leaf=2))
+        d1 = manager.plan(workload, np.array([0.9, 0.1]))
+        manager2 = OmniBoost(PLATFORM, OraclePredictor(PLATFORM),
+                             MCTSConfig(iterations=10, rollouts_per_leaf=2))
+        d2 = manager2.plan(workload, np.array([0.1, 0.9]))
+        assert d1.mapping.assignments == d2.mapping.assignments

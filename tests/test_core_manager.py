@@ -1,0 +1,175 @@
+"""Unit tests for priorities, predictors, and the RankMap manager."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OraclePredictor,
+    RankMap,
+    RankMapConfig,
+    dynamic_priorities,
+    normalize_priorities,
+    static_priorities,
+)
+from repro.hw import orange_pi_5
+from repro.mapping import gpu_only_mapping, uniform_block_mapping
+from repro.search import MCTSConfig, RewardConfig
+from repro.sim import simulate
+from repro.zoo import get_model
+
+PLATFORM = orange_pi_5()
+FAST_MCTS = MCTSConfig(iterations=25, rollouts_per_leaf=3)
+
+
+def wl(*names):
+    return [get_model(n) for n in names]
+
+
+class TestPriorities:
+    def test_normalize(self):
+        p = normalize_priorities([2.0, 6.0])
+        np.testing.assert_allclose(p, [0.25, 0.75])
+
+    @pytest.mark.parametrize("bad", [[], [-1.0, 2.0], [0.0, 0.0]])
+    def test_normalize_validation(self, bad):
+        with pytest.raises(ValueError):
+            normalize_priorities(bad)
+
+    def test_static_shape(self):
+        p = static_priorities(4, critical_index=2, critical_weight=0.7)
+        assert p[2] == pytest.approx(0.7)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.allclose(np.delete(p, 2), 0.1)
+
+    def test_static_single_dnn(self):
+        np.testing.assert_allclose(static_priorities(1, 0), [1.0])
+
+    def test_static_validation(self):
+        with pytest.raises(ValueError):
+            static_priorities(3, 5)
+        with pytest.raises(ValueError):
+            static_priorities(3, 0, critical_weight=1.5)
+
+    def test_dynamic_proportional_to_demand(self):
+        workload = wl("squeezenet_v2", "vgg16")
+        p = dynamic_priorities(workload)
+        assert p[1] > p[0]  # VGG-16 is far heavier
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_dynamic_fig8_narrative(self):
+        """Inception-ResNet-V1 must out-rank AlexNet/SqueezeNet (Fig. 8)."""
+        workload = wl("inception_resnet_v1", "alexnet", "squeezenet")
+        p = dynamic_priorities(workload)
+        assert p.argmax() == 0
+
+    def test_dynamic_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dynamic_priorities([])
+
+
+class TestOraclePredictor:
+    def test_matches_simulator(self):
+        workload = wl("alexnet", "squeezenet_v2")
+        oracle = OraclePredictor(PLATFORM)
+        mapping = gpu_only_mapping(workload)
+        rates = oracle.predict(workload, [mapping])
+        expected = simulate(workload, mapping, PLATFORM).rates
+        np.testing.assert_allclose(rates[0], expected)
+
+    def test_batch_shape(self):
+        workload = wl("alexnet", "squeezenet_v2")
+        rng = np.random.default_rng(0)
+        mappings = [uniform_block_mapping(workload, 3, rng) for _ in range(4)]
+        rates = OraclePredictor(PLATFORM).predict(workload, mappings)
+        assert rates.shape == (4, 2)
+
+    def test_board_latency_is_measurement_window(self):
+        oracle = OraclePredictor(PLATFORM, measurement_window_s=1.5)
+        assert oracle.board_latency_per_eval == 1.5
+
+
+class TestRankMapConfig:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            RankMapConfig(mode="hybrid")
+
+    def test_resolved_reward_dynamic_weights_raw_rates(self):
+        """Dynamic mode runs the paper's literal Sec. IV-E objective."""
+        cfg = RankMapConfig().resolved_reward()
+        assert cfg.kind == "weighted"
+        assert not cfg.normalize_by_ideal
+
+    def test_resolved_reward_static_weights_potentials(self):
+        cfg = RankMapConfig(mode="static").resolved_reward()
+        assert cfg.kind == "weighted"
+        assert cfg.normalize_by_ideal
+
+    def test_explicit_reward_passthrough(self):
+        cfg = RankMapConfig(reward=RewardConfig(kind="weighted"))
+        assert cfg.resolved_reward().kind == "weighted"
+
+
+class TestRankMapManager:
+    def _dynamic(self):
+        return RankMap(PLATFORM, OraclePredictor(PLATFORM),
+                       RankMapConfig(mode="dynamic", mcts=FAST_MCTS))
+
+    def _static(self):
+        return RankMap(PLATFORM, OraclePredictor(PLATFORM),
+                       RankMapConfig(mode="static", mcts=FAST_MCTS))
+
+    def test_plan_returns_valid_mapping(self):
+        workload = wl("alexnet", "squeezenet_v2", "resnet50")
+        decision = self._dynamic().plan(workload)
+        decision.mapping.validate_against(workload, 3)
+        assert decision.decision_seconds > 0
+
+    def test_dynamic_mode_never_starves(self):
+        workload = wl("squeezenet_v2", "inception_v4", "resnet50", "vgg16")
+        decision = self._dynamic().plan(workload)
+        result = simulate(workload, decision.mapping, PLATFORM)
+        assert (result.potentials >= 0.02).all()
+
+    def test_static_mode_requires_priorities(self):
+        with pytest.raises(ValueError):
+            self._static().plan(wl("alexnet"))
+
+    def test_static_mode_boosts_critical_dnn(self):
+        workload = wl("squeezenet_v2", "inception_v4", "resnet50", "vgg16")
+        manager = RankMap(
+            PLATFORM, OraclePredictor(PLATFORM),
+            RankMapConfig(mode="static",
+                          mcts=MCTSConfig(iterations=70, rollouts_per_leaf=4)),
+        )
+        p = static_priorities(4, critical_index=1)
+        decision = manager.plan(workload, p)
+        result = simulate(workload, decision.mapping, PLATFORM)
+        base = simulate(workload, gpu_only_mapping(workload), PLATFORM)
+        assert result.potentials[1] > 1.5 * base.potentials[1]
+
+    def test_static_priority_length_validated(self):
+        with pytest.raises(ValueError):
+            self._static().plan(wl("alexnet"), np.array([0.5, 0.5]))
+
+    def test_outperforms_baseline_throughput(self):
+        workload = wl("squeezenet_v2", "resnet50", "mobilenet")
+        decision = self._dynamic().plan(workload)
+        result = simulate(workload, decision.mapping, PLATFORM)
+        base = simulate(workload, gpu_only_mapping(workload), PLATFORM)
+        assert result.average_throughput > base.average_throughput
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            self._dynamic().plan([])
+
+    def test_stats_and_wall_clock_recorded(self):
+        manager = self._dynamic()
+        manager.plan(wl("alexnet", "mobilenet"))
+        assert manager.last_stats is not None
+        assert manager.last_stats.evaluations > 0
+        assert manager.last_wall_seconds > 0
+        assert manager.last_priorities is not None
+
+    def test_names_reflect_mode(self):
+        assert self._static().name == "rankmap_s"
+        assert self._dynamic().name == "rankmap_d"

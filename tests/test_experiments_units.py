@@ -1,0 +1,84 @@
+"""Unit tests for experiment scaffolding that need no trained artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    PRESETS,
+    ExperimentContext,
+    ExperimentResult,
+    sample_mix,
+)
+from repro.experiments.table1_features import FEATURES
+
+
+class TestPresets:
+    def test_three_presets_registered(self):
+        assert set(PRESETS) == {"tiny", "fast", "paper"}
+
+    def test_paper_preset_matches_published_sizes(self):
+        paper = PRESETS["paper"]
+        assert paper.dataset_samples == 10_000
+        assert paper.estimator_epochs == 50
+        assert paper.motivation_mappings == 300
+        assert paper.mixes_per_size == 6
+
+    def test_scaling_monotone(self):
+        tiny, fast, paper = (PRESETS[n] for n in ("tiny", "fast", "paper"))
+        assert tiny.dataset_samples < fast.dataset_samples < paper.dataset_samples
+        assert tiny.mcts_iterations < fast.mcts_iterations <= paper.mcts_iterations
+
+
+class TestSampleMix:
+    def test_distinct_models(self):
+        rng = np.random.default_rng(0)
+        for size in (3, 4, 5):
+            mix = sample_mix(rng, size)
+            assert len(mix) == size
+            assert len({m.name for m in mix}) == size
+
+    def test_seeded_reproducibility(self):
+        a = [m.name for m in sample_mix(np.random.default_rng(5), 4)]
+        b = [m.name for m in sample_mix(np.random.default_rng(5), 4)]
+        assert a == b
+
+
+class TestExperimentResult:
+    def test_save_writes_csv_and_txt(self, tmp_path):
+        result = ExperimentResult(
+            experiment="demo", headers=["a", "b"],
+            rows=[[1, 2.5]], text="hello",
+        )
+        result.save(tmp_path)
+        assert (tmp_path / "demo.csv").read_text().startswith("a,b")
+        assert (tmp_path / "demo.txt").read_text().strip() == "hello"
+
+
+class TestTable1:
+    def test_rankmap_uniquely_priority_aware_and_starvation_free(self):
+        assert FEATURES["priority_aware"] == {
+            "mosaic": False, "odmdef": False, "ga": False,
+            "omniboost": False, "rankmap": True,
+        }
+        assert FEATURES["no_starvation"]["rankmap"]
+        assert not any(
+            v for k, v in FEATURES["no_starvation"].items() if k != "rankmap"
+        )
+
+    def test_matches_paper_table_row_count(self):
+        assert len(FEATURES) == 7  # the paper's seven feature rows
+
+
+class TestContextConstruction:
+    def test_preset_by_name_or_object(self, tmp_path):
+        ctx1 = ExperimentContext(preset="tiny", results_dir=tmp_path)
+        ctx2 = ExperimentContext(preset=PRESETS["tiny"], results_dir=tmp_path)
+        assert ctx1.preset == ctx2.preset
+
+    def test_unknown_preset_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            ExperimentContext(preset="huge", results_dir=tmp_path)
+
+    def test_mcts_config_offsets_seed(self, tmp_path):
+        ctx = ExperimentContext(preset="tiny", results_dir=tmp_path)
+        assert ctx.mcts_config(10).seed != ctx.mcts_config(20).seed

@@ -1,0 +1,97 @@
+"""Tests for the alternate (Jetson-class) platform preset: the manager
+stack must generalise beyond the paper's board."""
+
+import numpy as np
+import pytest
+
+from repro.core import OraclePredictor, RankMap, RankMapConfig
+from repro.hw import jetson_class, orange_pi_5, solo_throughput
+from repro.mapping import gpu_only_mapping
+from repro.search import MCTSConfig, RewardConfig
+from repro.sim import simulate
+from repro.zoo import get_model
+
+JETSON = jetson_class()
+ORANGE = orange_pi_5()
+
+
+class TestJetsonPreset:
+    def test_structure(self):
+        assert JETSON.num_components == 3
+        assert JETSON.gpu.kind == "gpu"
+
+    def test_gpu_much_faster_than_orange_pi(self):
+        for name in ("resnet50", "vgg16", "inception_v4"):
+            model = get_model(name)
+            assert (solo_throughput(model, JETSON.gpu)
+                    > 2.0 * solo_throughput(model, ORANGE.gpu)), name
+
+    def test_gpu_dominates_cpu_groups_harder(self):
+        """CUDA-class GPU: the GPU/CPU gap exceeds the Mali board's."""
+        model = get_model("resnet50")
+
+        def gap(platform):
+            return (solo_throughput(model, platform.components[0])
+                    / solo_throughput(model, platform.components[1]))
+
+        assert gap(JETSON) > gap(ORANGE)
+
+    def test_cpu_groups_nearly_symmetric(self):
+        model = get_model("mobilenet_v2")
+        a = solo_throughput(model, JETSON.components[1])
+        b = solo_throughput(model, JETSON.components[2])
+        assert 0.7 < b / a < 1.0
+
+    def test_simulator_runs_on_jetson(self):
+        workload = [get_model(n) for n in ("squeezenet_v2", "resnet50")]
+        result = simulate(workload, gpu_only_mapping(workload), JETSON)
+        assert (result.rates > 0).all()
+        assert result.solution.converged
+
+
+class TestManagerOnJetson:
+    def test_rankmap_plans_without_starvation(self):
+        workload = [get_model(n) for n in
+                    ("squeezenet_v2", "inception_v4", "resnet50", "vgg16")]
+        manager = RankMap(
+            JETSON, OraclePredictor(JETSON),
+            RankMapConfig(mode="dynamic",
+                          mcts=MCTSConfig(iterations=40,
+                                          rollouts_per_leaf=4)),
+        )
+        decision = manager.plan(workload)
+        result = simulate(workload, decision.mapping, JETSON)
+        assert (result.potentials >= 0.02).all()
+
+    def test_rankmap_beats_baseline_on_jetson_too(self):
+        """With the throughput-oriented floor reward, RankMap must match
+        or beat all-on-GPU even where the GPU dominates.  (The default
+        priority-weighted objective may legitimately trade mean T for the
+        heavy DNN's rate on this platform.)"""
+        workload = [get_model(n) for n in
+                    ("squeezenet_v2", "mobilenet", "resnet50")]
+        manager = RankMap(
+            JETSON, OraclePredictor(JETSON),
+            RankMapConfig(mode="dynamic",
+                          reward=RewardConfig(kind="floor"),
+                          mcts=MCTSConfig(iterations=40,
+                                          rollouts_per_leaf=4)),
+        )
+        decision = manager.plan(workload)
+        ours = simulate(workload, decision.mapping, JETSON)
+        base = simulate(workload, gpu_only_mapping(workload), JETSON)
+        assert ours.average_throughput >= base.average_throughput
+
+    def test_good_jetson_mappings_lean_on_the_gpu(self):
+        """With a dominant GPU, RankMap should keep heavy work there."""
+        workload = [get_model("vgg16"), get_model("resnet50")]
+        manager = RankMap(
+            JETSON, OraclePredictor(JETSON),
+            RankMapConfig(mode="dynamic",
+                          mcts=MCTSConfig(iterations=40,
+                                          rollouts_per_leaf=4)),
+        )
+        decision = manager.plan(workload)
+        flat = [c for a in decision.mapping.assignments for c in a]
+        gpu_frac = flat.count(0) / len(flat)
+        assert gpu_frac > 0.4

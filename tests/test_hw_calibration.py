@@ -1,0 +1,80 @@
+"""Calibration tests: the simulated Orange Pi 5 must reproduce the paper's
+reported ideal throughputs and the qualitative speed structure of the board.
+
+The paper (Sec. V-B) reports GPU-solo rates of ~43 inf/s for AlexNet,
+~67 inf/s for SqueezeNet-V1, ~20 inf/s for ResNet-50 and ~4 inf/s for
+Inception-ResNet-V1.  Absolute agreement is not expected from an analytical
+model; we assert the documented bands (factor <= 1.6 for the first three,
+<= 3 for Inception-ResNet-V1 whose branchy runtime behaviour is hardest to
+capture) and, more importantly, the orderings the evaluation relies on.
+"""
+
+import pytest
+
+from repro.hw import BIG, GPU, LITTLE, orange_pi_5, solo_throughput
+from repro.zoo import get_model
+
+PLATFORM = orange_pi_5()
+
+
+def gpu_rate(name: str) -> float:
+    return solo_throughput(get_model(name), PLATFORM.components[GPU])
+
+
+class TestPaperAnchors:
+    @pytest.mark.parametrize("name,paper_rate,band", [
+        ("alexnet", 43.0, 1.6),
+        ("squeezenet", 67.0, 1.6),
+        ("resnet50", 20.0, 1.6),
+        ("inception_resnet_v1", 4.0, 3.0),
+    ])
+    def test_gpu_solo_rate_within_band(self, name, paper_rate, band):
+        ours = gpu_rate(name)
+        assert paper_rate / band <= ours <= paper_rate * band, (
+            f"{name}: {ours:.1f} inf/s vs paper {paper_rate}"
+        )
+
+    def test_fig8_arrival_ordering(self):
+        """Fig. 8's narrative: Inception-ResNet-V1 is by far the most
+        demanding, SqueezeNet the lightest."""
+        ir = gpu_rate("inception_resnet_v1")
+        alex = gpu_rate("alexnet")
+        squeeze = gpu_rate("squeezenet")
+        resnet = gpu_rate("resnet50")
+        assert ir < resnet < alex < squeeze
+
+
+class TestHeterogeneityStructure:
+    def test_components_ordered_for_heavy_convs(self):
+        """GPU >> big >> LITTLE for compute-dense models."""
+        for name in ("vgg16", "resnet50", "inception_v4", "yolo_v3"):
+            m = get_model(name)
+            rates = [solo_throughput(m, c) for c in PLATFORM.components]
+            assert rates[GPU] > rates[BIG] > rates[LITTLE], name
+
+    def test_light_models_lose_less_by_leaving_gpu(self):
+        """Key Fig. 2 mechanism: the CPU/GPU gap shrinks for light DNNs,
+        so partitioned mappings can relocate them cheaply."""
+
+        def gpu_over_big(name):
+            m = get_model(name)
+            return (solo_throughput(m, PLATFORM.components[GPU])
+                    / solo_throughput(m, PLATFORM.components[BIG]))
+
+        assert gpu_over_big("vgg16") > 3 * gpu_over_big("squeezenet_v2")
+        assert gpu_over_big("inception_v4") > gpu_over_big("mobilenet_v2")
+
+    def test_little_slower_than_big_everywhere(self):
+        for name in ("alexnet", "mobilenet", "resnet50", "squeezenet_v2"):
+            m = get_model(name)
+            assert (solo_throughput(m, PLATFORM.components[BIG])
+                    > solo_throughput(m, PLATFORM.components[LITTLE])), name
+
+    def test_gpu_interference_harsher_than_cpu(self):
+        gpu = PLATFORM.components[GPU]
+        big = PLATFORM.components[BIG]
+        assert gpu.interference_factor(4) > big.interference_factor(4)
+
+    def test_gpu_sharing_biased_toward_long_kernels(self):
+        assert PLATFORM.components[GPU].sharing_bias > \
+            PLATFORM.components[BIG].sharing_bias

@@ -1,0 +1,125 @@
+"""Tests for deployment-record serialization (repro.mapping.serialize)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import OraclePredictor, RankMap, RankMapConfig
+from repro.hw import orange_pi_5
+from repro.mapping import (
+    DeploymentRecord,
+    gpu_only_mapping,
+    load_deployment,
+    random_partition_mapping,
+    save_deployment,
+)
+from repro.search import MCTSConfig
+from repro.sim import simulate
+from repro.zoo import get_model
+
+PLATFORM = orange_pi_5()
+
+
+def wl(*names):
+    return [get_model(n) for n in names]
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        workload = wl("alexnet", "resnet50")
+        rng = np.random.default_rng(3)
+        mapping = random_partition_mapping(workload, 3, rng)
+        record = DeploymentRecord.from_plan(
+            "orange_pi_5", workload, mapping, priorities=[0.7, 0.3])
+        back = DeploymentRecord.from_json(record.to_json())
+        assert back == record
+
+    def test_restore_rebuilds_identical_simulation(self):
+        workload = wl("alexnet", "squeezenet")
+        rng = np.random.default_rng(5)
+        mapping = random_partition_mapping(workload, 3, rng)
+        record = DeploymentRecord.from_plan("orange_pi_5", workload, mapping)
+        restored_wl, restored_map = record.restore(PLATFORM.num_components)
+        np.testing.assert_array_equal(
+            simulate(workload, mapping, PLATFORM).rates,
+            simulate(restored_wl, restored_map, PLATFORM).rates)
+
+    def test_file_round_trip(self, tmp_path):
+        workload = wl("mobilenet",)
+        record = DeploymentRecord.from_plan(
+            "orange_pi_5", workload, gpu_only_mapping(workload))
+        path = tmp_path / "plan.json"
+        save_deployment(path, record)
+        assert load_deployment(path) == record
+        # The on-disk form is plain JSON a runtime in any language can read.
+        payload = json.loads(path.read_text())
+        assert payload["workload"] == ["mobilenet"]
+
+    def test_plan_snapshot_from_manager(self, tmp_path):
+        workload = wl("alexnet", "squeezenet")
+        manager = RankMap(
+            PLATFORM, OraclePredictor(PLATFORM),
+            RankMapConfig(mode="dynamic",
+                          mcts=MCTSConfig(iterations=20,
+                                          rollouts_per_leaf=2)))
+        decision = manager.plan(workload)
+        record = DeploymentRecord.from_plan(
+            PLATFORM.name, workload, decision.mapping,
+            priorities=manager.last_priorities)
+        path = tmp_path / "deployed.json"
+        save_deployment(path, record)
+        _, mapping = load_deployment(path).restore(PLATFORM.num_components)
+        assert mapping == decision.mapping
+
+
+class TestValidation:
+    def test_misaligned_lengths_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            DeploymentRecord(platform="x", workload=("alexnet",),
+                             assignments=((0,), (1,)))
+
+    def test_priorities_length_checked(self):
+        with pytest.raises(ValueError, match="priorities"):
+            DeploymentRecord(platform="x", workload=("alexnet",),
+                             assignments=((0, 0, 0, 0, 0, 0, 0, 0, 0),),
+                             priorities=(0.5, 0.5))
+
+    def test_unknown_model_fails_on_restore(self):
+        record = DeploymentRecord(platform="orange_pi_5",
+                                  workload=("made_up_net",),
+                                  assignments=((0, 0),))
+        with pytest.raises(KeyError, match="unknown model"):
+            record.restore(3)
+
+    def test_stale_block_structure_fails_on_restore(self):
+        # One block too few for alexnet: zoo drift must be caught.
+        workload = wl("alexnet",)
+        good = gpu_only_mapping(workload).assignments[0]
+        record = DeploymentRecord(platform="orange_pi_5",
+                                  workload=("alexnet",),
+                                  assignments=(good[:-1],))
+        with pytest.raises(ValueError):
+            record.restore(3)
+
+    def test_component_out_of_range_fails_on_restore(self):
+        workload = wl("alexnet",)
+        blocks = len(gpu_only_mapping(workload).assignments[0])
+        record = DeploymentRecord(platform="orange_pi_5",
+                                  workload=("alexnet",),
+                                  assignments=(tuple([5] * blocks),))
+        with pytest.raises(ValueError):
+            record.restore(3)
+
+    def test_version_gate(self):
+        payload = json.loads(DeploymentRecord(
+            platform="x", workload=(), assignments=()).to_json())
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            DeploymentRecord.from_json(json.dumps(payload))
+
+    def test_from_plan_requires_matching_mapping(self):
+        workload = wl("alexnet", "squeezenet")
+        solo = gpu_only_mapping(workload[:1])
+        with pytest.raises(ValueError, match="cover"):
+            DeploymentRecord.from_plan("orange_pi_5", workload, solo)

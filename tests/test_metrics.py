@@ -1,0 +1,100 @@
+"""Unit tests for the metrics package."""
+
+import numpy as np
+import pytest
+
+from repro.hw import orange_pi_5
+from repro.mapping import gpu_only_mapping
+from repro.metrics import (
+    STARVATION_EPSILON,
+    any_starved,
+    average_throughput,
+    baseline_result,
+    count_starved,
+    normalized_throughput,
+    pearson_r,
+    potential_throughput,
+    starved_mask,
+)
+from repro.sim import simulate
+from repro.zoo import get_model
+
+PLATFORM = orange_pi_5()
+
+
+def result_for(names):
+    workload = [get_model(n) for n in names]
+    return simulate(workload, gpu_only_mapping(workload), PLATFORM)
+
+
+class TestThroughputMetrics:
+    def test_baseline_result_is_gpu_only(self):
+        workload = [get_model("alexnet")]
+        base = baseline_result(workload, PLATFORM)
+        assert base.rates[0] == pytest.approx(base.ideal_rates[0])
+
+    def test_normalized_throughput_identity(self):
+        base = result_for(["alexnet", "resnet50"])
+        assert normalized_throughput(base, base) == pytest.approx(1.0)
+
+    def test_normalized_throughput_rejects_zero_baseline(self):
+        base = result_for(["alexnet"])
+        broken = result_for(["alexnet"])
+        object.__setattr__(broken, "rates", np.zeros(1))
+        with pytest.raises(ValueError):
+            normalized_throughput(base, broken)
+
+    def test_average_and_potential_passthrough(self):
+        r = result_for(["alexnet", "resnet50"])
+        assert average_throughput(r) == r.average_throughput
+        np.testing.assert_array_equal(potential_throughput(r), r.potentials)
+
+
+class TestStarvation:
+    def test_solo_dnn_never_starved(self):
+        r = result_for(["resnet50"])
+        assert not any_starved(r)
+        assert count_starved(r) == 0
+
+    def test_mask_thresholding(self):
+        r = result_for(["resnet50"])
+        # Force a potential below epsilon.
+        object.__setattr__(r, "rates",
+                           r.ideal_rates * (STARVATION_EPSILON / 2))
+        assert starved_mask(r).all()
+        assert count_starved(r) == 1
+        assert any_starved(r)
+
+    def test_custom_epsilon(self):
+        r = result_for(["resnet50"])
+        assert any_starved(r, epsilon=2.0)  # everything below 200 % of ideal
+
+    def test_epsilon_documented_value(self):
+        assert STARVATION_EPSILON == 0.02
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson_r([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert pearson_r([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_vector_gives_zero(self):
+        assert pearson_r([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_symmetry(self):
+        x, y = [1.0, 4.0, 2.0, 8.0], [0.5, 2.5, 1.0, 3.0]
+        assert pearson_r(x, y) == pytest.approx(pearson_r(y, x))
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            x, y = rng.normal(size=8), rng.normal(size=8)
+            assert -1.0 <= pearson_r(x, y) <= 1.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            pearson_r([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            pearson_r([1], [1])

@@ -1,0 +1,153 @@
+"""Unit tests for the grouped-residual VQ and the layer VQ-VAE."""
+
+import numpy as np
+import pytest
+
+from repro.vqvae import (
+    EMBEDDING_DIM,
+    EmbeddingCache,
+    GroupedResidualVQ,
+    LayerVQVAE,
+    VQVAETrainConfig,
+    train_vqvae,
+)
+from repro.zoo import get_model, vectorize_model
+
+
+class TestGroupedResidualVQ:
+    def make(self, **kw):
+        base = dict(dim=8, groups=2, stages=2, codebook_size=16,
+                    rng=np.random.default_rng(0))
+        base.update(kw)
+        return GroupedResidualVQ(**base)
+
+    def test_dim_must_divide_groups(self):
+        with pytest.raises(ValueError):
+            GroupedResidualVQ(dim=7, groups=2)
+
+    def test_quantize_shapes(self):
+        vq = self.make()
+        x = np.random.default_rng(1).normal(size=(10, 8))
+        q, codes = vq.quantize(x)
+        assert q.shape == (10, 8)
+        assert codes.shape == (10, 2, 2)
+
+    def test_wrong_input_shape_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().quantize(np.zeros((4, 5)))
+
+    def test_quantized_uses_codebook_entries(self):
+        vq = self.make(stages=1)
+        x = np.random.default_rng(1).normal(size=(5, 8))
+        q, codes = vq.quantize(x)
+        for row in range(5):
+            for g in range(2):
+                entry = vq.codebooks[g][0][codes[row, g, 0]]
+                np.testing.assert_allclose(q[row, g * 4 : (g + 1) * 4], entry)
+
+    def test_residual_stages_reduce_error(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(200, 8))
+        vq1 = self.make(stages=1)
+        vq2 = self.make(stages=3)
+        for _ in range(30):
+            vq1.quantize(x, update=True)
+            vq2.quantize(x, update=True)
+        e1 = ((vq1.quantize(x)[0] - x) ** 2).mean()
+        e2 = ((vq2.quantize(x)[0] - x) ** 2).mean()
+        assert e2 < e1
+
+    def test_ema_training_reduces_error(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(300, 8)) * 2.0
+        vq = self.make()
+        before = ((vq.quantize(x)[0] - x) ** 2).mean()
+        for _ in range(50):
+            vq.quantize(x, update=True)
+        after = ((vq.quantize(x)[0] - x) ** 2).mean()
+        assert after < before
+
+    def test_quantize_without_update_is_pure(self):
+        vq = self.make()
+        x = np.random.default_rng(4).normal(size=(20, 8))
+        books_before = [b.copy() for g in vq.codebooks for b in g]
+        vq.quantize(x, update=False)
+        books_after = [b for g in vq.codebooks for b in g]
+        for a, b in zip(books_before, books_after):
+            np.testing.assert_array_equal(a, b)
+
+    def test_deterministic_codes(self):
+        vq = self.make()
+        x = np.random.default_rng(5).normal(size=(6, 8))
+        _, c1 = vq.quantize(x)
+        _, c2 = vq.quantize(x)
+        np.testing.assert_array_equal(c1, c2)
+
+    def test_codebook_usage_in_unit_interval(self):
+        vq = self.make()
+        assert 0.0 <= vq.codebook_usage() <= 1.0
+
+    def test_state_roundtrip(self):
+        vq = self.make()
+        x = np.random.default_rng(6).normal(size=(50, 8))
+        for _ in range(5):
+            vq.quantize(x, update=True)
+        clone = self.make()
+        clone.load_arrays(vq.state_arrays())
+        q1, _ = vq.quantize(x)
+        q2, _ = clone.quantize(x)
+        np.testing.assert_allclose(q1, q2)
+
+    def test_state_validation(self):
+        with pytest.raises(ValueError):
+            self.make().load_arrays([np.zeros((2, 2))])
+
+
+class TestLayerVQVAE:
+    def test_embed_model_shape(self):
+        vqvae = LayerVQVAE(np.random.default_rng(0))
+        model = get_model("alexnet")
+        emb = vqvae.embed_model(model)
+        assert emb.shape == (model.num_layers, EMBEDDING_DIM)
+
+    def test_training_reduces_reconstruction(self):
+        models = [get_model(n) for n in ("alexnet", "squeezenet_v2")]
+        _, history = train_vqvae(models, VQVAETrainConfig(epochs=8))
+        assert history[-1] < history[0] * 0.5
+
+    def test_eval_mode_after_training(self):
+        models = [get_model("alexnet")]
+        vqvae, _ = train_vqvae(models, VQVAETrainConfig(epochs=1))
+        assert not vqvae.training
+
+    def test_loss_returns_scalar_and_float(self):
+        vqvae = LayerVQVAE(np.random.default_rng(0))
+        from repro.autodiff import Tensor
+
+        features = Tensor(vectorize_model(get_model("alexnet")).T[None])
+        total, recon = vqvae.loss(features)
+        assert total.size == 1
+        assert recon >= 0.0
+
+    def test_distinct_layers_get_distinct_embeddings(self):
+        models = [get_model(n) for n in ("alexnet", "vgg16")]
+        vqvae, _ = train_vqvae(models, VQVAETrainConfig(epochs=8))
+        emb = vqvae.embed_model(get_model("alexnet"))
+        # conv1 vs fc8 must differ after compression.
+        assert not np.allclose(emb[0], emb[-1])
+
+
+class TestEmbeddingCache:
+    def test_cache_hits_return_same_array(self):
+        vqvae = LayerVQVAE(np.random.default_rng(0))
+        cache = EmbeddingCache(vqvae)
+        model = get_model("alexnet")
+        assert cache.get(model) is cache.get(model)
+
+    def test_for_workload_order(self):
+        vqvae = LayerVQVAE(np.random.default_rng(0))
+        cache = EmbeddingCache(vqvae)
+        wl = [get_model("alexnet"), get_model("mobilenet")]
+        embs = cache.for_workload(wl)
+        assert embs[0].shape[0] == wl[0].num_layers
+        assert embs[1].shape[0] == wl[1].num_layers

@@ -1,0 +1,152 @@
+"""Unit tests for the NetBuilder DSL."""
+
+import pytest
+
+from repro.zoo.builder import NetBuilder
+from repro.zoo.layers import Activation, LayerType
+
+
+def fresh(shape=(3, 32, 32)):
+    return NetBuilder("test", shape)
+
+
+class TestShapeTracking:
+    def test_conv_same_padding_preserves_spatial(self):
+        b = fresh().block("b").conv(8, 3)
+        assert b.shape == (8, 32, 32)
+
+    def test_conv_stride_halves(self):
+        b = fresh().block("b").conv(8, 3, stride=2)
+        assert b.shape == (8, 16, 16)
+
+    def test_conv_rectangular_kernel(self):
+        b = fresh().block("b").conv(8, (1, 7))
+        assert b.shape == (8, 32, 32)
+        layer = b.build().layers()[0]
+        assert layer.weight_shape[2:] == (1, 7)
+        assert layer.macs == 1 * 7 * 3 * 8 * 32 * 32
+
+    def test_valid_padding(self):
+        b = fresh().block("b").conv(8, 3, pad=0)
+        assert b.shape == (8, 30, 30)
+
+    def test_dwconv_preserves_channels(self):
+        b = fresh((16, 10, 10)).block("b").dwconv(3, stride=2)
+        assert b.shape == (16, 5, 5)
+
+    def test_pwconv(self):
+        b = fresh((16, 10, 10)).block("b").pwconv(4)
+        assert b.shape == (4, 10, 10)
+
+    def test_pools(self):
+        b = fresh((8, 16, 16)).block("b").maxpool(2).avgpool(2)
+        assert b.shape == (8, 4, 4)
+
+    def test_global_pool(self):
+        b = fresh((8, 16, 16)).block("b").global_pool()
+        assert b.shape == (8, 1, 1)
+
+    def test_fc_flattens(self):
+        b = fresh((8, 4, 4)).block("b").fc(10)
+        assert b.shape == (10, 1, 1)
+        layer = b.build().layers()[0]
+        assert layer.weight_shape[1] == 8 * 4 * 4
+
+    def test_upsample(self):
+        b = fresh((8, 4, 4)).block("b").upsample(2)
+        assert b.shape == (8, 8, 8)
+
+    def test_negative_output_size_raises(self):
+        with pytest.raises(ValueError):
+            fresh((3, 2, 2)).block("b").conv(8, 5, pad=0)
+
+
+class TestBranching:
+    def test_branches_concat_channels(self):
+        b = fresh((8, 16, 16)).block("b").branches(
+            lambda nb: nb.pwconv(4),
+            lambda nb: nb.conv(6, 3),
+        )
+        assert b.shape == (10, 16, 16)
+        layers = b.build().layers()
+        assert layers[-1].op_type == LayerType.CONCAT
+
+    def test_branches_spatial_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            fresh((8, 16, 16)).block("b").branches(
+                lambda nb: nb.pwconv(4),
+                lambda nb: nb.conv(4, 3, stride=2),
+            )
+
+    def test_residual_identity(self):
+        b = fresh((8, 16, 16)).block("b").residual(
+            lambda nb: nb.conv(8, 3, act=Activation.NONE)
+        )
+        assert b.shape == (8, 16, 16)
+        assert b.build().layers()[-1].op_type == LayerType.ADD
+
+    def test_residual_projection(self):
+        b = fresh((8, 16, 16)).block("b").residual(
+            lambda nb: nb.conv(16, 3, stride=2, act=Activation.NONE),
+            lambda nb: nb.conv(16, 1, stride=2, pad=0, act=Activation.NONE),
+        )
+        assert b.shape == (16, 8, 8)
+
+    def test_residual_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            fresh((8, 16, 16)).block("b").residual(lambda nb: nb.pwconv(4))
+
+    def test_residual_projection_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            fresh((8, 16, 16)).block("b").residual(
+                lambda nb: nb.conv(16, 3, act=Activation.NONE),
+                lambda nb: nb.pwconv(4),
+            )
+
+    def test_concat_with_adds_channels(self):
+        b = fresh((8, 16, 16)).block("b").concat_with(24)
+        assert b.shape == (32, 16, 16)
+
+    def test_set_shape_restores(self):
+        b = fresh((8, 16, 16)).block("b")
+        b.conv(4, 3)
+        b.set_shape((8, 16, 16))
+        assert b.shape == (8, 16, 16)
+
+
+class TestBlockManagement:
+    def test_layers_require_block(self):
+        with pytest.raises(RuntimeError):
+            fresh().conv(8, 3)
+
+    def test_empty_block_raises(self):
+        b = fresh()
+        b.block("empty")
+        with pytest.raises(ValueError):
+            b.block("next")
+
+    def test_empty_model_raises(self):
+        with pytest.raises(ValueError):
+            fresh().build()
+
+    def test_block_names_preserved(self):
+        b = fresh()
+        b.block("alpha").conv(4, 3)
+        b.block("beta").conv(4, 3)
+        model = b.build()
+        assert [blk.name for blk in model.blocks] == ["alpha", "beta"]
+
+    def test_layer_indices_are_global_and_increasing(self):
+        b = fresh()
+        b.block("a").conv(4, 3).conv(4, 3)
+        b.block("c").conv(4, 3)
+        indices = [l.index for l in b.build().layers()]
+        assert indices == [0, 1, 2]
+
+    def test_groups_validation(self):
+        with pytest.raises(ValueError):
+            fresh((6, 8, 8)).block("b").conv(8, 3, groups=4)
+
+    def test_channel_shuffle_validation(self):
+        with pytest.raises(ValueError):
+            fresh((7, 8, 8)).block("b").channel_shuffle(3)

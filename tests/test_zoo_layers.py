@@ -1,0 +1,112 @@
+"""Unit tests for the layer IR and derived cost quantities."""
+
+import pytest
+
+from repro.zoo.layers import (
+    BYTES_PER_ELEMENT,
+    Activation,
+    BlockSpec,
+    LayerSpec,
+    LayerType,
+    ModelSpec,
+)
+
+
+def make_conv(index=0, ifm=(3, 8, 8), out_c=4, k=3, stride=1, pad=1,
+              act=Activation.RELU):
+    oh = (ifm[1] + 2 * pad - k) // stride + 1
+    return LayerSpec(
+        index=index, op_type=LayerType.CONV, ifm=ifm, ofm=(out_c, oh, oh),
+        weight_shape=(out_c, ifm[0], k, k), biases=out_c, activation=act,
+        pad=(pad, pad), stride=(stride, stride),
+    )
+
+
+class TestLayerSpecCosts:
+    def test_conv_macs_formula(self):
+        layer = make_conv(ifm=(3, 8, 8), out_c=4, k=3, stride=1, pad=1)
+        # k*k*cin*cout*oh*ow = 9*3*4*8*8
+        assert layer.macs == 9 * 3 * 4 * 8 * 8
+
+    def test_conv_params(self):
+        layer = make_conv(ifm=(3, 8, 8), out_c=4, k=3)
+        assert layer.params == 4 * 3 * 9 + 4
+
+    def test_dwconv_macs(self):
+        layer = LayerSpec(0, LayerType.DWCONV, (8, 10, 10), (8, 10, 10),
+                          (8, 1, 3, 3), 8, Activation.RELU, (1, 1), (1, 1),
+                          groups=8)
+        assert layer.macs == 9 * 8 * 10 * 10
+
+    def test_group_conv_macs_scale_with_group_width(self):
+        full = LayerSpec(0, LayerType.CONV, (32, 8, 8), (32, 8, 8),
+                         (32, 32, 3, 3), 0, Activation.RELU, (1, 1), (1, 1))
+        grouped = LayerSpec(0, LayerType.GROUP_CONV, (32, 8, 8), (32, 8, 8),
+                            (32, 8, 3, 3), 0, Activation.RELU, (1, 1), (1, 1),
+                            groups=4)
+        assert grouped.macs * 4 == full.macs
+
+    def test_fc_macs(self):
+        layer = LayerSpec(0, LayerType.FC, (256, 1, 1), (10, 1, 1),
+                          (10, 256, 1, 1), 10, Activation.NONE, (0, 0), (1, 1))
+        assert layer.macs == 2560
+        assert layer.params == 2570
+
+    def test_pool_has_no_macs_but_elem_ops(self):
+        layer = LayerSpec(0, LayerType.MAXPOOL, (8, 8, 8), (8, 4, 4),
+                          (0, 0, 2, 2), 0, Activation.NONE, (0, 0), (2, 2))
+        assert layer.macs == 0
+        assert layer.elem_ops == 4 * 8 * 4 * 4
+
+    def test_add_elem_ops(self):
+        layer = LayerSpec(0, LayerType.ADD, (8, 4, 4), (8, 4, 4),
+                          (0, 0, 0, 0), 0, Activation.NONE, (0, 0), (1, 1))
+        assert layer.elem_ops == 8 * 4 * 4
+
+    def test_activation_adds_elem_ops(self):
+        no_act = LayerSpec(0, LayerType.ADD, (8, 4, 4), (8, 4, 4),
+                           (0, 0, 0, 0), 0, Activation.NONE, (0, 0), (1, 1))
+        with_act = LayerSpec(0, LayerType.ADD, (8, 4, 4), (8, 4, 4),
+                             (0, 0, 0, 0), 0, Activation.RELU, (0, 0), (1, 1))
+        assert with_act.elem_ops == no_act.elem_ops + 8 * 4 * 4
+
+    def test_byte_sizes(self):
+        layer = make_conv(ifm=(3, 8, 8), out_c=4)
+        assert layer.input_bytes == 3 * 8 * 8 * BYTES_PER_ELEMENT
+        assert layer.output_bytes == 4 * 8 * 8 * BYTES_PER_ELEMENT
+        assert layer.weight_bytes == layer.params * BYTES_PER_ELEMENT
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError):
+            LayerSpec(0, 99, (1, 1, 1), (1, 1, 1), (0, 0, 0, 0), 0,
+                      Activation.NONE, (0, 0), (1, 1))
+
+    def test_repr_mentions_type(self):
+        assert "conv" in repr(make_conv())
+
+
+class TestBlockAndModel:
+    def _model(self):
+        l1 = make_conv(0, ifm=(3, 8, 8), out_c=4)
+        l2 = make_conv(1, ifm=(4, 8, 8), out_c=8)
+        return ModelSpec("toy", (3, 8, 8),
+                         [BlockSpec("b1", [l1]), BlockSpec("b2", [l2])])
+
+    def test_block_aggregates(self):
+        m = self._model()
+        b = m.blocks[0]
+        assert b.macs == b.layers[0].macs
+        assert b.input_bytes == b.layers[0].input_bytes
+        assert b.output_bytes == b.layers[-1].output_bytes
+
+    def test_model_totals(self):
+        m = self._model()
+        assert m.macs == sum(b.macs for b in m.blocks)
+        assert m.num_blocks == 2
+        assert m.num_layers == 2
+        assert len(m.layers()) == 2
+
+    def test_layers_in_execution_order(self):
+        m = self._model()
+        indices = [l.index for l in m.layers()]
+        assert indices == sorted(indices)
