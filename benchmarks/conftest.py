@@ -5,6 +5,12 @@ the VQ-VAE/estimator train once.  The preset is selected with the
 ``REPRO_BENCH_PRESET`` environment variable (default ``tiny`` so the suite
 completes in minutes; use ``fast`` to regenerate the EXPERIMENTS.md
 numbers, ``paper`` for the full-size configuration).
+
+Every test in this directory carries the ``bench`` marker, and the
+repo-level ``--benchmark-disable`` default (pytest.ini) turns a plain
+tier-1 run into a smoke pass: each benchmark body executes once, untimed.
+Select/deselect with ``-m bench`` / ``-m "not bench"``; measure for real
+with ``--benchmark-enable`` (see ``emit_bench_json.py``).
 """
 
 import os
@@ -12,6 +18,15 @@ import os
 import pytest
 
 from repro.experiments import ExperimentContext
+
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if str(item.path).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Measure the micro-benchmarks and distill them into ``BENCH_micro.json``.
+
+Runs ``benchmarks/test_bench_micro.py`` with benchmarking *enabled*
+(overriding the repo's smoke-mode default), then reduces pytest-benchmark's
+verbose JSON into one stable record per benchmark::
+
+    {"meta": {...}, "benchmarks": {"<name>": {"mean_s": ..., "stddev_s":
+     ..., "ops_per_s": ..., "rounds": ...}}}
+
+Commit the emitted file (or archive it per run) and the repo accumulates a
+machine-readable perf trajectory; the batch-size sweep rows
+(``test_bench_simulator_solve_batch[...]`` vs
+``test_bench_simulator_solve_scalar16``) are the ones that demonstrate the
+batched-solver speedup.
+
+Usage:
+    PYTHONPATH=src python benchmarks/emit_bench_json.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_benchmarks(raw_json: Path) -> None:
+    cmd = [
+        sys.executable, "-m", "pytest",
+        str(REPO_ROOT / "benchmarks" / "test_bench_micro.py"),
+        "--benchmark-enable",
+        "--benchmark-only",
+        f"--benchmark-json={raw_json}",
+        "-q",
+    ]
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (":" + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    subprocess.run(cmd, check=True, cwd=REPO_ROOT, env=env)
+
+
+def distill(raw_json: Path, out_path: Path) -> dict:
+    raw = json.loads(raw_json.read_text())
+    benchmarks = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        benchmarks[bench["name"]] = {
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "ops_per_s": stats["ops"],
+            "rounds": stats["rounds"],
+        }
+    record = {
+        "meta": {
+            "datetime": raw.get("datetime"),
+            "python": platform.python_version(),
+            "machine": raw.get("machine_info", {}).get("machine"),
+            "suite": "benchmarks/test_bench_micro.py",
+        },
+        "benchmarks": benchmarks,
+    }
+    out_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+def main() -> None:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 \
+        else REPO_ROOT / "BENCH_micro.json"
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_json = Path(tmp) / "bench_raw.json"
+        run_benchmarks(raw_json)
+        record = distill(raw_json, out_path)
+    names = sorted(record["benchmarks"])
+    print(f"\nWrote {out_path} ({len(names)} benchmarks)")
+    batch16 = record["benchmarks"].get("test_bench_simulator_solve_batch[16]")
+    scalar16 = record["benchmarks"].get("test_bench_simulator_solve_scalar16")
+    if batch16 and scalar16:
+        speedup = scalar16["mean_s"] / batch16["mean_s"]
+        print(f"batch-of-16 vs 16 scalar simulate calls: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,9 +13,13 @@ import pytest
 from repro.core import OraclePredictor, RankMap, RankMapConfig
 from repro.estimator import EstimatorConfig, ThroughputEstimator
 from repro.hw import orange_pi_5
-from repro.mapping import build_q_tensor, random_partition_mapping
+from repro.mapping import (
+    build_q_tensor,
+    random_partition_mapping,
+    uniform_block_mapping,
+)
 from repro.search import MCTSConfig
-from repro.sim import simulate
+from repro.sim import EvaluationCache, simulate, simulate_batch
 from repro.vqvae import EmbeddingCache, LayerVQVAE
 from repro.zoo import get_model
 
@@ -30,6 +34,14 @@ def mappings():
     return [random_partition_mapping(WORKLOAD, 3, rng) for _ in range(16)]
 
 
+@pytest.fixture(scope="module")
+def rollout_mappings():
+    """Fragmented per-block assignments — the distribution MCTS rollouts
+    actually feed the evaluator, and the batch path's target workload."""
+    rng = np.random.default_rng(0)
+    return [uniform_block_mapping(WORKLOAD, 3, rng) for _ in range(16)]
+
+
 def test_bench_simulator_solve(benchmark, mappings):
     simulate(WORKLOAD, mappings[0], PLATFORM)  # warm latency caches
     it = iter(range(10**9))
@@ -38,6 +50,37 @@ def test_bench_simulator_solve(benchmark, mappings):
         return simulate(WORKLOAD, mappings[next(it) % len(mappings)], PLATFORM)
 
     benchmark(step)
+
+
+@pytest.mark.parametrize("batch", [1, 4, 16])
+def test_bench_simulator_solve_batch(benchmark, rollout_mappings, batch):
+    """Batch-size sweep of the vectorized fixed-point solver."""
+    simulate(WORKLOAD, rollout_mappings[0], PLATFORM)  # warm latency caches
+    subset = rollout_mappings[:batch]
+    result = benchmark(lambda: simulate_batch(WORKLOAD, subset, PLATFORM))
+    assert len(result) == batch
+
+
+def test_bench_simulator_solve_scalar16(benchmark, rollout_mappings):
+    """Scalar comparison row for the batch-of-16 sweep: the same 16
+    mappings through 16 ``simulate`` calls (acceptance: batch >= 3x)."""
+    simulate(WORKLOAD, rollout_mappings[0], PLATFORM)
+
+    def step():
+        return [simulate(WORKLOAD, m, PLATFORM) for m in rollout_mappings]
+
+    benchmark(step)
+
+
+def test_bench_cached_reevaluation(benchmark, rollout_mappings):
+    """Re-scoring a batch the cache has already solved (relaxation-retry
+    and repeated-plan hot path)."""
+    cache = EvaluationCache(PLATFORM)
+    cache.simulate(WORKLOAD, rollout_mappings)  # prime
+
+    benchmark(lambda: cache.simulate(WORKLOAD, rollout_mappings))
+    assert cache.hits >= len(rollout_mappings)
+    assert cache.misses == len(rollout_mappings)
 
 
 def test_bench_q_tensor_assembly(benchmark, mappings):

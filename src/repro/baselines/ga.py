@@ -43,9 +43,9 @@ class GeneticManager(Manager):
 
     name = "ga"
 
-    def __init__(self, platform: Platform, config: GAConfig = GAConfig()):
+    def __init__(self, platform: Platform, config: GAConfig | None = None):
         self.platform = platform
-        self.config = config
+        self.config = config if config is not None else GAConfig()
         self.oracle = OraclePredictor(platform)
         self._plan_counter = 0
 

@@ -30,10 +30,10 @@ class OmniBoost(Manager):
     name = "omniboost"
 
     def __init__(self, platform: Platform, predictor: RatePredictor,
-                 mcts: MCTSConfig = MCTSConfig()):
+                 mcts: MCTSConfig | None = None):
         self.platform = platform
         self.predictor = predictor
-        self.mcts_config = mcts
+        self.mcts_config = mcts if mcts is not None else MCTSConfig()
         self._plan_counter = 0
 
     def plan(self, workload: list[ModelSpec],

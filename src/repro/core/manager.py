@@ -11,7 +11,8 @@ from each DNN's computational profile (RankMap_D).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -30,6 +31,19 @@ from .predictor import RatePredictor
 from .priorities import dynamic_priorities, normalize_priorities
 
 __all__ = ["Manager", "RankMap", "RankMapConfig"]
+
+
+def _workload_fingerprint(workload: list[ModelSpec]) -> int:
+    """Stable small seed offset per workload (process-independent).
+
+    Search seeds combine this with the relaxation-attempt index, so
+    planning is a pure function of (workload, priorities, config) — two
+    identical ``plan()`` calls walk the identical search trajectory and a
+    shared :class:`~repro.sim.cache.EvaluationCache` answers the repeat
+    from memory — while distinct workloads still explore decorrelated
+    trajectories.
+    """
+    return zlib.crc32("|".join(m.name for m in workload).encode()) % 1024
 
 
 class Manager:
@@ -97,14 +111,14 @@ class RankMap(Manager):
     """Priority-aware multi-DNN manager for heterogeneous platforms."""
 
     def __init__(self, platform: Platform, predictor: RatePredictor,
-                 config: RankMapConfig = RankMapConfig()):
+                 config: RankMapConfig | None = None):
+        config = config if config is not None else RankMapConfig()
         self.platform = platform
         self.predictor = predictor
         self.config = config
         self.name = "rankmap_s" if config.mode == "static" else "rankmap_d"
         self.last_stats: MCTSStats | None = None
         self.last_priorities: np.ndarray | None = None
-        self._plan_counter = 0
 
     # ------------------------------------------------------------------
     def plan(self, workload: list[ModelSpec],
@@ -121,7 +135,7 @@ class RankMap(Manager):
                             for m in workload])
                   if reward_cfg.normalize_by_ideal else None)
         mapping, stats = self._search(workload, p, thresholds, ideals,
-                                      reward_cfg.kind)
+                                      reward_cfg.kind, attempt=0)
 
         # Under saturation, relax the floors — but never below the
         # starvation line itself, so a qualifying mapping always keeps
@@ -135,10 +149,10 @@ class RankMap(Manager):
         attempts = 0
         while (stats.best_reward <= DISQUALIFIED
                and attempts < self.config.threshold_relaxations):
+            attempts += 1
             thresholds = np.maximum(thresholds * relax, floor_min)
             mapping, stats = self._search(workload, p, thresholds, ideals,
-                                          reward_cfg.kind)
-            attempts += 1
+                                          reward_cfg.kind, attempt=attempts)
 
         modeled = stats.evaluations * self.predictor.board_latency_per_eval
         k = self.config.board_validation_top_k
@@ -162,14 +176,15 @@ class RankMap(Manager):
         starvation-prone option on the table — instead of blindly trusting
         the estimator's pick.
         """
-        from ..sim.engine import simulate
+        from ..sim.engine import simulate_batch
 
         best_mapping = fallback
         best_reward = DISQUALIFIED
         best_margin = -np.inf
         margin_mapping = fallback
-        for _, candidate in candidates:
-            result = simulate(workload, candidate, self.platform)
+        mappings = [candidate for _, candidate in candidates]
+        measured = simulate_batch(workload, mappings, self.platform)
+        for candidate, result in zip(mappings, measured):
             reward = mapping_reward(result.rates, p, thresholds, ideals,
                                     kind)
             if reward > best_reward:
@@ -198,7 +213,7 @@ class RankMap(Manager):
 
     def _search(self, workload: list[ModelSpec], p: np.ndarray,
                 thresholds: np.ndarray, ideals: np.ndarray | None,
-                kind: str) -> tuple[Mapping, MCTSStats]:
+                kind: str, attempt: int = 0) -> tuple[Mapping, MCTSStats]:
         def evaluate(mappings: list[Mapping]) -> np.ndarray:
             rates = self.predictor.predict(workload, mappings)
             return np.array([
@@ -206,12 +221,11 @@ class RankMap(Manager):
                 for row in rates
             ])
 
-        self._plan_counter += 1
-        cfg = MCTSConfig(
-            iterations=self.config.mcts.iterations,
-            rollouts_per_leaf=self.config.mcts.rollouts_per_leaf,
-            exploration=self.config.mcts.exploration,
-            seed=self.config.mcts.seed + self._plan_counter,
-        )
+        # Seed per (workload, relaxation attempt) — never per plan() call —
+        # so repeated plans replay the same trajectory (see
+        # _workload_fingerprint) while retries explore fresh ones.
+        cfg = replace(self.config.mcts,
+                      seed=(self.config.mcts.seed + 1 + attempt
+                            + _workload_fingerprint(workload)))
         search = MCTS(workload, self.platform.num_components, evaluate, cfg)
         return search.search()

@@ -21,6 +21,8 @@ matter how little power they would draw.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from ..hw.energy import EnergyReport, PlatformPower, energy_report
@@ -30,6 +32,7 @@ from ..search.mcts import MCTS, MCTSConfig, MCTSStats
 from ..search.reward import DISQUALIFIED, mapping_reward
 from ..sim.demands import compute_stage_demands
 from ..zoo.layers import ModelSpec
+from .manager import _workload_fingerprint
 from .manager import RankMap, RankMapConfig
 from .predictor import RatePredictor
 
@@ -41,7 +44,7 @@ class PowerAwareRankMap(RankMap):
 
     def __init__(self, platform: Platform, predictor: RatePredictor,
                  power: PlatformPower,
-                 config: RankMapConfig = RankMapConfig(),
+                 config: RankMapConfig | None = None,
                  objective: str = "penalty",
                  power_weight: float = 0.5):
         if objective not in ("penalty", "efficiency"):
@@ -107,7 +110,7 @@ class PowerAwareRankMap(RankMap):
     # ------------------------------------------------------------------
     def _search(self, workload: list[ModelSpec], p: np.ndarray,
                 thresholds: np.ndarray, ideals: np.ndarray | None,
-                kind: str) -> tuple[Mapping, MCTSStats]:
+                kind: str, attempt: int = 0) -> tuple[Mapping, MCTSStats]:
         def evaluate(mappings: list[Mapping]) -> np.ndarray:
             rates = self.predictor.predict(workload, mappings)
             rewards = np.empty(len(mappings))
@@ -123,12 +126,8 @@ class PowerAwareRankMap(RankMap):
                     rewards[i] = base / max(watts, 1e-9)
             return rewards
 
-        self._plan_counter += 1
-        cfg = MCTSConfig(
-            iterations=self.config.mcts.iterations,
-            rollouts_per_leaf=self.config.mcts.rollouts_per_leaf,
-            exploration=self.config.mcts.exploration,
-            seed=self.config.mcts.seed + self._plan_counter,
-        )
+        cfg = replace(self.config.mcts,
+                      seed=(self.config.mcts.seed + 1 + attempt
+                            + _workload_fingerprint(workload)))
         search = MCTS(workload, self.platform.num_components, evaluate, cfg)
         return search.search()

@@ -14,7 +14,7 @@ from ..estimator.model import ThroughputEstimator
 from ..hw.platform import Platform
 from ..mapping.mapping import Mapping
 from ..mapping.qtensor import build_q_tensor
-from ..sim.engine import simulate
+from ..sim.cache import EvaluationCache
 from ..vqvae.train import EmbeddingCache
 from ..zoo.layers import ModelSpec
 
@@ -67,18 +67,28 @@ class EstimatorPredictor(RatePredictor):
 
 
 class OraclePredictor(RatePredictor):
-    """Measure rates on the (simulated) board itself."""
+    """Measure rates on the (simulated) board itself.
+
+    Candidate batches are solved through one batched fixed-point call and
+    memoised in an :class:`~repro.sim.cache.EvaluationCache`, so MCTS
+    rollouts and RankMap's relaxation retries never re-solve a mapping the
+    search has already visited.  Pass a shared ``cache`` to pool results
+    across managers on the same platform.
+    """
 
     def __init__(self, platform: Platform,
-                 measurement_window_s: float = 2.0):
+                 measurement_window_s: float = 2.0,
+                 cache: EvaluationCache | None = None):
         self.platform = platform
         self.measurement_window_s = measurement_window_s
+        self.cache = cache if cache is not None else EvaluationCache(platform)
+        if self.cache.platform != platform:
+            raise ValueError("cache is bound to a different platform")
 
     def predict(self, workload: list[ModelSpec],
                 mappings: list[Mapping]) -> np.ndarray:
-        return np.stack([
-            simulate(workload, m, self.platform).rates for m in mappings
-        ])
+        results = self.cache.simulate(workload, mappings)
+        return np.stack([r.rates for r in results])
 
     @property
     def board_latency_per_eval(self) -> float:

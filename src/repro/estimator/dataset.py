@@ -92,7 +92,7 @@ class EstimatorDataset:
 
 def generate_dataset(platform: Platform, rng: np.random.Generator,
                      n_samples: int,
-                     config: EstimatorConfig = EstimatorConfig(),
+                     config: EstimatorConfig | None = None,
                      pool: tuple[str, ...] = MODEL_POOL,
                      min_dnns: int = 1) -> EstimatorDataset:
     """Sample, map and "execute" ``n_samples`` random workloads.
@@ -101,6 +101,7 @@ def generate_dataset(platform: Platform, rng: np.random.Generator,
     fully uniform per-block assignments so the estimator sees both the
     coarse and the fine-grained regions MCTS rollouts will visit.
     """
+    config = config if config is not None else EstimatorConfig()
     if not 1 <= min_dnns <= config.max_dnns:
         raise ValueError("min_dnns out of range")
     samples: list[EstimatorSample] = []

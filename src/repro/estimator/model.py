@@ -89,8 +89,9 @@ class ThroughputEstimator(nn.Module):
     """Mapping tensor Q -> per-DNN log1p(inferences/s)."""
 
     def __init__(self, rng: np.random.Generator,
-                 config: EstimatorConfig = EstimatorConfig()):
+                 config: EstimatorConfig | None = None):
         super().__init__()
+        config = config if config is not None else EstimatorConfig()
         self.config = config
         c1, c2, c3 = config.block_channels
         self.stem = nn.Conv2d(config.max_dnns, config.stem_channels, 3, rng,

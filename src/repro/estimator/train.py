@@ -65,9 +65,10 @@ def _masked_mse(pred: Tensor, y: np.ndarray, mask: np.ndarray) -> Tensor:
 
 def train_estimator(model: ThroughputEstimator, dataset: EstimatorDataset,
                     embedder: EmbeddingCache,
-                    config: EstimatorTrainConfig = EstimatorTrainConfig()
+                    config: EstimatorTrainConfig | None = None
                     ) -> TrainReport:
     """Train ``model`` on ``dataset``; returns the loss trajectory."""
+    config = config if config is not None else EstimatorTrainConfig()
     rng = np.random.default_rng(config.seed)
     train_set, val_set = dataset.split(config.val_fraction, rng)
     optimizer = optim.Adam(model.parameters(), lr=config.lr)

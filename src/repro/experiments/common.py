@@ -245,3 +245,43 @@ class ExperimentContext:
         """RankMap driven by the simulator oracle (ablation helper)."""
         return RankMap(self.platform, OraclePredictor(self.platform),
                        RankMapConfig(mode=mode, mcts=self.mcts_config(400)))
+
+    # ------------------------------------------------------------------
+    def fleet_sweep(self, managers: tuple[str, ...] = ("baseline", "mosaic",
+                                                       "rankmap_d"),
+                    sizes: tuple[int, ...] = (3, 4, 5),
+                    mixes_per_size: int | None = None,
+                    platform: str | None = None,
+                    max_workers: int | None = None):
+        """Oracle-backed mix sweep fanned across a process pool.
+
+        This is the scale-out successor of the hand-rolled serial loops the
+        experiments used to carry: the preset's MCTS budget and mix count
+        turn into declarative :class:`~repro.runner.Scenario` specs and a
+        :class:`~repro.runner.ScenarioRunner` executes them on all cores
+        with per-scenario seeded determinism (the result list is identical
+        for any worker count).  Returns ``(results, summary_rows)``.
+
+        Workers rebuild the platform from a ``runner.PLATFORM_SPECS``
+        preset key; by default the context's own platform name, which must
+        therefore be a preset (a custom Platform object cannot cross the
+        process boundary by name — pass ``platform=`` explicitly).
+        """
+        from ..runner import PLATFORM_SPECS, ScenarioRunner, mix_scenarios, summarise
+
+        if platform is None:
+            platform = self.platform.name
+        if platform not in PLATFORM_SPECS:
+            raise ValueError(
+                f"platform {platform!r} is not a runner preset; "
+                f"choose from {sorted(PLATFORM_SPECS)}")
+        scenarios = mix_scenarios(
+            managers=managers, sizes=sizes,
+            mixes_per_size=(mixes_per_size if mixes_per_size is not None
+                            else self.preset.mixes_per_size),
+            seed=self.preset.seed, platform=platform,
+            search_iterations=self.preset.mcts_iterations,
+            search_rollouts=self.preset.mcts_rollouts,
+        )
+        results = ScenarioRunner(max_workers=max_workers).run(scenarios)
+        return results, summarise(results)

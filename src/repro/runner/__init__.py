@@ -1,0 +1,22 @@
+"""Fleet-scale scenario execution: declarative specs + a process pool."""
+
+from .runner import (
+    MANAGER_SPECS,
+    PLATFORM_SPECS,
+    ScenarioRunner,
+    build_manager,
+    execute_scenario,
+)
+from .scenario import Scenario, ScenarioResult, mix_scenarios, summarise
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "mix_scenarios",
+    "summarise",
+    "build_manager",
+    "execute_scenario",
+    "MANAGER_SPECS",
+    "PLATFORM_SPECS",
+]

@@ -1,0 +1,137 @@
+"""Process-pool scenario execution.
+
+:class:`ScenarioRunner` fans a list of :class:`~repro.runner.scenario.Scenario`
+specs across worker processes.  Each worker rebuilds platform + manager from
+the spec's registry keys (nothing heavier than a few strings crosses the
+process boundary), plans, measures the decision with the simulator, and
+returns a plain-data :class:`ScenarioResult`.  Results come back in input
+order and are bit-identical regardless of ``max_workers`` — every manager
+is freshly constructed from the scenario's seed, so no state leaks between
+scenarios or workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines import GAConfig, GeneticManager, GpuBaseline, Mosaic, Odmdef, OmniBoost
+from ..core.manager import Manager, RankMap, RankMapConfig
+from ..core.predictor import OraclePredictor
+from ..hw import jetson_class, orange_pi_5
+from ..hw.platform import Platform
+from ..search import MCTSConfig
+from ..sim import EvaluationCache, simulate
+from ..zoo import get_model
+from .scenario import Scenario, ScenarioResult
+
+__all__ = ["ScenarioRunner", "MANAGER_SPECS", "PLATFORM_SPECS",
+           "build_manager", "execute_scenario"]
+
+PLATFORM_SPECS: dict[str, Callable[[], Platform]] = {
+    "orange_pi_5": orange_pi_5,
+    "jetson_class": jetson_class,
+}
+
+
+def _mcts(scenario: Scenario) -> MCTSConfig:
+    return MCTSConfig(iterations=scenario.search_iterations,
+                      rollouts_per_leaf=scenario.search_rollouts,
+                      seed=scenario.seed)
+
+
+def _rankmap(mode: str):
+    def build(platform: Platform, scenario: Scenario,
+              cache: EvaluationCache) -> Manager:
+        return RankMap(platform, OraclePredictor(platform, cache=cache),
+                       RankMapConfig(mode=mode, mcts=_mcts(scenario)))
+    return build
+
+
+MANAGER_SPECS: dict[str, Callable[..., Manager]] = {
+    "baseline": lambda platform, scenario, cache: GpuBaseline(),
+    "mosaic": lambda platform, scenario, cache: Mosaic(platform),
+    "odmdef": lambda platform, scenario, cache: Odmdef(
+        platform, seed=scenario.seed),
+    "ga": lambda platform, scenario, cache: GeneticManager(
+        platform, GAConfig(seed=scenario.seed)),
+    "omniboost": lambda platform, scenario, cache: OmniBoost(
+        platform, OraclePredictor(platform, cache=cache), _mcts(scenario)),
+    "rankmap_s": _rankmap("static"),
+    "rankmap_d": _rankmap("dynamic"),
+}
+
+
+def build_manager(scenario: Scenario, platform: Platform,
+                  cache: EvaluationCache) -> Manager:
+    try:
+        spec = MANAGER_SPECS[scenario.manager]
+    except KeyError:
+        raise ValueError(
+            f"unknown manager {scenario.manager!r}; "
+            f"choose from {sorted(MANAGER_SPECS)}") from None
+    return spec(platform, scenario, cache)
+
+
+def execute_scenario(scenario: Scenario) -> ScenarioResult:
+    """Run one scenario start-to-finish (also the process-pool worker)."""
+    try:
+        platform = PLATFORM_SPECS[scenario.platform]()
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {scenario.platform!r}; "
+            f"choose from {sorted(PLATFORM_SPECS)}") from None
+    workload = [get_model(n) for n in scenario.workload]
+    cache = EvaluationCache(platform)
+    manager = build_manager(scenario, platform, cache)
+    priorities = (np.asarray(scenario.priorities, dtype=np.float64)
+                  if scenario.priorities is not None else None)
+
+    t0 = time.perf_counter()
+    decision = manager.plan(workload, priorities)
+    wall = time.perf_counter() - t0
+    result = simulate(workload, decision.mapping, platform)
+    return ScenarioResult(
+        name=scenario.name,
+        manager=scenario.manager,
+        platform=scenario.platform,
+        workload=scenario.workload,
+        assignments=decision.mapping.assignments,
+        decision_seconds=float(decision.decision_seconds),
+        rates=tuple(float(r) for r in result.rates),
+        potentials=tuple(float(p) for p in result.potentials),
+        wall_seconds=wall,
+        cache_hit_rate=cache.hit_rate,
+    )
+
+
+class ScenarioRunner:
+    """Fan scenarios across a process pool; aggregate in input order.
+
+    ``max_workers=None`` sizes the pool to the machine; ``max_workers=1``
+    (or a single scenario) runs inline, which is what the regression tests
+    compare against to pin down pool determinism.
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+
+    def run(self, scenarios: Sequence[Scenario]) -> list[ScenarioResult]:
+        scenarios = list(scenarios)
+        if not scenarios:
+            return []
+        workers = self.max_workers or min(len(scenarios),
+                                          os.cpu_count() or 1)
+        workers = min(workers, len(scenarios))
+        if workers <= 1:
+            return [execute_scenario(s) for s in scenarios]
+        chunk = max(1, len(scenarios) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_scenario, scenarios,
+                                 chunksize=chunk))

@@ -1,0 +1,118 @@
+"""Declarative scenario specs for fleet-scale sweeps.
+
+A :class:`Scenario` names everything a worker process needs to rebuild the
+run from scratch — model names (zoo registry keys), a platform preset key,
+a manager roster key and a seed — so scenarios ship to a process pool as a
+few bytes and every execution is deterministic no matter which worker picks
+it up or in what order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mapping.mapping import Mapping
+from ..workloads import sample_mix
+
+__all__ = ["Scenario", "ScenarioResult", "mix_scenarios", "summarise"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One (workload, platform, manager) planning problem."""
+
+    name: str
+    workload: tuple[str, ...]           # zoo model names, order significant
+    manager: str = "rankmap_d"          # roster key, see runner.MANAGER_SPECS
+    platform: str = "orange_pi_5"       # hw preset key
+    priorities: tuple[float, ...] | None = None   # user vector (static modes)
+    seed: int = 0
+    search_iterations: int = 40         # MCTS budget for search-based managers
+    search_rollouts: int = 2
+
+    def __post_init__(self):
+        if not self.workload:
+            raise ValueError("scenario workload must not be empty")
+        if self.priorities is not None \
+                and len(self.priorities) != len(self.workload):
+            raise ValueError("priorities must match workload size")
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Per-scenario outcome: the decision plus its measured steady state."""
+
+    name: str
+    manager: str
+    platform: str
+    workload: tuple[str, ...]
+    assignments: tuple[tuple[int, ...], ...]
+    decision_seconds: float
+    rates: tuple[float, ...]
+    potentials: tuple[float, ...]
+    wall_seconds: float
+    cache_hit_rate: float = 0.0         # oracle-cache effectiveness, if any
+
+    @property
+    def mapping(self) -> Mapping:
+        return Mapping(self.assignments)
+
+    @property
+    def average_throughput(self) -> float:
+        return float(np.mean(self.rates))
+
+    @property
+    def min_potential(self) -> float:
+        return float(min(self.potentials))
+
+
+def mix_scenarios(managers: tuple[str, ...],
+                  sizes: tuple[int, ...] = (3, 4, 5),
+                  mixes_per_size: int = 6,
+                  seed: int = 0,
+                  platform: str = "orange_pi_5",
+                  search_iterations: int = 40,
+                  search_rollouts: int = 2) -> list[Scenario]:
+    """The paper's Sec. V-A style sweep as a flat scenario list.
+
+    Every manager sees the *same* sampled mixes (one rng drives the mix
+    sampling; manager seeds derive from the mix index), so per-manager
+    aggregates stay comparable.
+    """
+    rng = np.random.default_rng(seed + 42)
+    scenarios: list[Scenario] = []
+    for size in sizes:
+        for mix_index in range(mixes_per_size):
+            workload = tuple(m.name for m in sample_mix(rng, size))
+            for manager in managers:
+                scenarios.append(Scenario(
+                    name=f"mix{size}_{mix_index}_{manager}",
+                    workload=workload, manager=manager, platform=platform,
+                    seed=seed + 1000 * size + mix_index,
+                    search_iterations=search_iterations,
+                    search_rollouts=search_rollouts,
+                ))
+    return scenarios
+
+
+def summarise(results: list[ScenarioResult]) -> list[dict]:
+    """Aggregate results per (manager, platform): one row each."""
+    groups: dict[tuple[str, str], list[ScenarioResult]] = {}
+    for r in results:
+        groups.setdefault((r.manager, r.platform), []).append(r)
+    rows = []
+    for (manager, platform), rs in sorted(groups.items()):
+        rows.append({
+            "manager": manager,
+            "platform": platform,
+            "scenarios": len(rs),
+            "mean_throughput": float(np.mean(
+                [r.average_throughput for r in rs])),
+            "mean_min_potential": float(np.mean(
+                [r.min_potential for r in rs])),
+            "mean_decision_seconds": float(np.mean(
+                [r.decision_seconds for r in rs])),
+        })
+    return rows

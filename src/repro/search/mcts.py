@@ -16,7 +16,7 @@ learned estimator (RankMap, OmniBoost) or directly on the simulator
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -59,11 +59,9 @@ class MCTSStats:
     tree_nodes: int = 1
     # Best distinct mappings seen, sorted by reward (descending); used by
     # RankMap's optional board-validation pass.
-    top_candidates: list = None
+    top_candidates: list = field(default_factory=list)
 
     def record_candidate(self, reward: float, mapping, keep: int = 8) -> None:
-        if self.top_candidates is None:
-            self.top_candidates = []
         for _, existing in self.top_candidates:
             if existing.assignments == mapping.assignments:
                 return
@@ -88,7 +86,8 @@ class MCTS:
     """UCB1 tree search producing the highest-reward mapping found."""
 
     def __init__(self, workload: list[ModelSpec], num_components: int,
-                 evaluator: Evaluator, config: MCTSConfig = MCTSConfig()):
+                 evaluator: Evaluator, config: MCTSConfig | None = None):
+        config = config if config is not None else MCTSConfig()
         if not workload:
             raise ValueError("workload must not be empty")
         if num_components < 1:

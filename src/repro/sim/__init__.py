@@ -1,6 +1,11 @@
 """Execution simulator (the paper's board-measurement substitute)."""
 
-from .contention import ContentionSolution, solve_steady_state
+from .cache import EvaluationCache
+from .contention import (
+    ContentionSolution,
+    solve_steady_state,
+    solve_steady_state_batch,
+)
 from .demands import StageDemand, compute_stage_demands
 from .des import DesConfig, DesResult, simulate_des
 from .dynamic import (
@@ -14,15 +19,18 @@ from .dynamic import (
     priority_change,
     run_dynamic_scenario,
 )
-from .engine import SimResult, simulate
+from .engine import SimResult, simulate, simulate_batch
 
 __all__ = [
     "ContentionSolution",
     "solve_steady_state",
+    "solve_steady_state_batch",
     "StageDemand",
     "compute_stage_demands",
     "SimResult",
     "simulate",
+    "simulate_batch",
+    "EvaluationCache",
     "DesConfig",
     "DesResult",
     "simulate_des",

@@ -1,0 +1,125 @@
+"""Canonical-assignment-keyed LRU cache over the simulator.
+
+MCTS evaluates 160 iterations x 4 rollouts per plan and RankMap's
+threshold-relaxation loop re-searches the same space with lowered floors;
+both revisit mappings they have already solved.  The cache makes every
+re-visit free while :func:`repro.sim.engine.simulate_batch` keeps the
+misses cheap.
+
+Cache-key canonicalization
+--------------------------
+
+A cache instance is bound to one :class:`~repro.hw.platform.Platform`
+(platform parameters are part of neither key nor value), and a cached
+entry is keyed by::
+
+    key = (tuple of model names, mapping.assignments)
+
+* **Model names** stand in for the full :class:`ModelSpec`: the zoo
+  registry guarantees one spec per name, and stage demands depend only on
+  the spec and the platform.  Workload *order* is significant — the same
+  models in a different order index different rate vectors — so the name
+  tuple is used verbatim, not sorted.
+* **``mapping.assignments``** is already canonical: it is a nested tuple
+  of per-block component indices, so two ``Mapping`` instances produced
+  by different search paths (tree expansion, rollout completion,
+  relaxation retry) hash equal whenever they describe the same placement.
+
+Entries are evicted least-recently-used once ``maxsize`` is reached;
+hits refresh recency.  ``hits``/``misses``/``hit_rate`` expose the
+effectiveness (asserted in the regression tests).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..hw.platform import Platform
+from ..mapping.mapping import Mapping
+from ..zoo.layers import ModelSpec
+from .engine import SimResult, simulate_batch
+
+__all__ = ["EvaluationCache"]
+
+#: Default capacity: ~75 plans' worth of distinct 640-evaluation searches.
+#: Each entry retains a full SimResult (a few KB of per-stage arrays), so
+#: the default bounds a long-lived predictor's cache to ~100 MB; raise it
+#: explicitly for sweeps that can afford the memory.
+_DEFAULT_MAXSIZE = 50_000
+
+
+class EvaluationCache:
+    """LRU memo of :func:`simulate` results for one platform."""
+
+    def __init__(self, platform: Platform,
+                 maxsize: int = _DEFAULT_MAXSIZE):
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.platform = platform
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._store: OrderedDict[tuple, SimResult] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(workload: list[ModelSpec], mapping: Mapping) -> tuple:
+        """Canonical cache key (see module docstring)."""
+        return (tuple(m.name for m in workload), mapping.assignments)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    # ------------------------------------------------------------------
+    def simulate(self, workload: list[ModelSpec],
+                 mappings: list[Mapping]) -> list[SimResult]:
+        """Like ``[simulate(workload, m, platform) for m in mappings]`` but
+        cached: hits are returned directly and all misses are solved in one
+        batched fixed-point call.
+
+        Duplicate mappings inside one call are solved once.
+        """
+        results: list[SimResult | None] = [None] * len(mappings)
+        miss_keys: list[tuple] = []
+        miss_mappings: list[Mapping] = []
+        miss_slots: dict[tuple, list[int]] = {}
+        for i, mapping in enumerate(mappings):
+            k = self.key(workload, mapping)
+            cached = self._store.get(k)
+            if cached is not None:
+                self._store.move_to_end(k)
+                self.hits += 1
+                results[i] = cached
+                continue
+            self.misses += 1
+            if k not in miss_slots:
+                miss_slots[k] = []
+                miss_keys.append(k)
+                miss_mappings.append(mapping)
+            miss_slots[k].append(i)
+
+        if miss_mappings:
+            solved = simulate_batch(workload, miss_mappings, self.platform)
+            for k, result in zip(miss_keys, solved):
+                self._insert(k, result)
+                for i in miss_slots[k]:
+                    results[i] = result
+        return results  # type: ignore[return-value]
+
+    def simulate_one(self, workload: list[ModelSpec],
+                     mapping: Mapping) -> SimResult:
+        return self.simulate(workload, [mapping])[0]
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: tuple, result: SimResult) -> None:
+        self._store[key] = result
+        if len(self._store) > self.maxsize:
+            self._store.popitem(last=False)

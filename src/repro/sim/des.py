@@ -142,8 +142,9 @@ def _build_stages(workload: list[ModelSpec], mapping: Mapping,
 
 def simulate_des(workload: list[ModelSpec], mapping: Mapping,
                  platform: Platform,
-                 config: DesConfig = DesConfig()) -> DesResult:
+                 config: DesConfig | None = None) -> DesResult:
     """Execute ``mapping`` event-by-event and measure rates and latencies."""
+    config = config if config is not None else DesConfig()
     mapping.validate_against(workload, platform.num_components)
     stages = _build_stages(workload, mapping, platform,
                            config.apply_interference)

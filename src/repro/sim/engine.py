@@ -15,10 +15,14 @@ import numpy as np
 from ..hw.platform import Platform
 from ..mapping.mapping import Mapping
 from ..zoo.layers import ModelSpec
-from .contention import ContentionSolution, solve_steady_state
+from .contention import (
+    ContentionSolution,
+    solve_steady_state,
+    solve_steady_state_batch,
+)
 from .demands import compute_stage_demands
 
-__all__ = ["SimResult", "simulate"]
+__all__ = ["SimResult", "simulate", "simulate_batch"]
 
 
 @dataclass(frozen=True)
@@ -59,3 +63,26 @@ def simulate(workload: list[ModelSpec], mapping: Mapping,
         ideal_rates=ideal,
         solution=solution,
     )
+
+
+def simulate_batch(workload: list[ModelSpec], mappings: list[Mapping],
+                   platform: Platform) -> list[SimResult]:
+    """Steady-state throughput of several mappings of the same workload.
+
+    Equivalent to ``[simulate(workload, m, platform) for m in mappings]``
+    but solves all fixed points simultaneously on stacked arrays (see
+    :func:`repro.sim.contention.solve_steady_state_batch`), which is what
+    makes MCTS rollout batches and scenario sweeps cheap.
+    """
+    if not mappings:
+        return []
+    demand_sets = [compute_stage_demands(workload, m, platform)
+                   for m in mappings]
+    solutions = solve_steady_state_batch(demand_sets, len(workload), platform)
+    ideal = np.array([platform.ideal_throughput(m) for m in workload])
+    names = tuple(m.name for m in workload)
+    return [
+        SimResult(workload_names=names, rates=sol.rates, ideal_rates=ideal,
+                  solution=sol)
+        for sol in solutions
+    ]

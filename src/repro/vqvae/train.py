@@ -26,12 +26,13 @@ class VQVAETrainConfig:
 
 
 def train_vqvae(models: list[ModelSpec] | None = None,
-                config: VQVAETrainConfig = VQVAETrainConfig()
+                config: VQVAETrainConfig | None = None
                 ) -> tuple[LayerVQVAE, list[float]]:
     """Train a :class:`LayerVQVAE` on the layer sequences of ``models``.
 
     Returns the trained model and the per-epoch mean reconstruction L2.
     """
+    config = config if config is not None else VQVAETrainConfig()
     rng = np.random.default_rng(config.seed)
     models = models if models is not None else pool_models()
     vqvae = LayerVQVAE(rng, hidden=config.hidden)

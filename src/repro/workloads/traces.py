@@ -50,7 +50,7 @@ class TraceConfig:
 
 
 def poisson_trace(rng: np.random.Generator,
-                  config: TraceConfig = TraceConfig()) -> list[ScenarioEvent]:
+                  config: TraceConfig | None = None) -> list[ScenarioEvent]:
     """Sample one session trace as a sorted scenario event list.
 
     Each admitted session contributes an arrival and (if its exponential
@@ -59,6 +59,7 @@ def poisson_trace(rng: np.random.Generator,
     sessions — the dynamic-scenario engine identifies DNNs by name, so two
     live sessions must not share one.
     """
+    config = config if config is not None else TraceConfig()
     events: list[ScenarioEvent] = []
     active: dict[str, float] = {}    # name -> departure time
     t = 0.0

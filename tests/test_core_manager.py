@@ -11,18 +11,52 @@ from repro.core import (
     normalize_priorities,
     static_priorities,
 )
+from repro.core.predictor import RatePredictor
 from repro.hw import orange_pi_5
 from repro.mapping import gpu_only_mapping, uniform_block_mapping
 from repro.search import MCTSConfig, RewardConfig
+from repro.search.reward import DISQUALIFIED
 from repro.sim import simulate
 from repro.zoo import get_model
 
 PLATFORM = orange_pi_5()
 FAST_MCTS = MCTSConfig(iterations=25, rollouts_per_leaf=3)
+TINY_MCTS = MCTSConfig(iterations=6, rollouts_per_leaf=2)
 
 
 def wl(*names):
     return [get_model(n) for n in names]
+
+
+class ConstantPredictor(RatePredictor):
+    """Always predicts the same rate vector; counts predict() calls."""
+
+    def __init__(self, rates):
+        self.rates = np.asarray(rates, dtype=np.float64)
+        self.calls = 0
+
+    def predict(self, workload, mappings):
+        self.calls += 1
+        return np.tile(self.rates, (len(mappings), 1))
+
+    @property
+    def board_latency_per_eval(self):
+        return 0.01
+
+
+class InflatingOracle(RatePredictor):
+    """Estimator-error stand-in: reports the simulator's rates x ``gain``."""
+
+    def __init__(self, platform, gain=1000.0):
+        self.oracle = OraclePredictor(platform)
+        self.gain = gain
+
+    def predict(self, workload, mappings):
+        return self.oracle.predict(workload, mappings) * self.gain
+
+    @property
+    def board_latency_per_eval(self):
+        return 0.01
 
 
 class TestPriorities:
@@ -173,3 +207,104 @@ class TestRankMapManager:
     def test_names_reflect_mode(self):
         assert self._static().name == "rankmap_s"
         assert self._dynamic().name == "rankmap_d"
+
+    def test_config_instances_not_shared(self):
+        """Defaulted configs must be fresh per manager (no mutable-default
+        aliasing between instances)."""
+        a = RankMap(PLATFORM, OraclePredictor(PLATFORM))
+        b = RankMap(PLATFORM, OraclePredictor(PLATFORM))
+        assert a.config is not b.config
+
+
+class TestThresholdRelaxation:
+    """The plan() retry loop when nothing clears the starvation floors."""
+
+    def _manager(self, predictor, threshold, relaxations=2):
+        reward = RewardConfig(kind="weighted", mode="absolute",
+                              threshold=threshold, normalize_by_ideal=False)
+        return RankMap(PLATFORM, predictor,
+                       RankMapConfig(mode="dynamic", mcts=TINY_MCTS,
+                                     reward=reward,
+                                     threshold_relaxations=relaxations))
+
+    def test_relaxation_exhausts_and_returns_best_effort(self):
+        """Floors no mapping can clear: every relaxation retry runs, and
+        the decision still returns a valid (best-effort) mapping."""
+        workload = wl("alexnet", "mobilenet")
+        predictor = ConstantPredictor([10.0, 10.0])
+        manager = self._manager(predictor, threshold=1e9, relaxations=2)
+        decision = manager.plan(workload)
+        decision.mapping.validate_against(workload, PLATFORM.num_components)
+        assert manager.last_stats.best_reward <= DISQUALIFIED
+        # 1 initial search + 2 relaxation retries, each TINY_MCTS budget.
+        assert predictor.calls == 3 * TINY_MCTS.iterations
+
+    def test_relaxation_recovers_qualifying_mapping(self):
+        """A floor just above the achievable rate qualifies after one
+        halving."""
+        workload = wl("alexnet", "mobilenet")
+        predictor = ConstantPredictor([10.0, 10.0])
+        manager = self._manager(predictor, threshold=15.0, relaxations=2)
+        decision = manager.plan(workload)
+        decision.mapping.validate_against(workload, PLATFORM.num_components)
+        assert manager.last_stats.best_reward > DISQUALIFIED
+        # Initial search failed (10 <= 15), one retry succeeded (10 > 7.5).
+        assert predictor.calls == 2 * TINY_MCTS.iterations
+
+    def test_no_relaxation_when_first_search_qualifies(self):
+        workload = wl("alexnet", "mobilenet")
+        predictor = ConstantPredictor([10.0, 10.0])
+        manager = self._manager(predictor, threshold=5.0)
+        manager.plan(workload)
+        assert manager.last_stats.best_reward > DISQUALIFIED
+        assert predictor.calls == TINY_MCTS.iterations
+
+
+class TestBoardValidationMarginFallback:
+    """_validate_on_board when every candidate *measures* disqualified."""
+
+    def _plan(self, threshold):
+        workload = wl("alexnet", "mobilenet")
+        reward = RewardConfig(kind="weighted", mode="absolute",
+                              threshold=threshold, normalize_by_ideal=False)
+        manager = RankMap(
+            PLATFORM, InflatingOracle(PLATFORM),
+            RankMapConfig(mode="dynamic", mcts=FAST_MCTS, reward=reward,
+                          threshold_relaxations=0,
+                          board_validation_top_k=4),
+        )
+        return workload, manager, manager.plan(workload)
+
+    def test_margin_fallback_selects_least_starved_candidate(self):
+        # The inflated predictor qualifies candidates that the board
+        # measurement (true simulator) cannot: rates sit far below the
+        # absolute floor, so validation must fall back to the best-margin
+        # candidate instead of trusting the estimator's reward order.
+        workload, manager, decision = self._plan(threshold=500.0)
+        stats = manager.last_stats
+        assert stats.best_reward > DISQUALIFIED  # search believed it passed
+        candidates = [m for _, m in stats.top_candidates[:4]]
+        measured = [simulate(workload, m, PLATFORM) for m in candidates]
+        thresholds = np.full(len(workload), 500.0)
+        assert all(
+            (r.rates <= thresholds).any() for r in measured
+        ), "test setup must make every candidate measure disqualified"
+        margins = [float((r.rates / thresholds).min()) for r in measured]
+        expected = candidates[int(np.argmax(margins))]
+        assert decision.mapping == expected
+
+    def test_validation_keeps_reward_best_when_measurable(self):
+        # With an achievable floor the normal path deploys the candidate
+        # whose *measured* reward is best.
+        workload, manager, decision = self._plan(threshold=0.01)
+        stats = manager.last_stats
+        candidates = [m for _, m in stats.top_candidates[:4]]
+        thresholds = np.full(len(workload), 0.01)
+        p = manager.last_priorities
+        rewards = []
+        for m in candidates:
+            rates = simulate(workload, m, PLATFORM).rates
+            rewards.append(DISQUALIFIED if (rates <= thresholds).any()
+                           else float(rates @ p))
+        expected = candidates[int(np.argmax(rewards))]
+        assert decision.mapping == expected

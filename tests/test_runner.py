@@ -1,0 +1,168 @@
+"""Tests for the fleet-scale scenario runner (specs, pool, determinism)."""
+
+import numpy as np
+import pytest
+
+from repro.runner import (
+    MANAGER_SPECS,
+    PLATFORM_SPECS,
+    Scenario,
+    ScenarioResult,
+    ScenarioRunner,
+    execute_scenario,
+    mix_scenarios,
+    summarise,
+)
+
+FAST = dict(search_iterations=6, search_rollouts=2)
+
+
+class TestScenarioSpec:
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", workload=())
+
+    def test_priority_length_validated(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", workload=("alexnet", "mobilenet"),
+                     priorities=(1.0,))
+
+    def test_specs_are_picklable(self):
+        import pickle
+
+        s = Scenario(name="x", workload=("alexnet",), **FAST)
+        assert pickle.loads(pickle.dumps(s)) == s
+
+
+class TestExecuteScenario:
+    def test_baseline_scenario(self):
+        s = Scenario(name="b", workload=("alexnet", "mobilenet"),
+                     manager="baseline", **FAST)
+        r = execute_scenario(s)
+        assert r.manager == "baseline"
+        assert r.mapping.num_dnns == 2
+        assert len(r.rates) == 2 and min(r.rates) > 0
+        assert r.average_throughput == pytest.approx(np.mean(r.rates))
+        assert r.min_potential == pytest.approx(min(r.potentials))
+
+    def test_static_rankmap_uses_priorities(self):
+        s = Scenario(name="s", workload=("alexnet", "mobilenet"),
+                     manager="rankmap_s", priorities=(0.8, 0.2), **FAST)
+        r = execute_scenario(s)
+        assert r.decision_seconds > 0
+
+    def test_search_manager_reports_cache_use(self):
+        s = Scenario(name="d", workload=("alexnet", "mobilenet"),
+                     manager="rankmap_d", **FAST)
+        r = execute_scenario(s)
+        assert 0.0 <= r.cache_hit_rate <= 1.0
+
+    def test_unknown_manager_rejected(self):
+        with pytest.raises(ValueError, match="unknown manager"):
+            execute_scenario(Scenario(name="x", workload=("alexnet",),
+                                      manager="nope", **FAST))
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError, match="unknown platform"):
+            execute_scenario(Scenario(name="x", workload=("alexnet",),
+                                      platform="nope", **FAST))
+
+    def test_rosters_exposed(self):
+        assert "rankmap_d" in MANAGER_SPECS
+        assert "orange_pi_5" in PLATFORM_SPECS
+
+
+class TestScenarioRunner:
+    def _fleet(self):
+        return mix_scenarios(("baseline", "rankmap_d"), sizes=(2,),
+                             mixes_per_size=2, **FAST)
+
+    def test_parallel_equals_serial(self):
+        """Pool size must not affect any result bit."""
+        fleet = self._fleet()
+        serial = ScenarioRunner(max_workers=1).run(fleet)
+        parallel = ScenarioRunner(max_workers=2).run(fleet)
+        assert [(r.name, r.assignments, r.rates) for r in serial] \
+            == [(r.name, r.assignments, r.rates) for r in parallel]
+
+    def test_results_in_input_order(self):
+        fleet = self._fleet()
+        results = ScenarioRunner(max_workers=2).run(fleet)
+        assert [r.name for r in results] == [s.name for s in fleet]
+
+    def test_empty_run(self):
+        assert ScenarioRunner().run([]) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ScenarioRunner(max_workers=0)
+
+
+class TestExperimentContextFleetSweep:
+    def test_fleet_sweep_uses_preset_and_aggregates(self, tmp_path):
+        from repro.experiments import ExperimentContext
+
+        ctx = ExperimentContext(preset="tiny", results_dir=tmp_path,
+                                use_artifact_cache=False)
+        results, summary = ctx.fleet_sweep(
+            managers=("baseline",), sizes=(2,), mixes_per_size=1,
+            max_workers=1)
+        assert len(results) == 1
+        assert summary[0]["manager"] == "baseline"
+        assert summary[0]["scenarios"] == 1
+        # Scenario search budget comes from the preset.
+        scenario_like = results[0]
+        assert scenario_like.platform == "orange_pi_5"
+
+    def test_fleet_sweep_follows_context_platform(self, tmp_path):
+        from repro.experiments import ExperimentContext
+        from repro.hw import jetson_class
+
+        ctx = ExperimentContext(preset="tiny", results_dir=tmp_path,
+                                platform=jetson_class(),
+                                use_artifact_cache=False)
+        results, _ = ctx.fleet_sweep(managers=("baseline",), sizes=(2,),
+                                     mixes_per_size=1, max_workers=1)
+        assert results[0].platform == "jetson_class"
+
+    def test_fleet_sweep_rejects_non_preset_platform(self, tmp_path):
+        import dataclasses
+
+        from repro.experiments import ExperimentContext
+        from repro.hw import orange_pi_5
+
+        custom = dataclasses.replace(orange_pi_5(), name="bespoke_board")
+        ctx = ExperimentContext(preset="tiny", results_dir=tmp_path,
+                                platform=custom, use_artifact_cache=False)
+        with pytest.raises(ValueError, match="not a runner preset"):
+            ctx.fleet_sweep(managers=("baseline",), sizes=(2,),
+                            mixes_per_size=1, max_workers=1)
+
+
+class TestMixScenariosAndSummarise:
+    def test_managers_share_mixes(self):
+        fleet = mix_scenarios(("baseline", "mosaic"), sizes=(3,),
+                              mixes_per_size=2, **FAST)
+        assert len(fleet) == 4
+        by_mix = {}
+        for s in fleet:
+            by_mix.setdefault(s.name.rsplit("_", 1)[0], set()).add(s.workload)
+        assert all(len(workloads) == 1 for workloads in by_mix.values())
+
+    def test_summarise_groups_by_manager(self):
+        def result(name, manager, rates):
+            return ScenarioResult(
+                name=name, manager=manager, platform="orange_pi_5",
+                workload=("alexnet",), assignments=((0,),),
+                decision_seconds=1.0, rates=rates,
+                potentials=tuple(0.5 for _ in rates), wall_seconds=0.1)
+
+        rows = summarise([
+            result("a", "baseline", (2.0,)),
+            result("b", "baseline", (4.0,)),
+            result("c", "rankmap_d", (6.0,)),
+        ])
+        assert [r["manager"] for r in rows] == ["baseline", "rankmap_d"]
+        assert rows[0]["scenarios"] == 2
+        assert rows[0]["mean_throughput"] == pytest.approx(3.0)
+        assert rows[1]["mean_throughput"] == pytest.approx(6.0)
