@@ -1,0 +1,20 @@
+# Developer entry points.  The python toolchain is assumed present; every
+# target runs against the in-tree sources via PYTHONPATH=src.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench serve-demo
+
+## Tier-1 verification: the full test suite in benchmark smoke mode.
+test:
+	$(PY) -m pytest -x -q
+
+## Measure the micro-benchmarks, refresh BENCH_micro.json and append a
+## dated entry to BENCH_history.jsonl (the cross-PR perf trajectory).
+bench:
+	$(PY) benchmarks/record_bench.py
+
+## Online-serving demo: 600 s Poisson trace through the three replan
+## policies, with evaluation-cache persistence between runs.
+serve-demo:
+	$(PY) examples/serve_trace.py

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Measure the micro-benchmarks and append a dated entry to the history.
+
+``make bench`` runs this: it invokes ``benchmarks/emit_bench_json.py``
+(which refreshes ``BENCH_micro.json``) and then appends the distilled
+record, stamped with the run date, as one JSON line to
+``BENCH_history.jsonl``.  Committing the history file accumulates a
+machine-readable perf trajectory across PRs — the batch-vs-scalar sweep
+(``test_bench_simulator_solve_batch[*]``) and the serve replan-policy
+comparison (``test_bench_serve_replan[*]``) are the rows to watch.
+
+Usage:
+    PYTHONPATH=src python benchmarks/record_bench.py [history.jsonl]
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main() -> None:
+    history_path = Path(sys.argv[1]) if len(sys.argv) > 1 \
+        else REPO_ROOT / "BENCH_history.jsonl"
+    micro_path = REPO_ROOT / "BENCH_micro.json"
+    subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "emit_bench_json.py"),
+         str(micro_path)],
+        check=True, cwd=REPO_ROOT)
+    record = json.loads(micro_path.read_text())
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "meta": record.get("meta", {}),
+        "benchmarks": record.get("benchmarks", {}),
+    }
+    with open(history_path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    count = sum(1 for _ in open(history_path))
+    print(f"Appended {entry['date']} entry to {history_path} "
+          f"({count} entries total)")
+
+
+if __name__ == "__main__":
+    main()

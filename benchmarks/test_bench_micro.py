@@ -161,3 +161,46 @@ def test_bench_poisson_trace(benchmark):
         return poisson_trace(np.random.default_rng(next(it)), config)
 
     benchmark(step)
+
+
+@pytest.mark.parametrize("policy_key", ["full", "warm", "cache"])
+def test_bench_serve_replan(benchmark, policy_key):
+    """Serve-path replan decision: full search vs warm start vs plan-cache.
+
+    Measures one replan after an arrival extends a 3-DNN incumbent to 4
+    DNNs — the serving loop's hot path.  All three policies share the
+    evaluation-cache substrate, so the spread is pure policy overhead:
+    the full tree search, the handful of warm-start candidate
+    evaluations, or the O(1) plan-cache lookup.  The modeled on-board
+    decision latency must shrink in the same order (asserted below),
+    which is what turns into re-mapping gap time online.
+    """
+    from repro.serve import build_replan_policy
+
+    cache = EvaluationCache(PLATFORM)
+    manager = RankMap(
+        PLATFORM, OraclePredictor(PLATFORM, cache=cache),
+        RankMapConfig(mode="dynamic",
+                      mcts=MCTSConfig(iterations=20, rollouts_per_leaf=2)),
+    )
+    policy = build_replan_policy(policy_key, manager)
+    resident = [get_model(n) for n in ("squeezenet_v2", "resnet50", "vgg16")]
+    workload = resident + [get_model("mobilenet")]
+
+    first = policy.replan(resident, None, None)          # build the incumbent
+    incumbent = (tuple(m.name for m in resident), first.mapping)
+    policy.replan(workload, None, incumbent)             # prime plan cache
+
+    outcome = benchmark(lambda: policy.replan(workload, None, incumbent))
+
+    full_modeled = (manager.config.mcts.total_evaluations
+                    * manager.predictor.board_latency_per_eval)
+    if policy_key == "full":
+        assert outcome.kind == "full"
+        assert outcome.decision_seconds == pytest.approx(full_modeled)
+    elif policy_key == "warm":
+        assert outcome.kind == "warm"
+        assert outcome.decision_seconds < 0.25 * full_modeled
+    else:
+        assert outcome.kind == "cache_hit"
+        assert outcome.decision_seconds == 0.0

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Online serving of a stochastic edge-data-center trace.
+
+Samples a 600 s Poisson session trace (the raw, uncapped demand), then
+serves it three times through the ``repro.serve`` loop with the same
+RankMap manager but different replanning policies:
+
+* ``full``  — re-search from scratch on every arrival/departure/shift;
+* ``warm``  — extend the incumbent mapping, falling back to a short
+  search only when no extension clears the starvation floors;
+* ``cache`` — memoise plans by canonical workload on top of full replan.
+
+The report shows what the policies trade: decision latency (and with it
+re-mapping gap time) versus mapping quality.  The SLA-tier-aware
+admission controller queues gold/silver arrivals the blind
+``max_concurrent`` cap would have dropped.
+
+The evaluation cache is persisted to disk after the first run and loaded
+by the later ones — the serving analogue of a pre-warmed node — so runs
+two and three report a non-zero hit rate before their first replan.
+
+Usage:  python serve_trace.py [horizon_s] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import OraclePredictor, RankMap, RankMapConfig
+from repro.hw import orange_pi_5
+from repro.search import MCTSConfig
+from repro.serve import (
+    AdmissionConfig,
+    ServeConfig,
+    build_replan_policy,
+    serve_trace,
+)
+from repro.sim import EvaluationCache
+from repro.workloads import TraceConfig, sample_session_requests
+
+LIGHT_POOL = ("alexnet", "squeezenet", "mobilenet_v2", "shufflenet",
+              "resnet12", "mobilenet")
+
+
+def main() -> None:
+    horizon = float(sys.argv[1]) if len(sys.argv) > 1 else 600.0
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+    platform = orange_pi_5()
+
+    trace_config = TraceConfig(
+        horizon_s=horizon, arrival_rate_per_s=1 / 40.0,
+        mean_session_s=200.0, max_concurrent=3, pool=LIGHT_POOL)
+    requests = sample_session_requests(
+        np.random.default_rng(seed), trace_config, tier_shift_prob=0.2)
+    print(f"trace: {len(requests)} session requests over {horizon:.0f} s "
+          f"(Poisson, uncapped raw demand)")
+
+    serve_config = ServeConfig(
+        horizon_s=horizon,
+        admission=AdmissionConfig(capacity=3, queue_limit=4,
+                                  max_queue_wait_s=120.0),
+        pool=LIGHT_POOL, seed=seed)
+
+    cache_path = Path(tempfile.gettempdir()) / "repro_serve_cache.pkl"
+    if cache_path.exists():
+        cache_path.unlink()
+
+    for policy_key in ("full", "warm", "cache"):
+        if cache_path.exists():
+            cache = EvaluationCache.load(cache_path, platform)
+            print(f"\n[{policy_key}] loaded {len(cache)} cached evaluations "
+                  f"from {cache_path}")
+        else:
+            cache = EvaluationCache(platform)
+            print(f"\n[{policy_key}] starting with a cold evaluation cache")
+        manager = RankMap(
+            platform, OraclePredictor(platform, cache=cache),
+            RankMapConfig(mode="static",
+                          mcts=MCTSConfig(iterations=16,
+                                          rollouts_per_leaf=2)))
+        policy = build_replan_policy(policy_key, manager)
+
+        t0 = time.perf_counter()
+        report = serve_trace(requests, policy, platform, serve_config,
+                             cache=cache)
+        wall = time.perf_counter() - t0
+        print(report.summary())
+        print(f"  wall clock: {wall:.2f} s; evaluation-cache hit rate "
+              f"{cache.hit_rate:.1%}")
+        saved = cache.save(cache_path)
+        print(f"  persisted {saved} evaluations to {cache_path}")
+
+
+if __name__ == "__main__":
+    np.set_printoptions(precision=3, suppress=True)
+    main()

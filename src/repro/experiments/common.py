@@ -285,3 +285,50 @@ class ExperimentContext:
         )
         results = ScenarioRunner(max_workers=max_workers).run(scenarios)
         return results, summarise(results)
+
+    def serve_sweep(self, policies: tuple[str, ...] = ("full", "warm",
+                                                       "cache"),
+                    managers: tuple[str, ...] = ("rankmap_d",),
+                    traces_per_cell: int = 2,
+                    horizon_s: float = 600.0,
+                    arrival_rate_per_s: float = 1.0 / 45.0,
+                    pool: tuple[str, ...] = (),
+                    platform: str | None = None,
+                    max_workers: int | None = None,
+                    cache_path=None):
+        """Dynamic-traffic study fanned across the process pool.
+
+        The online analogue of :meth:`fleet_sweep`: every (policy,
+        manager) cell serves the same sampled Poisson traces through
+        :func:`repro.serve.serve_trace` on a worker process, so replan
+        policies are compared on identical arrival processes.  The
+        preset's MCTS budget scales the search managers; ``cache_path``
+        optionally points workers at a persisted evaluation cache.
+        Returns ``(results, summary_rows)``.
+        """
+        from ..runner import (
+            PLATFORM_SPECS,
+            ScenarioRunner,
+            dynamic_sweep_scenarios,
+            summarise_dynamic,
+        )
+
+        if platform is None:
+            platform = self.platform.name
+        if platform not in PLATFORM_SPECS:
+            raise ValueError(
+                f"platform {platform!r} is not a runner preset; "
+                f"choose from {sorted(PLATFORM_SPECS)}")
+        scenarios = dynamic_sweep_scenarios(
+            policies=policies, managers=managers,
+            traces_per_cell=traces_per_cell, seed=self.preset.seed,
+            platform=platform, horizon_s=horizon_s,
+            arrival_rate_per_s=arrival_rate_per_s, pool=pool,
+            search_iterations=self.preset.mcts_iterations,
+            search_rollouts=self.preset.mcts_rollouts,
+            cache_path=(str(cache_path) if cache_path is not None
+                        else None),
+        )
+        results = ScenarioRunner(max_workers=max_workers).run_dynamic(
+            scenarios)
+        return results, summarise_dynamic(results)

@@ -5,18 +5,33 @@ from .runner import (
     PLATFORM_SPECS,
     ScenarioRunner,
     build_manager,
+    execute_dynamic_scenario,
     execute_scenario,
 )
-from .scenario import Scenario, ScenarioResult, mix_scenarios, summarise
+from .scenario import (
+    DynamicResult,
+    DynamicScenario,
+    Scenario,
+    ScenarioResult,
+    dynamic_sweep_scenarios,
+    mix_scenarios,
+    summarise,
+    summarise_dynamic,
+)
 
 __all__ = [
     "Scenario",
     "ScenarioResult",
+    "DynamicScenario",
+    "DynamicResult",
     "ScenarioRunner",
     "mix_scenarios",
+    "dynamic_sweep_scenarios",
     "summarise",
+    "summarise_dynamic",
     "build_manager",
     "execute_scenario",
+    "execute_dynamic_scenario",
     "MANAGER_SPECS",
     "PLATFORM_SPECS",
 ]

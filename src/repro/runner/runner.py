@@ -15,6 +15,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -25,12 +26,14 @@ from ..core.predictor import OraclePredictor
 from ..hw import jetson_class, orange_pi_5
 from ..hw.platform import Platform
 from ..search import MCTSConfig
+from ..serve import AdmissionConfig, ServeConfig, build_replan_policy, serve_trace
 from ..sim import EvaluationCache, simulate
-from ..zoo import get_model
-from .scenario import Scenario, ScenarioResult
+from ..workloads import TraceConfig, sample_session_requests
+from ..zoo import MODEL_POOL, get_model
+from .scenario import DynamicResult, DynamicScenario, Scenario, ScenarioResult
 
 __all__ = ["ScenarioRunner", "MANAGER_SPECS", "PLATFORM_SPECS",
-           "build_manager", "execute_scenario"]
+           "build_manager", "execute_scenario", "execute_dynamic_scenario"]
 
 PLATFORM_SPECS: dict[str, Callable[[], Platform]] = {
     "orange_pi_5": orange_pi_5,
@@ -109,12 +112,69 @@ def execute_scenario(scenario: Scenario) -> ScenarioResult:
     )
 
 
+def execute_dynamic_scenario(spec: DynamicScenario) -> DynamicResult:
+    """Serve one stochastic trace start-to-finish (also the pool worker).
+
+    The evaluation cache is rebuilt per call — loaded from
+    ``spec.cache_path`` when that file exists (a persisted cache built for
+    the same platform), fresh otherwise — so the report is a pure function
+    of the spec regardless of which worker runs it or how warm it starts.
+    """
+    try:
+        platform = PLATFORM_SPECS[spec.platform]()
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {spec.platform!r}; "
+            f"choose from {sorted(PLATFORM_SPECS)}") from None
+    preloaded = 0
+    if spec.cache_path is not None and Path(spec.cache_path).exists():
+        cache = EvaluationCache.load(spec.cache_path, platform)
+        preloaded = len(cache)
+    else:
+        cache = EvaluationCache(platform)
+    manager = build_manager(spec, platform, cache)
+    policy = build_replan_policy(spec.policy, manager)
+
+    pool = spec.pool if spec.pool else MODEL_POOL
+    trace_config = TraceConfig(
+        horizon_s=spec.horizon_s,
+        arrival_rate_per_s=spec.arrival_rate_per_s,
+        mean_session_s=spec.mean_session_s,
+        max_concurrent=spec.capacity, pool=pool,
+    )
+    # Trace seed is decoupled from the search seed so policy/manager cells
+    # of a sweep sharing `seed` see the same arrival process.
+    requests = sample_session_requests(
+        np.random.default_rng(spec.seed + 17), trace_config,
+        tier_shift_prob=spec.tier_shift_prob)
+    serve_config = ServeConfig(
+        horizon_s=spec.horizon_s,
+        admission=AdmissionConfig(
+            capacity=spec.capacity, queue_limit=spec.queue_limit,
+            max_queue_wait_s=spec.max_queue_wait_s),
+        pool=pool, seed=spec.seed,
+    )
+
+    t0 = time.perf_counter()
+    report = serve_trace(requests, policy, platform, serve_config,
+                         cache=cache)
+    wall = time.perf_counter() - t0
+    return DynamicResult(
+        name=spec.name, manager=spec.manager, platform=spec.platform,
+        policy=spec.policy, report=report, wall_seconds=wall,
+        eval_cache_hit_rate=cache.hit_rate,
+        eval_cache_preloaded=preloaded,
+    )
+
+
 class ScenarioRunner:
     """Fan scenarios across a process pool; aggregate in input order.
 
     ``max_workers=None`` sizes the pool to the machine; ``max_workers=1``
     (or a single scenario) runs inline, which is what the regression tests
-    compare against to pin down pool determinism.
+    compare against to pin down pool determinism.  :meth:`run` executes
+    static planning scenarios, :meth:`run_dynamic` executes online-serving
+    scenarios; both share the pool mechanics.
     """
 
     def __init__(self, max_workers: int | None = None):
@@ -123,15 +183,20 @@ class ScenarioRunner:
         self.max_workers = max_workers
 
     def run(self, scenarios: Sequence[Scenario]) -> list[ScenarioResult]:
-        scenarios = list(scenarios)
+        return self._map(execute_scenario, list(scenarios))
+
+    def run_dynamic(self,
+                    scenarios: Sequence[DynamicScenario]) -> list[DynamicResult]:
+        return self._map(execute_dynamic_scenario, list(scenarios))
+
+    def _map(self, worker: Callable, scenarios: list) -> list:
         if not scenarios:
             return []
         workers = self.max_workers or min(len(scenarios),
                                           os.cpu_count() or 1)
         workers = min(workers, len(scenarios))
         if workers <= 1:
-            return [execute_scenario(s) for s in scenarios]
+            return [worker(s) for s in scenarios]
         chunk = max(1, len(scenarios) // (workers * 4))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_scenario, scenarios,
-                                 chunksize=chunk))
+            return list(pool.map(worker, scenarios, chunksize=chunk))

@@ -5,6 +5,14 @@ run from scratch — model names (zoo registry keys), a platform preset key,
 a manager roster key and a seed — so scenarios ship to a process pool as a
 few bytes and every execution is deterministic no matter which worker picks
 it up or in what order.
+
+:class:`DynamicScenario` is the dynamic-traffic counterpart: instead of a
+fixed workload it carries the parameters of a Poisson session trace, an
+admission-control configuration and a replan-policy key, and a worker runs
+the whole online serving loop (:mod:`repro.serve`) to a
+:class:`~repro.serve.ServeReport`.  Both spec kinds are a few strings and
+floats, so the same process pool sweeps static planning studies and
+dynamic-traffic studies alike.
 """
 
 from __future__ import annotations
@@ -14,9 +22,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..mapping.mapping import Mapping
+from ..serve.report import ServeReport
 from ..workloads import sample_mix
 
-__all__ = ["Scenario", "ScenarioResult", "mix_scenarios", "summarise"]
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "DynamicScenario",
+    "DynamicResult",
+    "mix_scenarios",
+    "dynamic_sweep_scenarios",
+    "summarise",
+    "summarise_dynamic",
+]
 
 
 @dataclass(frozen=True)
@@ -68,6 +86,65 @@ class ScenarioResult:
         return float(min(self.potentials))
 
 
+@dataclass(frozen=True)
+class DynamicScenario:
+    """One online-serving study: a stochastic trace served end to end.
+
+    Everything is registry keys and scalars, so the spec ships to a worker
+    process as a few bytes and the run is a pure function of the spec —
+    the determinism regression compares 1-worker and N-worker reports
+    bit for bit.  ``cache_path`` optionally names a persisted
+    :class:`~repro.sim.EvaluationCache` for the worker to load on start
+    (built for the same platform, see ``EvaluationCache.load``).
+    """
+
+    name: str
+    manager: str = "rankmap_d"          # roster key, see runner.MANAGER_SPECS
+    platform: str = "orange_pi_5"       # hw preset key
+    policy: str = "full"                # serve.REPLAN_POLICIES key
+    seed: int = 0
+    horizon_s: float = 600.0
+    arrival_rate_per_s: float = 1.0 / 60.0
+    mean_session_s: float = 180.0
+    pool: tuple[str, ...] = ()          # zoo names; empty -> full MODEL_POOL
+    capacity: int = 4
+    queue_limit: int = 8
+    max_queue_wait_s: float = 180.0
+    tier_shift_prob: float = 0.0        # mid-session priority-shift odds
+    search_iterations: int = 40         # MCTS budget for search managers
+    search_rollouts: int = 2
+    cache_path: str | None = None       # persisted EvaluationCache to load
+
+    def __post_init__(self):
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival_rate_per_s must be positive")
+        if self.mean_session_s <= 0:
+            raise ValueError("mean_session_s must be positive")
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+
+
+@dataclass(frozen=True)
+class DynamicResult:
+    """Per-dynamic-scenario outcome: the report plus worker-local stats.
+
+    ``report`` is deterministic per spec; ``wall_seconds`` and
+    ``eval_cache_hit_rate`` depend on the worker (machine load, whether a
+    persisted cache was found), which is why they live outside the report.
+    """
+
+    name: str
+    manager: str
+    platform: str
+    policy: str
+    report: ServeReport
+    wall_seconds: float
+    eval_cache_hit_rate: float = 0.0
+    eval_cache_preloaded: int = 0       # entries loaded from cache_path
+
+
 def mix_scenarios(managers: tuple[str, ...],
                   sizes: tuple[int, ...] = (3, 4, 5),
                   mixes_per_size: int = 6,
@@ -97,6 +174,47 @@ def mix_scenarios(managers: tuple[str, ...],
     return scenarios
 
 
+def dynamic_sweep_scenarios(policies: tuple[str, ...] = ("full", "warm",
+                                                         "cache"),
+                            managers: tuple[str, ...] = ("rankmap_d",),
+                            traces_per_cell: int = 2,
+                            seed: int = 0,
+                            platform: str = "orange_pi_5",
+                            horizon_s: float = 600.0,
+                            arrival_rate_per_s: float = 1.0 / 45.0,
+                            mean_session_s: float = 200.0,
+                            pool: tuple[str, ...] = (),
+                            capacity: int = 4,
+                            tier_shift_prob: float = 0.0,
+                            search_iterations: int = 24,
+                            search_rollouts: int = 2,
+                            cache_path: str | None = None,
+                            ) -> list[DynamicScenario]:
+    """A (policy x manager x trace) grid of dynamic-traffic studies.
+
+    Every policy/manager cell sees the *same* sampled traces (the trace
+    seed depends only on the trace index), so per-policy aggregates stay
+    comparable — the dynamic analogue of :func:`mix_scenarios`.
+    """
+    scenarios: list[DynamicScenario] = []
+    for trace_index in range(traces_per_cell):
+        for manager in managers:
+            for policy in policies:
+                scenarios.append(DynamicScenario(
+                    name=f"trace{trace_index}_{manager}_{policy}",
+                    manager=manager, platform=platform, policy=policy,
+                    seed=seed + 1000 * trace_index,
+                    horizon_s=horizon_s,
+                    arrival_rate_per_s=arrival_rate_per_s,
+                    mean_session_s=mean_session_s, pool=pool,
+                    capacity=capacity, tier_shift_prob=tier_shift_prob,
+                    search_iterations=search_iterations,
+                    search_rollouts=search_rollouts,
+                    cache_path=cache_path,
+                ))
+    return scenarios
+
+
 def summarise(results: list[ScenarioResult]) -> list[dict]:
     """Aggregate results per (manager, platform): one row each."""
     groups: dict[tuple[str, str], list[ScenarioResult]] = {}
@@ -114,5 +232,33 @@ def summarise(results: list[ScenarioResult]) -> list[dict]:
                 [r.min_potential for r in rs])),
             "mean_decision_seconds": float(np.mean(
                 [r.decision_seconds for r in rs])),
+        })
+    return rows
+
+
+def summarise_dynamic(results: list[DynamicResult]) -> list[dict]:
+    """Aggregate dynamic results per (manager, policy): one row each."""
+    groups: dict[tuple[str, str], list[DynamicResult]] = {}
+    for r in results:
+        groups.setdefault((r.manager, r.policy), []).append(r)
+    rows = []
+    for (manager, policy), rs in sorted(groups.items()):
+        reports = [r.report for r in rs]
+        rows.append({
+            "manager": manager,
+            "policy": policy,
+            "scenarios": len(rs),
+            "mean_decision_seconds": float(np.mean(
+                [rep.mean_decision_seconds for rep in reports])),
+            "mean_gap_seconds": float(np.mean(
+                [rep.total_gap_seconds for rep in reports])),
+            "mean_violation_fraction": float(np.mean(
+                [rep.sla_violation_fraction for rep in reports])),
+            "mean_session_rate": float(np.mean(
+                [rep.mean_session_rate for rep in reports])),
+            "admitted": sum(rep.admitted for rep in reports),
+            "rejected": sum(rep.rejected for rep in reports),
+            "mean_queue_wait_s": float(np.mean(
+                [rep.mean_queue_wait_s for rep in reports])),
         })
     return rows

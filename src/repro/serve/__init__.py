@@ -1,0 +1,52 @@
+"""Online serving layer: admission control + warm-start replanning.
+
+The paper's motivating setting — an edge data center where multiple users
+submit DNN queries — is a *serving* problem, not a one-shot planning
+problem.  This subsystem closes that gap:
+
+* :mod:`repro.serve.admission` — SLA-tier-aware accept/queue/reject
+  decisions instead of the blind ``max_concurrent`` drop.
+* :mod:`repro.serve.replan` — pluggable replanning on every workload
+  change: full search, warm start from the incumbent mapping, or a plan
+  cache keyed on the canonical workload.
+* :mod:`repro.serve.loop` — the event-driven loop tying both to the
+  steady-state simulator, with re-mapping gap semantics shared with
+  :func:`repro.sim.run_dynamic_scenario`.
+* :mod:`repro.serve.report` — plain-data per-session and aggregate
+  outcomes (:class:`ServeReport`), safe to ship across process pools.
+
+``repro.runner.DynamicScenario`` wraps all of this into a declarative
+spec for fleet-scale dynamic-traffic sweeps.
+"""
+
+from .admission import ADMIT, QUEUE, REJECT, AdmissionConfig, AdmissionController
+from .loop import ServeConfig, serve_trace
+from .replan import (
+    REPLAN_POLICIES,
+    FullReplan,
+    PlanCacheReplan,
+    ReplanOutcome,
+    ReplanPolicy,
+    WarmStartReplan,
+    build_replan_policy,
+)
+from .report import ServeReport, SessionOutcome
+
+__all__ = [
+    "ADMIT",
+    "QUEUE",
+    "REJECT",
+    "AdmissionConfig",
+    "AdmissionController",
+    "ServeConfig",
+    "serve_trace",
+    "ReplanPolicy",
+    "ReplanOutcome",
+    "FullReplan",
+    "WarmStartReplan",
+    "PlanCacheReplan",
+    "REPLAN_POLICIES",
+    "build_replan_policy",
+    "ServeReport",
+    "SessionOutcome",
+]

@@ -1,0 +1,87 @@
+"""SLA-tier-aware admission control.
+
+The blind ``TraceConfig.max_concurrent`` cap drops every arrival beyond
+the multi-tenancy level, regardless of who is asking.  The serving loop
+replaces it with an :class:`AdmissionController` that knows the SLA tier
+ladder: a request that cannot be placed immediately is *queued* when its
+tier ranks high enough and the waiting room has space, and only otherwise
+rejected.  Queued requests abandon after ``max_queue_wait_s`` and are
+drained highest-tier-first whenever capacity frees up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.sla import SLA_TIERS, SlaClass
+
+__all__ = ["AdmissionConfig", "AdmissionController",
+           "ADMIT", "QUEUE", "REJECT"]
+
+ADMIT = "admit"
+QUEUE = "queue"
+REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Admission-control knobs of one serving node.
+
+    ``capacity`` is the multi-tenancy level (the paper evaluates up to 5
+    concurrent DNNs).  ``min_queue_priority`` draws the line between tiers
+    that may wait for a slot and tiers that are turned away outright when
+    the node is saturated — with the default ladder, gold and silver
+    queue, bronze is rejected.
+    """
+
+    capacity: int = 4
+    queue_limit: int = 8
+    max_queue_wait_s: float = 180.0
+    min_queue_priority: float = 0.15
+
+    def __post_init__(self):
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if self.queue_limit < 0:
+            raise ValueError("queue_limit must be non-negative")
+        if self.max_queue_wait_s <= 0:
+            raise ValueError("max_queue_wait_s must be positive")
+
+
+class AdmissionController:
+    """Accept / queue / reject decisions over the SLA tier ladder."""
+
+    def __init__(self, config: AdmissionConfig | None = None,
+                 tiers: tuple[SlaClass, ...] = SLA_TIERS):
+        self.config = config if config is not None else AdmissionConfig()
+        self._tiers = {t.name: t for t in tiers}
+
+    def tier(self, name: str) -> SlaClass:
+        try:
+            return self._tiers[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown SLA tier {name!r}; "
+                f"choose from {sorted(self._tiers)}") from None
+
+    def decide(self, tier_name: str, active_count: int, queue_len: int,
+               can_place: bool) -> str:
+        """One arrival's fate given the node's current occupancy.
+
+        ``can_place`` tells the controller whether a pool model name is
+        free for immediate admission (the event engine identifies DNNs by
+        name, so a saturated name pool blocks placement even below the
+        capacity cap).
+        """
+        tier = self.tier(tier_name)
+        if can_place and active_count < self.config.capacity:
+            return ADMIT
+        if queue_len < self.config.queue_limit \
+                and tier.priority >= self.config.min_queue_priority:
+            return QUEUE
+        return REJECT
+
+    def queue_order_key(self, tier_name: str, enqueue_s: float,
+                        session_id: int) -> tuple:
+        """Drain order: highest tier first, FIFO within a tier."""
+        return (-self.tier(tier_name).priority, enqueue_s, session_id)

@@ -1,0 +1,336 @@
+"""Event-driven online serving loop.
+
+This is the online layer over the planning stack: raw session requests
+(:func:`repro.workloads.sample_session_requests`) flow through an
+SLA-tier-aware :class:`~repro.serve.admission.AdmissionController`, every
+admission/departure/priority shift invokes the configured
+:class:`~repro.serve.replan.ReplanPolicy`, and the modeled decision
+latency opens a re-mapping gap during which residents keep running on the
+restricted incumbent mapping while the change's subject makes no progress
+— the same gap semantics as :func:`repro.sim.run_dynamic_scenario`, but
+with live accept/queue/reject decisions instead of a replayed fixed
+timeline.
+
+Everything is deterministic in ``(requests, policy manager seed,
+ServeConfig.seed)``: the event order is a total order, the only rng draws
+pick pool model names at admission, and segment rates come from the
+deterministic steady-state solver (via an :class:`EvaluationCache`, so a
+persistent warm cache makes repeated runs cheap without changing a bit of
+the output).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hw.platform import Platform
+from ..mapping.mapping import Mapping
+from ..sim.cache import EvaluationCache
+from ..sim.dynamic import Segment, Timeline, restrict_mapping
+from ..workloads.traces import SessionRequest
+from ..zoo.layers import ModelSpec
+from ..zoo.registry import MODEL_POOL, get_model
+from .admission import ADMIT, QUEUE, AdmissionConfig, AdmissionController
+from .replan import ReplanPolicy
+from .report import (
+    ABANDONED,
+    OUT_OF_HORIZON,
+    QUEUED,
+    REJECTED,
+    SERVED,
+    SERVING,
+    ServeReport,
+    SessionOutcome,
+)
+
+__all__ = ["ServeConfig", "serve_trace"]
+
+# Same-timestamp processing order: free capacity before admitting into it.
+_RANK_DEPARTURE = 0
+_RANK_SHIFT = 1
+_RANK_ARRIVAL = 2
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """One serving node's configuration."""
+
+    horizon_s: float = 600.0
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    pool: tuple[str, ...] = MODEL_POOL
+    seed: int = 0                  # drives pool-model choice at admission
+
+    def __post_init__(self):
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if not self.pool:
+            raise ValueError("pool must not be empty")
+
+
+class _Live:
+    """Mutable accounting record of one admitted session."""
+
+    __slots__ = ("request", "model", "tier", "admitted_s", "queue_wait_s",
+                 "served", "delivered", "gap", "violation")
+
+    def __init__(self, request: SessionRequest, model: ModelSpec,
+                 admitted_s: float, queue_wait_s: float):
+        self.request = request
+        self.model = model
+        self.tier = request.tier
+        self.admitted_s = admitted_s
+        self.queue_wait_s = queue_wait_s
+        self.served = 0.0
+        self.delivered = 0.0
+        self.gap = 0.0
+        self.violation = 0.0
+
+    def outcome(self, state: str, departed_s: float | None) -> SessionOutcome:
+        return SessionOutcome(
+            session_id=self.request.session_id, tier=self.tier,
+            arrival_s=self.request.arrival_s, outcome=state,
+            model=self.model.name, admitted_s=self.admitted_s,
+            departed_s=departed_s, queue_wait_s=self.queue_wait_s,
+            served_seconds=self.served, delivered_inferences=self.delivered,
+            gap_seconds=self.gap, violation_seconds=self.violation,
+        )
+
+
+def _manager_name(policy: ReplanPolicy) -> str:
+    inner = policy
+    while not hasattr(inner, "manager") and hasattr(inner, "inner"):
+        inner = inner.inner
+    manager = getattr(inner, "manager", None)
+    return getattr(manager, "name", "unknown")
+
+
+def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
+                platform: Platform, config: ServeConfig | None = None,
+                cache: EvaluationCache | None = None) -> ServeReport:
+    """Serve a raw session-request trace and report what happened.
+
+    ``cache`` is the evaluation cache segment rates are solved through;
+    pass a shared (possibly disk-loaded) instance to start warm — the
+    report is bit-identical either way, only the wall clock changes.
+    """
+    config = config if config is not None else ServeConfig()
+    if cache is None:
+        cache = EvaluationCache(platform)
+    controller = AdmissionController(config.admission)
+    for request in requests:                   # validate tiers up front
+        controller.tier(request.tier)
+        if request.tier_shift is not None:
+            controller.tier(request.tier_shift[1])
+    rng = np.random.default_rng(config.seed)
+    horizon = config.horizon_s
+
+    heap: list[tuple] = []
+    seq = 0
+
+    def push(time: float, rank: int, kind: str, payload) -> None:
+        nonlocal seq
+        heapq.heappush(heap, (time, rank, seq, kind, payload))
+        seq += 1
+
+    live: dict[str, _Live] = {}                # name -> record, in order
+    queue: list[tuple[SessionRequest, float]] = []   # (request, enqueue_s)
+    results: dict[int, SessionOutcome] = {}
+
+    for request in sorted(requests,
+                          key=lambda r: (r.arrival_s, r.session_id)):
+        if request.arrival_s < horizon:
+            push(request.arrival_s, _RANK_ARRIVAL, "arrival", request)
+        else:
+            # A trace sampled for a longer horizon: account for the demand
+            # this run never observes instead of silently dropping it.
+            results[request.session_id] = SessionOutcome(
+                session_id=request.session_id, tier=request.tier,
+                arrival_s=request.arrival_s, outcome=OUT_OF_HORIZON)
+    timeline = Timeline()
+    current: tuple[list[ModelSpec], Mapping] | None = None
+    incumbent: tuple[tuple[str, ...], Mapping] | None = None
+    clock = 0.0
+    replans = 0
+    kinds: dict[str, int] = {}
+    decision_total = 0.0
+
+    # ------------------------------------------------------------------
+    def emit(t0: float, t1: float) -> None:
+        duration = t1 - t0
+        if duration <= 0:
+            return
+        names = tuple(live.keys())
+        if current is None:
+            rates = {n: 0.0 for n in names}
+            pots = dict(rates)
+        else:
+            models, mapping = current
+            result = cache.simulate_one(models, mapping)
+            rates = {m.name: float(r)
+                     for m, r in zip(models, result.rates)}
+            pots = {m.name: float(p)
+                    for m, p in zip(models, result.potentials)}
+            for n in names:                    # admitted but not yet mapped
+                rates.setdefault(n, 0.0)
+                pots.setdefault(n, 0.0)
+        timeline.segments.append(Segment(t0, t1, names, rates, pots))
+        for n, record in live.items():
+            rate = rates[n]
+            record.served += duration
+            record.delivered += rate * duration
+            if rate <= 0.0:
+                record.gap += duration
+            if pots[n] < controller.tier(record.tier).min_potential:
+                record.violation += duration
+
+    # ------------------------------------------------------------------
+    def purge_queue(t: float) -> None:
+        max_wait = controller.config.max_queue_wait_s
+        kept = []
+        for request, enqueued in queue:
+            if t - enqueued > max_wait:
+                results[request.session_id] = SessionOutcome(
+                    session_id=request.session_id, tier=request.tier,
+                    arrival_s=request.arrival_s, outcome=ABANDONED,
+                    queue_wait_s=max_wait)
+            else:
+                kept.append((request, enqueued))
+        queue[:] = kept
+
+    def admit(request: SessionRequest, t: float, queue_wait: float) -> None:
+        free = [n for n in config.pool if n not in live]
+        name = str(rng.choice(free))
+        record = _Live(request, get_model(name), t, queue_wait)
+        live[name] = record
+        depart = t + request.duration_s
+        if depart < horizon:
+            push(depart, _RANK_DEPARTURE, "departure",
+                 (name, request.session_id))
+        if request.tier_shift is not None:
+            offset, new_tier = request.tier_shift
+            shift_t = t + offset
+            if shift_t < min(depart, horizon):
+                push(shift_t, _RANK_SHIFT, "shift",
+                     (name, request.session_id, new_tier))
+
+    def drain(t: float) -> bool:
+        admitted_any = False
+        while True:
+            purge_queue(t)
+            if not queue or len(live) >= controller.config.capacity:
+                break
+            if all(n in live for n in config.pool):
+                break
+            queue.sort(key=lambda item: controller.queue_order_key(
+                item[0].tier, item[1], item[0].session_id))
+            request, enqueued = queue.pop(0)
+            admit(request, t, queue_wait=t - enqueued)
+            admitted_any = True
+        return admitted_any
+
+    # ------------------------------------------------------------------
+    def handle(kind: str, payload, t: float) -> bool:
+        """Apply one event; returns True when a replan is needed."""
+        if kind == "arrival":
+            request = payload
+            purge_queue(t)
+            free = any(n not in live for n in config.pool)
+            decision = controller.decide(request.tier, len(live),
+                                         len(queue), free)
+            if decision == ADMIT:
+                admit(request, t, queue_wait=0.0)
+                return True
+            if decision == QUEUE:
+                queue.append((request, t))
+                return False
+            results[request.session_id] = SessionOutcome(
+                session_id=request.session_id, tier=request.tier,
+                arrival_s=request.arrival_s, outcome=REJECTED)
+            return False
+        if kind == "departure":
+            name, session_id = payload
+            record = live.get(name)
+            if record is None or record.request.session_id != session_id:
+                return False
+            del live[name]
+            results[session_id] = record.outcome(SERVED, departed_s=t)
+            drain(t)
+            return True
+        # kind == "shift"
+        name, session_id, new_tier = payload
+        record = live.get(name)
+        if record is None or record.request.session_id != session_id:
+            return False
+        record.tier = new_tier
+        return True
+
+    # ------------------------------------------------------------------
+    def replan(t: float) -> float:
+        nonlocal current, incumbent, replans, decision_total
+        if not live:
+            current = None
+            incumbent = None
+            return t
+        workload = [record.model for record in live.values()]
+        vector = np.array([controller.tier(record.tier).priority
+                           for record in live.values()])
+        outcome = policy.replan(workload, vector, incumbent)
+        replans += 1
+        kinds[outcome.kind] = kinds.get(outcome.kind, 0) + 1
+        decision_total += outcome.decision_seconds
+        gap = max(0.0, outcome.decision_seconds)
+        if gap > 0 and t < horizon:
+            # Decision window: residents run the restricted incumbent,
+            # the change's subject waits at rate 0.
+            if current is not None:
+                prev_models, prev_mapping = current
+                current = restrict_mapping(
+                    prev_mapping, [m.name for m in prev_models], workload)
+            gap_end = min(t + gap, horizon)
+            emit(t, gap_end)
+            t = gap_end
+        current = (workload, outcome.mapping)
+        incumbent = (tuple(m.name for m in workload), outcome.mapping)
+        return t
+
+    # ------------------------------------------------------------------
+    while heap:
+        t_event = heap[0][0]
+        if t_event >= horizon:
+            break
+        # Events landing inside a decision gap take effect when it closes.
+        effective = max(clock, t_event)
+        emit(clock, effective)
+        clock = effective
+        needs_replan = False
+        while heap and heap[0][0] == t_event:
+            _, _, _, kind, payload = heapq.heappop(heap)
+            needs_replan |= handle(kind, payload, clock)
+        if needs_replan:
+            clock = replan(clock)
+
+    emit(clock, horizon)
+
+    # ------------------------------------------------------- finalize
+    for record in live.values():
+        results[record.request.session_id] = record.outcome(
+            SERVING, departed_s=None)
+    max_wait = controller.config.max_queue_wait_s
+    for request, enqueued in queue:
+        wait = horizon - enqueued
+        state = ABANDONED if wait > max_wait else QUEUED
+        results[request.session_id] = SessionOutcome(
+            session_id=request.session_id, tier=request.tier,
+            arrival_s=request.arrival_s, outcome=state,
+            queue_wait_s=min(wait, max_wait))
+
+    sessions = tuple(results[sid] for sid in sorted(results))
+    return ServeReport(
+        horizon_s=horizon, policy=policy.name,
+        manager=_manager_name(policy), sessions=sessions,
+        timeline=timeline, replans=replans, replan_kinds=kinds,
+        total_decision_seconds=decision_total,
+    )

@@ -1,0 +1,159 @@
+"""Serving-loop outcome records.
+
+Everything here is plain data (tuples, dicts of floats, the piecewise
+:class:`~repro.sim.dynamic.Timeline`): a :class:`ServeReport` crosses the
+scenario-runner process boundary by pickling, and two runs of the same
+:class:`~repro.runner.DynamicScenario` compare bit-equal regardless of the
+worker count — the determinism regression relies on dataclass equality, so
+no wall-clock or process-local field may live in the report (the runner's
+wrapper carries those).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.dynamic import Timeline
+
+__all__ = ["SessionOutcome", "ServeReport"]
+
+#: Session terminal states.
+SERVED = "served"                  # completed its full duration
+SERVING = "serving"                # still live when the horizon closed
+REJECTED = "rejected"              # admission controller turned it away
+ABANDONED = "abandoned"            # queued, timed out before admission
+QUEUED = "queued"                  # still waiting when the horizon closed
+OUT_OF_HORIZON = "out_of_horizon"  # would arrive after the horizon closed
+
+
+@dataclass(frozen=True)
+class SessionOutcome:
+    """One session's fate through the serving loop."""
+
+    session_id: int
+    tier: str                      # tier at the end of the session
+    arrival_s: float
+    outcome: str                   # SERVED | SERVING | REJECTED | ...
+    model: str | None = None       # pool model name while live
+    admitted_s: float | None = None
+    departed_s: float | None = None
+    queue_wait_s: float = 0.0
+    served_seconds: float = 0.0    # time spent admitted (within horizon)
+    delivered_inferences: float = 0.0
+    gap_seconds: float = 0.0       # admitted time at rate 0 (re-mapping gaps)
+    violation_seconds: float = 0.0  # admitted time below the tier's min P
+
+    @property
+    def mean_rate(self) -> float:
+        """Average delivered inferences/s while admitted."""
+        if self.served_seconds <= 0:
+            return 0.0
+        return self.delivered_inferences / self.served_seconds
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Aggregate outcome of one serving run."""
+
+    horizon_s: float
+    policy: str                    # replan-policy roster key / name
+    manager: str                   # planning manager's display name
+    sessions: tuple[SessionOutcome, ...]
+    timeline: Timeline
+    replans: int
+    replan_kinds: dict[str, int] = field(default_factory=dict)
+    total_decision_seconds: float = 0.0   # modeled planner latency, summed
+
+    # ------------------------------------------------------- admission
+    def _count(self, outcome: str) -> int:
+        return sum(1 for s in self.sessions if s.outcome == outcome)
+
+    @property
+    def arrivals(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def admitted(self) -> int:
+        return sum(1 for s in self.sessions if s.admitted_s is not None)
+
+    @property
+    def rejected(self) -> int:
+        return self._count(REJECTED)
+
+    @property
+    def abandoned(self) -> int:
+        return self._count(ABANDONED)
+
+    @property
+    def queued_at_horizon(self) -> int:
+        return self._count(QUEUED)
+
+    @property
+    def out_of_horizon(self) -> int:
+        return self._count(OUT_OF_HORIZON)
+
+    @property
+    def waited_in_queue(self) -> int:
+        """Admitted sessions that spent time in the waiting room first."""
+        return sum(1 for s in self.sessions
+                   if s.admitted_s is not None and s.queue_wait_s > 0)
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        waits = [s.queue_wait_s for s in self.sessions
+                 if s.admitted_s is not None]
+        return sum(waits) / len(waits) if waits else 0.0
+
+    # --------------------------------------------------------- service
+    @property
+    def observed_seconds(self) -> float:
+        return sum(s.served_seconds for s in self.sessions)
+
+    @property
+    def total_gap_seconds(self) -> float:
+        return sum(s.gap_seconds for s in self.sessions)
+
+    @property
+    def sla_violation_seconds(self) -> float:
+        return sum(s.violation_seconds for s in self.sessions)
+
+    @property
+    def sla_violation_fraction(self) -> float:
+        """Fraction of admitted DNN-time spent below the tier guarantee."""
+        if self.observed_seconds <= 0:
+            return 0.0
+        return self.sla_violation_seconds / self.observed_seconds
+
+    @property
+    def mean_session_rate(self) -> float:
+        rates = [s.mean_rate for s in self.sessions
+                 if s.served_seconds > 0]
+        return sum(rates) / len(rates) if rates else 0.0
+
+    @property
+    def mean_decision_seconds(self) -> float:
+        return self.total_decision_seconds / self.replans if self.replans \
+            else 0.0
+
+    # --------------------------------------------------------- display
+    def summary(self) -> str:
+        """Human-readable multi-line digest (printed by the examples)."""
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(
+            self.replan_kinds.items())) or "none"
+        lines = [
+            f"ServeReport[{self.manager} / {self.policy}] over "
+            f"{self.horizon_s:.0f} s",
+            f"  sessions: {self.arrivals} arrived, {self.admitted} admitted "
+            f"({self.waited_in_queue} after queueing), "
+            f"{self.rejected} rejected, {self.abandoned} abandoned, "
+            f"{self.queued_at_horizon} still queued",
+            f"  replans: {self.replans} ({kinds}); decision latency "
+            f"{self.total_decision_seconds:.1f} s total, "
+            f"{self.mean_decision_seconds:.2f} s mean",
+            f"  re-mapping gap time: {self.total_gap_seconds:.1f} s of "
+            f"{self.observed_seconds:.1f} s admitted DNN-time",
+            f"  SLA: {self.sla_violation_fraction:.1%} of admitted time in "
+            f"violation; mean session rate {self.mean_session_rate:.2f}/s",
+            f"  mean queue wait: {self.mean_queue_wait_s:.1f} s",
+        ]
+        return "\n".join(lines)

@@ -1,6 +1,6 @@
 """Execution simulator (the paper's board-measurement substitute)."""
 
-from .cache import EvaluationCache
+from .cache import EvaluationCache, platform_fingerprint
 from .contention import (
     ContentionSolution,
     solve_steady_state,
@@ -17,6 +17,7 @@ from .dynamic import (
     arrival,
     departure,
     priority_change,
+    restrict_mapping,
     run_dynamic_scenario,
 )
 from .engine import SimResult, simulate, simulate_batch
@@ -31,6 +32,8 @@ __all__ = [
     "simulate",
     "simulate_batch",
     "EvaluationCache",
+    "platform_fingerprint",
+    "restrict_mapping",
     "DesConfig",
     "DesResult",
     "simulate_des",

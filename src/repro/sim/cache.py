@@ -28,18 +28,52 @@ entry is keyed by::
 Entries are evicted least-recently-used once ``maxsize`` is reached;
 hits refresh recency.  ``hits``/``misses``/``hit_rate`` expose the
 effectiveness (asserted in the regression tests).
+
+Persistence
+-----------
+
+A cache can :meth:`~EvaluationCache.save` its entries to disk and a later
+process can :meth:`~EvaluationCache.load` them back, so serve workers and
+repeated experiment runs start warm instead of re-solving the same
+canonical keys.  The on-disk record carries a format version and a
+:func:`platform_fingerprint` of every parameter that influences a solve;
+loading refuses a cache built for a different platform (the rates would be
+silently wrong) or an unknown format version.
 """
 
 from __future__ import annotations
 
+import hashlib
+import pickle
+import tempfile
 from collections import OrderedDict
+from pathlib import Path
 
 from ..hw.platform import Platform
 from ..mapping.mapping import Mapping
 from ..zoo.layers import ModelSpec
 from .engine import SimResult, simulate_batch
 
-__all__ = ["EvaluationCache"]
+__all__ = ["EvaluationCache", "platform_fingerprint"]
+
+#: On-disk format version; bump when the payload layout changes.
+_CACHE_FORMAT_VERSION = 1
+
+
+def platform_fingerprint(platform: Platform) -> str:
+    """Stable digest of every platform parameter that affects a solve.
+
+    Built from the value-based ``cache_key`` of each component plus the
+    link parameters, so two structurally identical platform objects (e.g.
+    rebuilt from the same preset in different processes) fingerprint equal
+    while any parameter tweak produces a different digest.
+    """
+    parts = [platform.name]
+    for comp in platform.components:
+        parts.append(repr(comp.cache_key()))
+    parts.append(repr((platform.link.bandwidth_bytes_per_s,
+                       platform.link.latency_s)))
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
 
 #: Default capacity: ~75 plans' worth of distinct 640-evaluation searches.
 #: Each entry retains a full SimResult (a few KB of per-stage arrays), so
@@ -123,3 +157,59 @@ class EvaluationCache:
         self._store[key] = result
         if len(self._store) > self.maxsize:
             self._store.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> int:
+        """Serialize the cached entries to ``path``; returns the count.
+
+        The parent directory is created if needed.  The write goes through
+        a temporary file and an atomic rename so concurrent readers never
+        observe a half-written cache.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": _CACHE_FORMAT_VERSION,
+            "fingerprint": platform_fingerprint(self.platform),
+            "platform_name": self.platform.name,
+            "entries": list(self._store.items()),
+        }
+        # Unique temp name per writer: concurrent saves to one path must
+        # not interleave into the same file before the atomic rename.
+        with tempfile.NamedTemporaryFile(dir=path.parent, delete=False,
+                                         suffix=".tmp") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp = Path(fh.name)
+        tmp.replace(path)
+        return len(self._store)
+
+    @classmethod
+    def load(cls, path: str | Path, platform: Platform,
+             maxsize: int = _DEFAULT_MAXSIZE) -> "EvaluationCache":
+        """Rebuild a cache from :meth:`save` output, bound to ``platform``.
+
+        Refuses (``ValueError``) a file whose format version is unknown or
+        whose platform fingerprint does not match ``platform`` — entries
+        solved on one board model must never answer for another.  When the
+        file holds more than ``maxsize`` entries the most recently used
+        ones survive.
+        """
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        version = payload.get("version")
+        if version != _CACHE_FORMAT_VERSION:
+            raise ValueError(
+                f"cache file {path} has format version {version!r}; this "
+                f"build reads version {_CACHE_FORMAT_VERSION}")
+        fingerprint = platform_fingerprint(platform)
+        if payload.get("fingerprint") != fingerprint:
+            raise ValueError(
+                f"cache file {path} was built for platform "
+                f"{payload.get('platform_name')!r} (fingerprint "
+                f"{payload.get('fingerprint')!r}); refusing to load it for "
+                f"{platform.name!r} (fingerprint {fingerprint!r})")
+        cache = cls(platform, maxsize=maxsize)
+        entries = payload["entries"]
+        for key, result in entries[-maxsize:]:
+            cache._store[key] = result
+        return cache

@@ -29,6 +29,7 @@ __all__ = [
     "priority_change",
     "Segment",
     "Timeline",
+    "restrict_mapping",
     "run_dynamic_scenario",
 ]
 
@@ -126,9 +127,16 @@ class Timeline:
         return dict(self.segments[-1].potentials) if self.segments else {}
 
 
-def _restrict(mapping: Mapping | None, old_names: list[str],
-              new_workload: list[ModelSpec]) -> tuple[list[ModelSpec], Mapping] | None:
-    """Keep the old mapping for DNNs still active (decision-gap behaviour)."""
+def restrict_mapping(mapping: Mapping | None, old_names: list[str],
+                     new_workload: list[ModelSpec]) -> tuple[list[ModelSpec], Mapping] | None:
+    """Keep the old mapping for DNNs still active (decision-gap behaviour).
+
+    Returns the surviving ``(models, mapping)`` pair in the old mapping's
+    order, or ``None`` when nothing survives.  Shared by the dynamic
+    replay engine and the online serving loop (:mod:`repro.serve`), whose
+    re-mapping gaps have identical semantics: residents keep running on
+    the incumbent placement while the planner decides.
+    """
     if mapping is None:
         return None
     keep_models: list[ModelSpec] = []
@@ -210,8 +218,8 @@ def run_dynamic_scenario(events: list[ScenarioEvent], planner: Planner,
         if gap > 0:
             # Decision window: previous mapping keeps running (restricted to
             # the DNNs still active); the event's subject waits.
-            current = _restrict(current[1] if current else None,
-                                prev_names, active)
+            current = restrict_mapping(current[1] if current else None,
+                                       prev_names, active)
             emit(clock, min(clock + gap, horizon))
             clock = min(clock + gap, horizon)
         current = (list(active), decision.mapping)

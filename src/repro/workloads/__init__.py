@@ -47,7 +47,16 @@ from .sla import (
     assign_tiers,
     evaluate_sla,
 )
-from .traces import TraceConfig, poisson_trace, trace_peak_concurrency
+from .traces import (
+    DroppedArrival,
+    SessionRequest,
+    TraceConfig,
+    TraceStats,
+    poisson_trace,
+    poisson_trace_with_stats,
+    sample_session_requests,
+    trace_peak_concurrency,
+)
 
 __all__ = [
     "MOTIVATION_WORKLOAD",
@@ -66,7 +75,12 @@ __all__ = [
     "staggered_arrivals",
     "rotating_priority_schedule",
     "TraceConfig",
+    "TraceStats",
+    "DroppedArrival",
+    "SessionRequest",
     "poisson_trace",
+    "poisson_trace_with_stats",
+    "sample_session_requests",
     "trace_peak_concurrency",
     "SlaClass",
     "SlaAssignment",

@@ -6,6 +6,18 @@ a dynamic-scenario event stream: DNN sessions arrive as a Poisson process,
 run for an exponentially distributed duration, and leave.  Feeding the
 trace to :func:`repro.sim.run_dynamic_scenario` with any manager yields the
 timeline the SLA report (:mod:`repro.workloads.sla`) scores.
+
+Two consumers read these traces:
+
+* :func:`poisson_trace` applies ``TraceConfig.max_concurrent`` as a blind
+  admission cap and emits a ready-to-replay event list.
+  :func:`poisson_trace_with_stats` is the same sampler but additionally
+  returns the arrivals the cap (or pool exhaustion) dropped, so
+  admission-control studies have a baseline to compare against.
+* :func:`sample_session_requests` emits the *uncapped* raw demand — every
+  would-be session with its arrival time, duration and SLA tier — for the
+  online serving loop (:mod:`repro.serve`), whose admission controller
+  makes its own accept/queue/reject decision per request.
 """
 
 from __future__ import annotations
@@ -17,7 +29,20 @@ import numpy as np
 from ..sim.dynamic import ScenarioEvent, arrival, departure
 from ..zoo.registry import MODEL_POOL, get_model
 
-__all__ = ["TraceConfig", "poisson_trace", "trace_peak_concurrency"]
+__all__ = [
+    "TraceConfig",
+    "DroppedArrival",
+    "TraceStats",
+    "SessionRequest",
+    "poisson_trace",
+    "poisson_trace_with_stats",
+    "sample_session_requests",
+    "trace_peak_concurrency",
+]
+
+#: Default SLA-tier rotation for sampled session requests (highest first,
+#: matching :data:`repro.workloads.sla.SLA_TIERS`).
+DEFAULT_TIER_CYCLE: tuple[str, ...] = ("gold", "silver", "bronze")
 
 
 @dataclass(frozen=True)
@@ -49,6 +74,49 @@ class TraceConfig:
             raise ValueError("pool must not be empty")
 
 
+@dataclass(frozen=True)
+class DroppedArrival:
+    """One arrival the blind cap discarded, and why.
+
+    ``reason`` is ``"capacity"`` (cap reached) or ``"pool"`` (every pool
+    model already live; the event engine identifies DNNs by name, so a
+    duplicate cannot be admitted).
+    """
+
+    time: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Admission ledger of one sampled trace."""
+
+    arrivals: int                          # total would-be sessions
+    admitted: int
+    dropped: tuple[DroppedArrival, ...]
+
+    @property
+    def drop_rate(self) -> float:
+        return len(self.dropped) / self.arrivals if self.arrivals else 0.0
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """One raw (uncapped) session request for the online serving loop.
+
+    ``tier`` names an SLA class (:mod:`repro.workloads.sla`).  An optional
+    ``tier_shift`` models a mid-session priority change — ``(offset_s,
+    new_tier)`` relative to the session's admission time — the online
+    analogue of the paper's Fig. 10 user priority shifts.
+    """
+
+    session_id: int
+    arrival_s: float
+    duration_s: float
+    tier: str
+    tier_shift: tuple[float, str] | None = None
+
+
 def poisson_trace(rng: np.random.Generator,
                   config: TraceConfig | None = None) -> list[ScenarioEvent]:
     """Sample one session trace as a sorted scenario event list.
@@ -59,19 +127,41 @@ def poisson_trace(rng: np.random.Generator,
     sessions — the dynamic-scenario engine identifies DNNs by name, so two
     live sessions must not share one.
     """
+    events, _ = poisson_trace_with_stats(rng, config)
+    return events
+
+
+def poisson_trace_with_stats(
+        rng: np.random.Generator,
+        config: TraceConfig | None = None,
+) -> tuple[list[ScenarioEvent], TraceStats]:
+    """Like :func:`poisson_trace` but also returns the drop ledger.
+
+    Same sampler, same rng consumption for admitted sessions: for any
+    ``(rng state, config)`` the event list is identical to what
+    :func:`poisson_trace` yields.  The extra :class:`TraceStats` records
+    every arrival the cap or the name pool discarded, giving
+    admission-control comparisons (queue instead of drop, tier-aware
+    rejection) their blind-drop baseline.
+    """
     config = config if config is not None else TraceConfig()
     events: list[ScenarioEvent] = []
+    dropped: list[DroppedArrival] = []
+    arrivals = 0
     active: dict[str, float] = {}    # name -> departure time
     t = 0.0
     while True:
         t += rng.exponential(1.0 / config.arrival_rate_per_s)
         if t >= config.horizon_s:
             break
+        arrivals += 1
         active = {n: end for n, end in active.items() if end > t}
         if len(active) >= config.max_concurrent:
+            dropped.append(DroppedArrival(t, "capacity"))
             continue
         free = [n for n in config.pool if n not in active]
         if not free:
+            dropped.append(DroppedArrival(t, "pool"))
             continue
         name = str(rng.choice(free))
         end = t + rng.exponential(config.mean_session_s)
@@ -79,7 +169,49 @@ def poisson_trace(rng: np.random.Generator,
         if end < config.horizon_s:
             events.append(departure(end, get_model(name)))
         active[name] = end
-    return sorted(events, key=lambda e: e.time)
+    stats = TraceStats(arrivals=arrivals, admitted=arrivals - len(dropped),
+                       dropped=tuple(dropped))
+    return sorted(events, key=lambda e: e.time), stats
+
+
+def sample_session_requests(
+        rng: np.random.Generator,
+        config: TraceConfig | None = None,
+        tiers: tuple[str, ...] = DEFAULT_TIER_CYCLE,
+        tier_shift_prob: float = 0.0,
+        shift_tier: str = "gold",
+) -> list[SessionRequest]:
+    """Sample the raw Poisson session demand, with no admission applied.
+
+    Every would-be session is returned — the serving loop's admission
+    controller decides accept/queue/reject per request.  Tiers rotate
+    through ``tiers`` in arrival order (deterministic and balanced, like
+    :func:`repro.workloads.sla.assign_tiers`); with probability
+    ``tier_shift_prob`` a session carries a mid-session shift to
+    ``shift_tier`` at a uniform point of its duration.
+    """
+    config = config if config is not None else TraceConfig()
+    if not tiers:
+        raise ValueError("tiers must not be empty")
+    if not 0.0 <= tier_shift_prob <= 1.0:
+        raise ValueError("tier_shift_prob must be within [0, 1]")
+    requests: list[SessionRequest] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / config.arrival_rate_per_s)
+        if t >= config.horizon_s:
+            break
+        duration = rng.exponential(config.mean_session_s)
+        tier = tiers[len(requests) % len(tiers)]
+        shift = None
+        if tier_shift_prob > 0.0 and rng.random() < tier_shift_prob \
+                and tier != shift_tier:
+            shift = (float(rng.uniform(0.2, 0.8) * duration), shift_tier)
+        requests.append(SessionRequest(
+            session_id=len(requests), arrival_s=float(t),
+            duration_s=float(duration), tier=tier, tier_shift=shift,
+        ))
+    return requests
 
 
 def trace_peak_concurrency(events: list[ScenarioEvent]) -> int:

@@ -6,15 +6,25 @@ import pytest
 from repro.runner import (
     MANAGER_SPECS,
     PLATFORM_SPECS,
+    DynamicScenario,
     Scenario,
     ScenarioResult,
     ScenarioRunner,
+    dynamic_sweep_scenarios,
+    execute_dynamic_scenario,
     execute_scenario,
     mix_scenarios,
     summarise,
+    summarise_dynamic,
 )
 
 FAST = dict(search_iterations=6, search_rollouts=2)
+
+SMALL_POOL = ("alexnet", "squeezenet", "mobilenet_v2", "shufflenet")
+
+DYNAMIC_FAST = dict(horizon_s=240.0, arrival_rate_per_s=1 / 30,
+                    mean_session_s=100.0, pool=SMALL_POOL, capacity=2,
+                    search_iterations=6, search_rollouts=2)
 
 
 class TestScenarioSpec:
@@ -137,6 +147,127 @@ class TestExperimentContextFleetSweep:
         with pytest.raises(ValueError, match="not a runner preset"):
             ctx.fleet_sweep(managers=("baseline",), sizes=(2,),
                             mixes_per_size=1, max_workers=1)
+
+
+class TestDynamicScenario:
+    def test_spec_validated(self):
+        with pytest.raises(ValueError):
+            DynamicScenario(name="x", horizon_s=0.0)
+        with pytest.raises(ValueError):
+            DynamicScenario(name="x", arrival_rate_per_s=0.0)
+        with pytest.raises(ValueError):
+            DynamicScenario(name="x", capacity=0)
+
+    def test_specs_are_picklable(self):
+        import pickle
+
+        s = DynamicScenario(name="d", **DYNAMIC_FAST)
+        assert pickle.loads(pickle.dumps(s)) == s
+
+    def test_execute_produces_report(self):
+        s = DynamicScenario(name="d", manager="rankmap_d", policy="warm",
+                            **DYNAMIC_FAST)
+        r = execute_dynamic_scenario(s)
+        assert r.policy == "warm"
+        assert r.report.arrivals > 0
+        assert r.report.replans > 0
+        assert r.wall_seconds > 0
+        assert 0.0 <= r.eval_cache_hit_rate <= 1.0
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError, match="unknown platform"):
+            execute_dynamic_scenario(
+                DynamicScenario(name="x", platform="nope", **DYNAMIC_FAST))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown replan policy"):
+            execute_dynamic_scenario(
+                DynamicScenario(name="x", policy="nope", **DYNAMIC_FAST))
+
+    def test_parallel_equals_serial(self):
+        """Satellite regression: the same DynamicScenario through 1 worker
+        and N workers yields identical ServeReports."""
+        specs = dynamic_sweep_scenarios(
+            policies=("full", "warm"), managers=("rankmap_d",),
+            traces_per_cell=1, horizon_s=240.0,
+            arrival_rate_per_s=1 / 30, pool=SMALL_POOL, capacity=2,
+            search_iterations=6)
+        serial = ScenarioRunner(max_workers=1).run_dynamic(specs)
+        parallel = ScenarioRunner(max_workers=2).run_dynamic(specs)
+        assert [r.name for r in parallel] == [s.name for s in specs]
+        assert [r.report for r in serial] == [r.report for r in parallel]
+
+    def test_workers_load_persisted_cache(self, tmp_path):
+        """Acceptance: a cache persisted by one run warms fresh worker
+        processes, which report hit_rate > 0 on their first plans."""
+        from repro.hw import orange_pi_5
+        from repro.sim import EvaluationCache
+
+        path = tmp_path / "cache.pkl"
+        cold = DynamicScenario(name="warmup", manager="rankmap_d",
+                               **DYNAMIC_FAST)
+        platform = orange_pi_5()
+        cache = EvaluationCache(platform)
+        # Warm the cache inline with the identical spec, then persist it.
+        from repro.runner.runner import build_manager
+        from repro.serve import build_replan_policy, serve_trace, ServeConfig, AdmissionConfig
+        from repro.workloads import TraceConfig, sample_session_requests
+
+        manager = build_manager(cold, platform, cache)
+        requests = sample_session_requests(
+            np.random.default_rng(cold.seed + 17),
+            TraceConfig(horizon_s=cold.horizon_s,
+                        arrival_rate_per_s=cold.arrival_rate_per_s,
+                        mean_session_s=cold.mean_session_s,
+                        max_concurrent=cold.capacity, pool=SMALL_POOL))
+        serve_trace(requests, build_replan_policy("full", manager), platform,
+                    ServeConfig(horizon_s=cold.horizon_s,
+                                admission=AdmissionConfig(capacity=2),
+                                pool=SMALL_POOL, seed=cold.seed),
+                    cache=cache)
+        cache.save(path)
+
+        warmed = [DynamicScenario(name=f"w{i}", manager="rankmap_d",
+                                  cache_path=str(path), **DYNAMIC_FAST)
+                  for i in range(2)]
+        results = ScenarioRunner(max_workers=2).run_dynamic(warmed)
+        for r in results:
+            assert r.eval_cache_preloaded > 0
+            assert r.eval_cache_hit_rate > 0
+
+    def test_summarise_dynamic_groups_by_policy(self):
+        # "warm" needs a RankMap manager, so the cheap baseline cells use
+        # the full and plan-cache policies.
+        specs = dynamic_sweep_scenarios(
+            policies=("full", "cache"), managers=("baseline",),
+            traces_per_cell=2, horizon_s=240.0,
+            arrival_rate_per_s=1 / 40, pool=SMALL_POOL, capacity=2,
+            search_iterations=6)
+        rows = summarise_dynamic(
+            ScenarioRunner(max_workers=1).run_dynamic(specs))
+        assert [(r["manager"], r["policy"]) for r in rows] == \
+            [("baseline", "cache"), ("baseline", "full")]
+        assert all(r["scenarios"] == 2 for r in rows)
+
+    def test_cells_share_traces(self):
+        specs = dynamic_sweep_scenarios(policies=("full", "warm"),
+                                        traces_per_cell=2)
+        by_trace = {}
+        for s in specs:
+            by_trace.setdefault(s.name.split("_")[0], set()).add(s.seed)
+        assert all(len(seeds) == 1 for seeds in by_trace.values())
+
+    def test_experiment_context_serve_sweep(self, tmp_path):
+        from repro.experiments import ExperimentContext
+
+        ctx = ExperimentContext(preset="tiny", results_dir=tmp_path,
+                                use_artifact_cache=False)
+        results, summary = ctx.serve_sweep(
+            policies=("full",), managers=("baseline",), traces_per_cell=1,
+            horizon_s=240.0, pool=SMALL_POOL, max_workers=1)
+        assert len(results) == 1
+        assert summary[0]["policy"] == "full"
+        assert results[0].report.arrivals > 0
 
 
 class TestMixScenariosAndSummarise:

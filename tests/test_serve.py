@@ -1,0 +1,317 @@
+"""Tests for the online serving subsystem (admission, replan, loop)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OraclePredictor, RankMap, RankMapConfig
+from repro.hw import orange_pi_5
+from repro.search import MCTSConfig
+from repro.serve import (
+    ADMIT,
+    QUEUE,
+    REJECT,
+    AdmissionConfig,
+    AdmissionController,
+    FullReplan,
+    PlanCacheReplan,
+    ServeConfig,
+    WarmStartReplan,
+    build_replan_policy,
+    serve_trace,
+)
+from repro.sim import EvaluationCache, simulate
+from repro.workloads import SessionRequest, TraceConfig, sample_session_requests
+from repro.zoo import get_model
+
+PLATFORM = orange_pi_5()
+POOL = ("alexnet", "squeezenet", "mobilenet_v2", "shufflenet")
+
+SMALL_MCTS = MCTSConfig(iterations=8, rollouts_per_leaf=2)
+
+
+def rankmap(cache=None, mode="dynamic"):
+    return RankMap(PLATFORM, OraclePredictor(PLATFORM, cache=cache),
+                   RankMapConfig(mode=mode, mcts=SMALL_MCTS))
+
+
+def request(sid, arrival, duration, tier="gold", shift=None):
+    return SessionRequest(session_id=sid, arrival_s=arrival,
+                          duration_s=duration, tier=tier, tier_shift=shift)
+
+
+def serve_config(capacity=2, queue_limit=2, max_wait=100.0, horizon=400.0,
+                 seed=0):
+    return ServeConfig(
+        horizon_s=horizon,
+        admission=AdmissionConfig(capacity=capacity, queue_limit=queue_limit,
+                                  max_queue_wait_s=max_wait),
+        pool=POOL, seed=seed)
+
+
+# ------------------------------------------------------------- admission
+class TestAdmissionController:
+    def test_admits_below_capacity(self):
+        c = AdmissionController(AdmissionConfig(capacity=2))
+        assert c.decide("bronze", 1, 0, can_place=True) == ADMIT
+
+    def test_queues_high_tier_at_capacity(self):
+        c = AdmissionController(AdmissionConfig(capacity=2, queue_limit=4))
+        assert c.decide("gold", 2, 0, can_place=True) == QUEUE
+        assert c.decide("silver", 2, 0, can_place=True) == QUEUE
+
+    def test_rejects_low_tier_at_capacity(self):
+        c = AdmissionController(AdmissionConfig(capacity=2))
+        assert c.decide("bronze", 2, 0, can_place=True) == REJECT
+
+    def test_rejects_when_queue_full(self):
+        c = AdmissionController(AdmissionConfig(capacity=1, queue_limit=1))
+        assert c.decide("gold", 1, 1, can_place=True) == REJECT
+
+    def test_pool_exhaustion_blocks_placement(self):
+        c = AdmissionController(AdmissionConfig(capacity=8, queue_limit=2))
+        assert c.decide("gold", 3, 0, can_place=False) == QUEUE
+
+    def test_unknown_tier_rejected(self):
+        c = AdmissionController()
+        with pytest.raises(ValueError, match="unknown SLA tier"):
+            c.decide("platinum", 0, 0, can_place=True)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(capacity=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(queue_limit=-1)
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_queue_wait_s=0.0)
+
+    def test_queue_drain_order_tier_then_fifo(self):
+        c = AdmissionController()
+        keys = [c.queue_order_key("bronze", 1.0, 1),
+                c.queue_order_key("gold", 5.0, 2),
+                c.queue_order_key("gold", 2.0, 3)]
+        assert sorted(keys) == [keys[2], keys[1], keys[0]]
+
+
+# ---------------------------------------------------------------- replan
+class TestReplanPolicies:
+    def _incumbent(self, policy, workload):
+        first = policy.replan(workload, None, None)
+        return (tuple(m.name for m in workload), first.mapping)
+
+    def test_full_replan_matches_manager(self):
+        manager = rankmap()
+        policy = FullReplan(manager)
+        workload = [get_model("alexnet"), get_model("mobilenet_v2")]
+        outcome = policy.replan(workload, None, None)
+        direct = rankmap().plan(workload)
+        assert outcome.kind == "full"
+        assert outcome.mapping == direct.mapping
+        assert outcome.decision_seconds == direct.decision_seconds
+
+    def test_warm_start_is_cheaper_than_full(self):
+        manager = rankmap()
+        policy = WarmStartReplan(manager)
+        resident = [get_model("alexnet"), get_model("squeezenet")]
+        incumbent = self._incumbent(policy, resident)
+        workload = resident + [get_model("mobilenet_v2")]
+        warm = policy.replan(workload, None, incumbent)
+        full = FullReplan(rankmap()).replan(workload, None, None)
+        assert warm.kind in ("warm", "warm_fallback")
+        assert warm.decision_seconds < full.decision_seconds
+
+    def test_warm_start_keeps_resident_assignments(self):
+        manager = rankmap()
+        policy = WarmStartReplan(manager)
+        resident = [get_model("alexnet"), get_model("squeezenet")]
+        incumbent_names, incumbent_mapping = self._incumbent(policy, resident)
+        workload = resident + [get_model("mobilenet_v2")]
+        outcome = policy.replan(workload, None,
+                                (incumbent_names, incumbent_mapping))
+        if outcome.kind == "warm":
+            assert outcome.mapping.assignments[:2] \
+                == incumbent_mapping.assignments
+        new_blocks = outcome.mapping.assignments[2]
+        assert len(new_blocks) == get_model("mobilenet_v2").num_blocks
+
+    def test_warm_start_requires_rankmap(self):
+        from repro.baselines import GpuBaseline
+
+        with pytest.raises(ValueError, match="RankMap"):
+            WarmStartReplan(GpuBaseline())
+
+    def test_plan_cache_hit_is_free_and_identical(self):
+        """Acceptance: cache hits cost nothing and replay the same mapping
+        (hence identical steady-state rates) for identical workloads."""
+        policy = PlanCacheReplan(FullReplan(rankmap()))
+        workload = [get_model("alexnet"), get_model("mobilenet_v2")]
+        miss = policy.replan(workload, None, None)
+        hit = policy.replan(workload, None, None)
+        assert (policy.hits, policy.misses) == (1, 1)
+        assert hit.kind == "cache_hit"
+        assert hit.decision_seconds == 0.0
+        assert hit.mapping == miss.mapping
+        miss_rates = simulate(workload, miss.mapping, PLATFORM).rates
+        hit_rates = simulate(workload, hit.mapping, PLATFORM).rates
+        np.testing.assert_array_equal(hit_rates, miss_rates)
+
+    def test_plan_cache_keyed_on_priorities(self):
+        policy = PlanCacheReplan(FullReplan(rankmap(mode="static")))
+        workload = [get_model("alexnet"), get_model("mobilenet_v2")]
+        policy.replan(workload, np.array([0.7, 0.3]), None)
+        out = policy.replan(workload, np.array([0.3, 0.7]), None)
+        assert out.kind != "cache_hit"
+        assert policy.misses == 2
+
+    def test_unknown_policy_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown replan policy"):
+            build_replan_policy("nope", rankmap())
+
+    def test_roster_builds_all_policies(self):
+        from repro.serve import REPLAN_POLICIES
+
+        for key in REPLAN_POLICIES:
+            policy = build_replan_policy(key, rankmap())
+            out = policy.replan([get_model("alexnet")], None, None)
+            assert out.mapping.num_dnns == 1
+
+
+# ------------------------------------------------------------------ loop
+class TestServeLoop:
+    def test_sessions_partition_into_outcomes(self):
+        requests = sample_session_requests(
+            np.random.default_rng(3),
+            TraceConfig(horizon_s=400.0, arrival_rate_per_s=1 / 25,
+                        mean_session_s=150.0, pool=POOL))
+        report = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                             serve_config())
+        assert report.arrivals == len(requests)
+        by_state = {s.outcome for s in report.sessions}
+        assert by_state <= {"served", "serving", "rejected", "abandoned",
+                            "queued", "out_of_horizon"}
+        terminal = (report.admitted + report.rejected + report.abandoned
+                    + report.queued_at_horizon + report.out_of_horizon)
+        assert terminal == report.arrivals
+
+    def test_queue_admits_what_blind_drop_loses(self):
+        # Two gold sessions contend for one slot: the second queues and is
+        # admitted when the first departs, instead of being dropped.
+        requests = [request(0, 10.0, 100.0), request(1, 20.0, 100.0)]
+        report = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                             serve_config(capacity=1, horizon=400.0))
+        second = report.sessions[1]
+        assert second.outcome == "served"
+        # Enqueued once the first session's planning gap closes; admitted
+        # at the first departure (t=110).
+        assert 0 < second.queue_wait_s <= 90.0
+        assert second.admitted_s == pytest.approx(110.0)
+        assert report.waited_in_queue == 1
+
+    def test_bronze_rejected_at_capacity(self):
+        requests = [request(0, 10.0, 200.0, tier="gold"),
+                    request(1, 20.0, 50.0, tier="bronze")]
+        report = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                             serve_config(capacity=1, horizon=300.0))
+        assert report.sessions[1].outcome == "rejected"
+
+    def test_queue_timeout_abandons(self):
+        requests = [request(0, 10.0, 500.0), request(1, 20.0, 50.0)]
+        report = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                             serve_config(capacity=1, max_wait=60.0,
+                                          horizon=400.0))
+        assert report.sessions[1].outcome == "abandoned"
+        assert report.sessions[1].queue_wait_s == pytest.approx(60.0)
+
+    def test_gap_time_charged_to_new_arrival(self):
+        # The second session arrives while the first runs; the replan's
+        # modeled latency shows up as its (and only its) gap time.
+        requests = [request(0, 0.0, 390.0), request(1, 100.0, 250.0)]
+        report = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                             serve_config(capacity=2, horizon=400.0))
+        first, second = report.sessions
+        assert second.gap_seconds > 0
+        assert second.gap_seconds < second.served_seconds
+        # The resident only stalls for its own initial planning window.
+        assert first.gap_seconds < first.served_seconds / 2
+
+    def test_tier_shift_triggers_replan(self):
+        requests = [request(0, 0.0, 300.0, tier="bronze",
+                            shift=(100.0, "gold"))]
+        report = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                             serve_config(capacity=2, horizon=350.0))
+        # initial plan + shift replan
+        assert report.replans == 2
+        assert report.sessions[0].tier == "gold"
+
+    def test_deterministic_given_seed(self):
+        requests = sample_session_requests(
+            np.random.default_rng(11),
+            TraceConfig(horizon_s=300.0, arrival_rate_per_s=1 / 30,
+                        mean_session_s=120.0, pool=POOL))
+        a = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                        serve_config())
+        b = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                        serve_config())
+        assert a == b
+
+    def test_warm_cache_insensitive_to_cache_state(self):
+        """A warm evaluation cache changes the wall clock, not the report."""
+        requests = sample_session_requests(
+            np.random.default_rng(5),
+            TraceConfig(horizon_s=300.0, arrival_rate_per_s=1 / 30,
+                        mean_session_s=120.0, pool=POOL))
+        cold_cache = EvaluationCache(PLATFORM)
+        cold = serve_trace(requests, FullReplan(rankmap(cache=cold_cache)),
+                           PLATFORM, serve_config(), cache=cold_cache)
+        warm = serve_trace(requests, FullReplan(rankmap(cache=cold_cache)),
+                           PLATFORM, serve_config(), cache=cold_cache)
+        assert cold == warm
+        assert cold_cache.hit_rate > 0
+
+    def test_empty_trace_yields_empty_report(self):
+        report = serve_trace([], FullReplan(rankmap()), PLATFORM,
+                             serve_config())
+        assert report.arrivals == 0
+        assert report.replans == 0
+        assert len(report.timeline.segments) == 1  # one idle segment
+
+    def test_invalid_tier_rejected_up_front(self):
+        with pytest.raises(ValueError, match="unknown SLA tier"):
+            serve_trace([request(0, 1.0, 10.0, tier="platinum")],
+                        FullReplan(rankmap()), PLATFORM, serve_config())
+
+    def test_invalid_shift_tier_rejected_up_front(self):
+        with pytest.raises(ValueError, match="unknown SLA tier"):
+            serve_trace([request(0, 1.0, 10.0, shift=(5.0, "platinum"))],
+                        FullReplan(rankmap()), PLATFORM, serve_config())
+
+    def test_out_of_horizon_arrivals_accounted(self):
+        """Serving a trace with a shorter horizon than it was sampled for
+        must not silently drop the unobserved demand."""
+        requests = [request(0, 10.0, 50.0), request(1, 150.0, 50.0)]
+        report = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                             serve_config(horizon=100.0))
+        assert report.arrivals == 2
+        assert report.out_of_horizon == 1
+        assert report.sessions[1].outcome == "out_of_horizon"
+
+    def test_timeline_contiguous_to_horizon(self):
+        requests = [request(0, 10.0, 100.0), request(1, 50.0, 60.0)]
+        report = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                             serve_config(horizon=200.0))
+        segs = report.timeline.segments
+        for prev, nxt in zip(segs, segs[1:]):
+            assert prev.t_end == pytest.approx(nxt.t_start)
+        assert segs[-1].t_end == pytest.approx(200.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(horizon_s=0.0)
+        with pytest.raises(ValueError):
+            ServeConfig(pool=())
+
+    def test_report_summary_renders(self):
+        report = serve_trace([request(0, 1.0, 50.0)],
+                             FullReplan(rankmap()), PLATFORM,
+                             serve_config(horizon=100.0))
+        text = report.summary()
+        assert "ServeReport" in text and "replans" in text

@@ -94,6 +94,100 @@ class TestEvaluationCache:
         assert len(cache) == 0
 
 
+class TestCachePersistence:
+    def _primed_cache(self, workload, n=4):
+        cache = EvaluationCache(PLATFORM)
+        cache.simulate(workload, mappings_for(workload, n))
+        return cache
+
+    def test_save_load_round_trip(self, tmp_path):
+        workload = wl("alexnet", "mobilenet")
+        maps = mappings_for(workload, 4)
+        cache = EvaluationCache(PLATFORM)
+        originals = cache.simulate(workload, maps)
+        path = tmp_path / "cache.pkl"
+        assert cache.save(path) == 4
+
+        loaded = EvaluationCache.load(path, PLATFORM)
+        assert len(loaded) == 4
+        results = loaded.simulate(workload, maps)
+        assert loaded.misses == 0 and loaded.hits == 4
+        for got, want in zip(results, originals):
+            np.testing.assert_array_equal(got.rates, want.rates)
+
+    def test_load_refuses_foreign_platform(self, tmp_path):
+        from repro.hw import jetson_class
+
+        workload = wl("alexnet",)
+        cache = self._primed_cache(workload)
+        path = tmp_path / "cache.pkl"
+        cache.save(path)
+        with pytest.raises(ValueError, match="refusing to load"):
+            EvaluationCache.load(path, jetson_class())
+
+    def test_load_refuses_unknown_version(self, tmp_path):
+        import pickle
+
+        workload = wl("alexnet",)
+        cache = self._primed_cache(workload)
+        path = tmp_path / "cache.pkl"
+        cache.save(path)
+        payload = pickle.loads(path.read_bytes())
+        payload["version"] = 999
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            EvaluationCache.load(path, PLATFORM)
+
+    def test_load_respects_maxsize(self, tmp_path):
+        workload = wl("alexnet", "mobilenet")
+        cache = self._primed_cache(workload, n=6)
+        path = tmp_path / "cache.pkl"
+        cache.save(path)
+        loaded = EvaluationCache.load(path, PLATFORM, maxsize=3)
+        assert len(loaded) == 3
+
+    def test_fingerprint_stable_across_rebuilds(self):
+        from repro.sim import platform_fingerprint
+
+        assert platform_fingerprint(orange_pi_5()) \
+            == platform_fingerprint(orange_pi_5())
+
+    def test_fingerprint_tracks_parameters(self):
+        import dataclasses
+
+        from repro.sim import platform_fingerprint
+
+        tweaked = dataclasses.replace(
+            PLATFORM,
+            link=dataclasses.replace(PLATFORM.link, latency_s=12.5))
+        assert platform_fingerprint(tweaked) \
+            != platform_fingerprint(PLATFORM)
+
+    def test_reloaded_cache_warms_first_repeated_plan(self, tmp_path):
+        """Acceptance: a persisted cache answers the first repeated plan
+        with hit_rate > 0 in a fresh cache instance."""
+        workload = wl("alexnet", "squeezenet_v2")
+        cache = EvaluationCache(PLATFORM)
+        manager = RankMap(
+            PLATFORM, OraclePredictor(PLATFORM, cache=cache),
+            RankMapConfig(mode="dynamic",
+                          mcts=MCTSConfig(iterations=10,
+                                          rollouts_per_leaf=2)))
+        first = manager.plan(workload)
+        path = tmp_path / "cache.pkl"
+        cache.save(path)
+
+        fresh = EvaluationCache.load(path, PLATFORM)
+        manager2 = RankMap(
+            PLATFORM, OraclePredictor(PLATFORM, cache=fresh),
+            RankMapConfig(mode="dynamic",
+                          mcts=MCTSConfig(iterations=10,
+                                          rollouts_per_leaf=2)))
+        second = manager2.plan(workload)
+        assert fresh.hit_rate > 0
+        assert second.mapping == first.mapping
+
+
 class TestBatchedCachedSearchEquivalence:
     """Acceptance: the batched+cached MCTS plan produces identical
     best_reward (same seed) to the scalar simulate path."""

@@ -105,6 +105,70 @@ class TestScenarioBasics:
             )
 
 
+class TestScenarioEdgeCases:
+    def test_departure_of_never_admitted_model_is_noop(self):
+        a = get_model("resnet50")
+        tl = run_dynamic_scenario(
+            [arrival(0.0, a), departure(50.0, get_model("vgg16"))],
+            gpu_planner(), PLATFORM, horizon=100.0,
+        )
+        # The resident keeps running; the phantom model never appears.
+        assert tl.potential_at("resnet50", 75.0) == pytest.approx(1.0)
+        assert tl.potential_at("vgg16", 75.0) is None
+        assert all("vgg16" not in seg.names for seg in tl.segments)
+
+    def test_departure_from_empty_system(self):
+        tl = run_dynamic_scenario(
+            [departure(10.0, get_model("vgg16")),
+             arrival(20.0, get_model("resnet50"))],
+            gpu_planner(), PLATFORM, horizon=50.0,
+        )
+        assert tl.potential_at("resnet50", 40.0) == pytest.approx(1.0)
+
+    def test_priority_event_for_absent_model_keeps_running(self):
+        calls = []
+
+        def recording_planner(workload, priorities):
+            calls.append((tuple(m.name for m in workload),
+                          np.array(priorities)))
+            return MappingDecision(gpu_only_mapping(workload))
+
+        a = get_model("resnet50")
+        tl = run_dynamic_scenario(
+            [arrival(0.0, a), priority_change(50.0, {"vgg16": 0.9})],
+            recording_planner, PLATFORM, horizon=100.0,
+        )
+        # The absent model's priority is recorded but does not leak into
+        # the active workload's vector, and the timeline is unaffected.
+        assert len(calls) == 2
+        assert calls[1][0] == ("resnet50",)
+        assert calls[1][1][0] == pytest.approx(0.1)
+        assert tl.potential_at("resnet50", 75.0) == pytest.approx(1.0)
+
+    def test_coincident_events_produce_no_zero_length_segments(self):
+        a, b = get_model("resnet50"), get_model("vgg16")
+        tl = run_dynamic_scenario(
+            [arrival(0.0, a), arrival(100.0, b), departure(100.0, a),
+             priority_change(100.0, {"vgg16": 0.8})],
+            gpu_planner(), PLATFORM, horizon=200.0,
+        )
+        assert all(seg.duration > 0 for seg in tl.segments)
+        for prev, nxt in zip(tl.segments, tl.segments[1:]):
+            assert prev.t_end == pytest.approx(nxt.t_start)
+        # After the coincident batch only vgg16 remains.
+        assert tl.potential_at("resnet50", 150.0) is None
+        assert tl.potential_at("vgg16", 150.0) == pytest.approx(1.0)
+
+    def test_event_at_horizon_boundary_ignored(self):
+        a = get_model("resnet50")
+        tl = run_dynamic_scenario(
+            [arrival(0.0, a), arrival(150.0, get_model("vgg16"))],
+            gpu_planner(), PLATFORM, horizon=100.0,
+        )
+        assert tl.segments[-1].t_end == pytest.approx(100.0)
+        assert all("vgg16" not in seg.names for seg in tl.segments)
+
+
 class TestTimelineQueries:
     def _timeline(self):
         a, b = get_model("resnet50"), get_model("vgg16")

@@ -173,6 +173,90 @@ class TestTraces:
         with pytest.raises(ValueError):
             TraceConfig(pool=())
 
+    def test_stats_expose_dropped_arrivals(self):
+        from repro.workloads import poisson_trace_with_stats
+
+        config = TraceConfig(horizon_s=3000.0, arrival_rate_per_s=1 / 10,
+                             mean_session_s=600.0, max_concurrent=2,
+                             pool=("alexnet", "vgg16", "resnet50"))
+        events, stats = poisson_trace_with_stats(
+            np.random.default_rng(9), config)
+        admitted_events = sum(1 for e in events if e.kind == "arrival")
+        assert stats.admitted == admitted_events
+        assert stats.arrivals == stats.admitted + len(stats.dropped)
+        # Saturated config: the blind cap must have dropped something.
+        assert stats.dropped
+        assert 0.0 < stats.drop_rate < 1.0
+        assert all(d.reason in ("capacity", "pool") for d in stats.dropped)
+        assert all(0.0 <= d.time < config.horizon_s for d in stats.dropped)
+
+    def test_stats_variant_matches_plain_trace(self):
+        from repro.workloads import poisson_trace_with_stats
+
+        config = TraceConfig(horizon_s=1500.0, arrival_rate_per_s=1 / 20)
+        plain = poisson_trace(np.random.default_rng(21), config)
+        with_stats, _ = poisson_trace_with_stats(
+            np.random.default_rng(21), config)
+        assert [(e.time, e.kind, e.model.name) for e in plain] == \
+               [(e.time, e.kind, e.model.name) for e in with_stats]
+
+
+class TestSessionRequests:
+    def test_requests_uncapped_and_ordered(self):
+        from repro.workloads import sample_session_requests
+
+        config = TraceConfig(horizon_s=2000.0, arrival_rate_per_s=1 / 15,
+                             max_concurrent=1)
+        requests = sample_session_requests(np.random.default_rng(4), config)
+        times = [r.arrival_s for r in requests]
+        assert times == sorted(times)
+        assert all(0.0 <= t < config.horizon_s for t in times)
+        assert [r.session_id for r in requests] == list(range(len(requests)))
+        # ~133 expected arrivals: far beyond any max_concurrent cap.
+        assert len(requests) > config.max_concurrent
+
+    def test_tiers_rotate_deterministically(self):
+        from repro.workloads import sample_session_requests
+
+        config = TraceConfig(horizon_s=1000.0, arrival_rate_per_s=1 / 20)
+        requests = sample_session_requests(np.random.default_rng(8), config)
+        cycle = ("gold", "silver", "bronze")
+        assert [r.tier for r in requests] == \
+            [cycle[i % 3] for i in range(len(requests))]
+
+    def test_tier_shifts_sampled_within_duration(self):
+        from repro.workloads import sample_session_requests
+
+        config = TraceConfig(horizon_s=4000.0, arrival_rate_per_s=1 / 15)
+        requests = sample_session_requests(
+            np.random.default_rng(2), config, tier_shift_prob=1.0)
+        shifted = [r for r in requests if r.tier_shift is not None]
+        assert shifted                       # every non-gold session shifts
+        assert all(r.tier != "gold" for r in shifted)
+        for r in shifted:
+            offset, new_tier = r.tier_shift
+            assert new_tier == "gold"
+            assert 0.0 < offset < r.duration_s
+
+    def test_reproducible_given_seed(self):
+        from repro.workloads import sample_session_requests
+
+        config = TraceConfig(horizon_s=900.0)
+        a = sample_session_requests(np.random.default_rng(33), config,
+                                    tier_shift_prob=0.5)
+        b = sample_session_requests(np.random.default_rng(33), config,
+                                    tier_shift_prob=0.5)
+        assert a == b
+
+    def test_argument_validation(self):
+        from repro.workloads import sample_session_requests
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_session_requests(rng, tiers=())
+        with pytest.raises(ValueError):
+            sample_session_requests(rng, tier_shift_prob=1.5)
+
 
 # ------------------------------------------------------------------ SLA
 class TestSla:
