@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench serve-demo
+.PHONY: test bench serve-demo docs-check
 
 ## Tier-1 verification: the full test suite in benchmark smoke mode.
 test:
@@ -18,3 +18,8 @@ bench:
 ## policies, with evaluation-cache persistence between runs.
 serve-demo:
 	$(PY) examples/serve_trace.py
+
+## Validate every intra-repo link in README.md, ROADMAP.md and docs/*.md
+## (tests/test_docs.py runs the same check under tier-1).
+docs-check:
+	python tools/check_links.py

@@ -163,6 +163,31 @@ def test_bench_poisson_trace(benchmark):
     benchmark(step)
 
 
+@pytest.mark.parametrize("routing", ["round_robin", "least_loaded",
+                                     "tier_affinity"])
+def test_bench_fleet_dispatch(benchmark, routing):
+    """Fleet dispatch planning: routing a 1-hour aggregate trace across a
+    6-node heterogeneous fleet (with one mid-run failure to drain).
+
+    This is the cluster layer's pure-dispatch hot path — no serving, no
+    solver — so it bounds how fast ``ScenarioRunner.run_fleet`` can fan
+    nodes out.  The three rows expose the per-policy routing overhead on
+    identical demand.
+    """
+    from repro.serve.fleet import NodeSpec, plan_dispatch
+    from repro.workloads import TraceConfig, sample_session_requests
+
+    config = TraceConfig(horizon_s=3600.0, arrival_rate_per_s=1 / 4,
+                         mean_session_s=90.0)
+    requests = sample_session_requests(np.random.default_rng(0), config)
+    nodes = [NodeSpec(name=f"n{i}", capacity=4, speed=1.0 + 0.5 * i,
+                      fail_at_s=(1800.0 if i == 0 else None))
+             for i in range(6)]
+
+    plan = benchmark(lambda: plan_dispatch(requests, nodes, routing, 3600.0))
+    assert sum(plan.routed) >= len(requests)
+
+
 @pytest.mark.parametrize("policy_key", ["full", "warm", "cache"])
 def test_bench_serve_replan(benchmark, policy_key):
     """Serve-path replan decision: full search vs warm start vs plan-cache.

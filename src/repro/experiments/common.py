@@ -332,3 +332,58 @@ class ExperimentContext:
         results = ScenarioRunner(max_workers=max_workers).run_dynamic(
             scenarios)
         return results, summarise_dynamic(results)
+
+    def fleet_serve_sweep(self, routings: tuple[str, ...] = ("round_robin",
+                                                             "least_loaded",
+                                                             "tier_affinity"),
+                          num_nodes: int = 3,
+                          manager: str = "rankmap_d",
+                          policy: str = "warm",
+                          platforms: tuple[str, ...] = ("orange_pi_5",
+                                                        "jetson_class"),
+                          traces_per_cell: int = 2,
+                          horizon_s: float = 600.0,
+                          arrival_rate_per_s: float = 1.0 / 15.0,
+                          pool: tuple[str, ...] = (),
+                          capacity: int = 3,
+                          fail_at: tuple[tuple[int, float], ...] = (),
+                          max_workers: int | None = None,
+                          cache_path=None):
+        """Cluster-scale serving study fanned across the process pool.
+
+        The multi-node analogue of :meth:`serve_sweep`: every routing
+        policy dispatches the *same* sampled aggregate Poisson traces
+        across a heterogeneous fleet (node ``i`` runs the
+        ``platforms[i % len(platforms)]`` preset), each node serving its
+        slice through :func:`repro.serve.serve_trace` on a worker
+        process.  The preset's MCTS budget scales the node managers and
+        ``fail_at`` optionally kills nodes mid-run to exercise the
+        re-dispatch path.  Returns ``(results, summary_rows)``.
+        """
+        from ..runner import (
+            PLATFORM_SPECS,
+            ScenarioRunner,
+            fleet_sweep_scenarios,
+            summarise_fleet,
+        )
+
+        for platform in platforms:
+            if platform not in PLATFORM_SPECS:
+                raise ValueError(
+                    f"platform {platform!r} is not a runner preset; "
+                    f"choose from {sorted(PLATFORM_SPECS)}")
+        scenarios = fleet_sweep_scenarios(
+            routings=routings, traces_per_cell=traces_per_cell,
+            num_nodes=num_nodes, manager=manager, policy=policy,
+            platforms=platforms, seed=self.preset.seed,
+            horizon_s=horizon_s, arrival_rate_per_s=arrival_rate_per_s,
+            pool=pool, capacity=capacity,
+            search_iterations=self.preset.mcts_iterations,
+            search_rollouts=self.preset.mcts_rollouts,
+            cache_path=(str(cache_path) if cache_path is not None
+                        else None),
+            fail_at=fail_at,
+        )
+        results = ScenarioRunner(max_workers=max_workers).run_fleet(
+            scenarios)
+        return results, summarise_fleet(results)

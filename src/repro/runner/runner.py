@@ -13,8 +13,10 @@ scenarios or workers.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -27,13 +29,22 @@ from ..hw import jetson_class, orange_pi_5
 from ..hw.platform import Platform
 from ..search import MCTSConfig
 from ..serve import AdmissionConfig, ServeConfig, build_replan_policy, serve_trace
+from ..serve.fleet import NodeSpec, build_fleet_report, node_speed, plan_dispatch
 from ..sim import EvaluationCache, simulate
-from ..workloads import TraceConfig, sample_session_requests
+from ..workloads import SessionRequest, TraceConfig, sample_session_requests
 from ..zoo import MODEL_POOL, get_model
-from .scenario import DynamicResult, DynamicScenario, Scenario, ScenarioResult
+from .scenario import (
+    DynamicResult,
+    DynamicScenario,
+    FleetResult,
+    FleetScenario,
+    Scenario,
+    ScenarioResult,
+)
 
 __all__ = ["ScenarioRunner", "MANAGER_SPECS", "PLATFORM_SPECS",
-           "build_manager", "execute_scenario", "execute_dynamic_scenario"]
+           "build_manager", "execute_scenario", "execute_dynamic_scenario",
+           "FleetNodeTask", "execute_fleet_node", "sample_fleet_requests"]
 
 PLATFORM_SPECS: dict[str, Callable[[], Platform]] = {
     "orange_pi_5": orange_pi_5,
@@ -71,6 +82,12 @@ MANAGER_SPECS: dict[str, Callable[..., Manager]] = {
 
 def build_manager(scenario: Scenario, platform: Platform,
                   cache: EvaluationCache) -> Manager:
+    """Build the scenario's planning manager from its roster key.
+
+    Every worker constructs its manager fresh from the spec (seeded by
+    the scenario), which is what makes pool results order- and
+    worker-count-independent.
+    """
     try:
         spec = MANAGER_SPECS[scenario.manager]
     except KeyError:
@@ -112,13 +129,25 @@ def execute_scenario(scenario: Scenario) -> ScenarioResult:
     )
 
 
-def execute_dynamic_scenario(spec: DynamicScenario) -> DynamicResult:
-    """Serve one stochastic trace start-to-finish (also the pool worker).
+def _serve_requests(spec: DynamicScenario, requests: list[SessionRequest],
+                    horizon_s: float) -> DynamicResult:
+    """Serve ``requests`` on the node ``spec`` describes.
 
-    The evaluation cache is rebuilt per call — loaded from
-    ``spec.cache_path`` when that file exists (a persisted cache built for
-    the same platform), fresh otherwise — so the report is a pure function
-    of the spec regardless of which worker runs it or how warm it starts.
+    The shared core of :func:`execute_dynamic_scenario` (which samples its
+    own trace from the spec) and :func:`execute_fleet_node` (whose trace
+    slice the fleet dispatcher fixed in the parent process).  The
+    evaluation cache is rebuilt per call — loaded from ``spec.cache_path``
+    when that file exists and was built for this node's platform, fresh
+    otherwise — so the report is a pure function of
+    ``(spec, requests, horizon_s)`` regardless of which worker runs it or
+    how warm it starts.
+
+    An *incompatible* cache file (other platform's fingerprint, unknown
+    format) downgrades to a cold start instead of aborting: the cache
+    only changes wall clock, never a report bit, and a heterogeneous
+    fleet sharing one ``cache_path`` legitimately warms only the nodes
+    the file matches.  ``eval_cache_preloaded == 0`` on the result is the
+    signal that nothing was loaded.
     """
     try:
         platform = PLATFORM_SPECS[spec.platform]()
@@ -127,28 +156,23 @@ def execute_dynamic_scenario(spec: DynamicScenario) -> DynamicResult:
             f"unknown platform {spec.platform!r}; "
             f"choose from {sorted(PLATFORM_SPECS)}") from None
     preloaded = 0
+    cache = None
     if spec.cache_path is not None and Path(spec.cache_path).exists():
-        cache = EvaluationCache.load(spec.cache_path, platform)
-        preloaded = len(cache)
-    else:
+        try:
+            cache = EvaluationCache.load(spec.cache_path, platform)
+            preloaded = len(cache)
+        except (ValueError, KeyError, AttributeError, EOFError,
+                pickle.UnpicklingError):
+            cache = None   # wrong platform / unknown or corrupt format:
+            #                start cold instead of aborting the sweep
+    if cache is None:
         cache = EvaluationCache(platform)
     manager = build_manager(spec, platform, cache)
     policy = build_replan_policy(spec.policy, manager)
 
     pool = spec.pool if spec.pool else MODEL_POOL
-    trace_config = TraceConfig(
-        horizon_s=spec.horizon_s,
-        arrival_rate_per_s=spec.arrival_rate_per_s,
-        mean_session_s=spec.mean_session_s,
-        max_concurrent=spec.capacity, pool=pool,
-    )
-    # Trace seed is decoupled from the search seed so policy/manager cells
-    # of a sweep sharing `seed` see the same arrival process.
-    requests = sample_session_requests(
-        np.random.default_rng(spec.seed + 17), trace_config,
-        tier_shift_prob=spec.tier_shift_prob)
     serve_config = ServeConfig(
-        horizon_s=spec.horizon_s,
+        horizon_s=horizon_s,
         admission=AdmissionConfig(
             capacity=spec.capacity, queue_limit=spec.queue_limit,
             max_queue_wait_s=spec.max_queue_wait_s),
@@ -167,6 +191,87 @@ def execute_dynamic_scenario(spec: DynamicScenario) -> DynamicResult:
     )
 
 
+def execute_dynamic_scenario(spec: DynamicScenario) -> DynamicResult:
+    """Serve one stochastic trace start-to-finish (also the pool worker).
+
+    Samples the spec's own Poisson demand, then defers to
+    :func:`_serve_requests`; the report is a pure function of the spec
+    regardless of which worker runs it or how warm its cache starts.
+    """
+    pool = spec.pool if spec.pool else MODEL_POOL
+    trace_config = TraceConfig(
+        horizon_s=spec.horizon_s,
+        arrival_rate_per_s=spec.arrival_rate_per_s,
+        mean_session_s=spec.mean_session_s,
+        max_concurrent=spec.capacity, pool=pool,
+    )
+    # Trace seed is decoupled from the search seed so policy/manager cells
+    # of a sweep sharing `seed` see the same arrival process.
+    requests = sample_session_requests(
+        np.random.default_rng(spec.seed + 17), trace_config,
+        tier_shift_prob=spec.tier_shift_prob)
+    return _serve_requests(spec, requests, spec.horizon_s)
+
+
+@dataclass(frozen=True)
+class FleetNodeTask:
+    """Process-pool payload: one fleet node plus its routed trace slice.
+
+    Built in the parent by :meth:`ScenarioRunner.run_fleet` after the
+    dispatch plan is fixed; ``horizon_s`` is already truncated to the
+    node's failure instant when the scenario kills it mid-run.
+    """
+
+    spec: DynamicScenario
+    requests: tuple[SessionRequest, ...]
+    horizon_s: float
+
+
+def execute_fleet_node(task: FleetNodeTask) -> DynamicResult:
+    """Serve one dispatched node slice (also the pool worker)."""
+    return _serve_requests(task.spec, list(task.requests), task.horizon_s)
+
+
+def sample_fleet_requests(fleet: FleetScenario) -> list[SessionRequest]:
+    """Sample the fleet's shared aggregate demand from its spec.
+
+    The model pool is irrelevant at this stage — sessions pick their
+    model at admission, per node — so the trace config only shapes
+    arrivals, durations and tiers.  The ``seed + 17`` decoupling matches
+    :func:`execute_dynamic_scenario`, keeping routing cells of a sweep
+    that share a seed on identical arrival processes.
+    """
+    trace_config = TraceConfig(
+        horizon_s=fleet.horizon_s,
+        arrival_rate_per_s=fleet.arrival_rate_per_s,
+        mean_session_s=fleet.mean_session_s,
+        max_concurrent=max(1, sum(n.capacity for n in fleet.nodes)),
+    )
+    return sample_session_requests(
+        np.random.default_rng(fleet.seed + 17), trace_config,
+        tier_shift_prob=fleet.tier_shift_prob)
+
+
+def _fleet_node_specs(fleet: FleetScenario) -> list[NodeSpec]:
+    """Dispatcher-side node specs: capacity from the scenario, speed from
+    the platform preset's ideal throughput over the node's pool."""
+    fail_by_index = dict(fleet.fail_at)
+    specs = []
+    for index, node in enumerate(fleet.nodes):
+        try:
+            platform = PLATFORM_SPECS[node.platform]()
+        except KeyError:
+            raise ValueError(
+                f"unknown platform {node.platform!r}; "
+                f"choose from {sorted(PLATFORM_SPECS)}") from None
+        pool = node.pool if node.pool else MODEL_POOL
+        specs.append(NodeSpec(
+            name=node.name, capacity=node.capacity,
+            speed=node_speed(platform, pool),
+            fail_at_s=fail_by_index.get(index)))
+    return specs
+
+
 class ScenarioRunner:
     """Fan scenarios across a process pool; aggregate in input order.
 
@@ -183,11 +288,61 @@ class ScenarioRunner:
         self.max_workers = max_workers
 
     def run(self, scenarios: Sequence[Scenario]) -> list[ScenarioResult]:
+        """Execute static planning scenarios across the pool, input order."""
         return self._map(execute_scenario, list(scenarios))
 
     def run_dynamic(self,
                     scenarios: Sequence[DynamicScenario]) -> list[DynamicResult]:
+        """Execute online-serving scenarios across the pool, input order."""
         return self._map(execute_dynamic_scenario, list(scenarios))
+
+    def run_fleet(self,
+                  fleets: Sequence[FleetScenario]) -> list[FleetResult]:
+        """Execute fleet studies, fanning *nodes* across the process pool.
+
+        Phase 1 runs in this process: each fleet samples its shared
+        demand and fixes a deterministic dispatch plan
+        (:func:`repro.serve.fleet.plan_dispatch`).  Phase 2 flattens
+        every fleet's node slices into one task list and maps it over the
+        pool — so a 3-fleet x 4-node sweep keeps 12 workers busy — then
+        regroups per fleet and rolls the node reports up into
+        :class:`~repro.serve.fleet.FleetReport` objects.  Reports are
+        bit-identical for any ``max_workers``.
+        """
+        fleets = list(fleets)
+        if not fleets:
+            return []
+        prepared = []          # (fleet, specs, platforms, plan)
+        tasks: list[FleetNodeTask] = []
+        for fleet in fleets:
+            requests = sample_fleet_requests(fleet)
+            specs = _fleet_node_specs(fleet)
+            plan = plan_dispatch(requests, specs, fleet.routing,
+                                 fleet.horizon_s)
+            platforms = [node.platform for node in fleet.nodes]
+            prepared.append((fleet, specs, platforms, plan))
+            for node, spec, slice_requests in zip(fleet.nodes, specs,
+                                                  plan.node_requests):
+                horizon = (fleet.horizon_s if spec.fail_at_s is None
+                           else min(spec.fail_at_s, fleet.horizon_s))
+                tasks.append(FleetNodeTask(spec=node,
+                                           requests=slice_requests,
+                                           horizon_s=horizon))
+        node_results = self._map(execute_fleet_node, tasks)
+
+        results: list[FleetResult] = []
+        cursor = 0
+        for fleet, specs, platforms, plan in prepared:
+            count = len(fleet.nodes)
+            slice_results = node_results[cursor:cursor + count]
+            cursor += count
+            report = build_fleet_report(
+                fleet.horizon_s, fleet.routing, specs, platforms, plan,
+                [r.report for r in slice_results])
+            results.append(FleetResult(
+                name=fleet.name, routing=fleet.routing, report=report,
+                wall_seconds=sum(r.wall_seconds for r in slice_results)))
+        return results
 
     def _map(self, worker: Callable, scenarios: list) -> list:
         if not scenarios:

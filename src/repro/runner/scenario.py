@@ -10,18 +10,23 @@ it up or in what order.
 fixed workload it carries the parameters of a Poisson session trace, an
 admission-control configuration and a replan-policy key, and a worker runs
 the whole online serving loop (:mod:`repro.serve`) to a
-:class:`~repro.serve.ServeReport`.  Both spec kinds are a few strings and
-floats, so the same process pool sweeps static planning studies and
-dynamic-traffic studies alike.
+:class:`~repro.serve.ServeReport`.  :class:`FleetScenario` scales that to
+a cluster: N node descriptions (reused ``DynamicScenario``s) sharing one
+aggregate demand through the :mod:`repro.serve.fleet` dispatcher.  All
+spec kinds are a few strings and floats, so the same process pool sweeps
+static planning, dynamic-traffic and fleet studies alike; dict-shaped
+specs parse strictly through the ``from_dict`` classmethods (unknown keys
+raise).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
 from ..mapping.mapping import Mapping
+from ..serve.fleet.report import FleetReport
 from ..serve.report import ServeReport
 from ..workloads import sample_mix
 
@@ -30,11 +35,44 @@ __all__ = [
     "ScenarioResult",
     "DynamicScenario",
     "DynamicResult",
+    "FleetScenario",
+    "FleetResult",
     "mix_scenarios",
     "dynamic_sweep_scenarios",
+    "fleet_sweep_scenarios",
     "summarise",
     "summarise_dynamic",
+    "summarise_fleet",
 ]
+
+
+def _strict_from_dict(cls, spec: dict, convert: dict | None = None):
+    """Build a scenario dataclass from a plain dict, strictly.
+
+    Unknown keys raise instead of being silently dropped — a sweep config
+    with a typo (``arival_rate_per_s``) must fail loudly, not quietly run
+    the defaults.  ``convert`` optionally maps field names to coercions
+    (e.g. list-of-dict node specs into ``DynamicScenario`` tuples).
+    """
+    if not isinstance(spec, dict):
+        raise TypeError(f"{cls.__name__} spec must be a dict, "
+                        f"got {type(spec).__name__}")
+    allowed = {f.name for f in fields(cls)}
+    unknown = sorted(set(spec) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unexpected {cls.__name__} field(s) {unknown}; "
+            f"known fields: {sorted(allowed)}")
+    kwargs = dict(spec)
+    for name, coerce in (convert or {}).items():
+        if kwargs.get(name) is not None:
+            kwargs[name] = coerce(kwargs[name])
+    return cls(**kwargs)
+
+
+def _tupled(value):
+    """Coerce list-typed spec fields to the tuples the dataclasses expect."""
+    return tuple(tuple(v) if isinstance(v, list) else v for v in value)
 
 
 @dataclass(frozen=True)
@@ -57,6 +95,13 @@ class Scenario:
                 and len(self.priorities) != len(self.workload):
             raise ValueError("priorities must match workload size")
 
+    @classmethod
+    def from_dict(cls, spec: dict) -> "Scenario":
+        """Build a :class:`Scenario` from a plain dict, rejecting unknown
+        keys (a typo'd sweep config must fail loudly, not run defaults)."""
+        return _strict_from_dict(cls, spec, convert={
+            "workload": tuple, "priorities": tuple})
+
 
 @dataclass(frozen=True)
 class ScenarioResult:
@@ -75,14 +120,17 @@ class ScenarioResult:
 
     @property
     def mapping(self) -> Mapping:
+        """The decided placement rebuilt from its plain-data assignments."""
         return Mapping(self.assignments)
 
     @property
     def average_throughput(self) -> float:
+        """Mean steady-state rate across the workload's DNNs."""
         return float(np.mean(self.rates))
 
     @property
     def min_potential(self) -> float:
+        """Worst per-DNN potential P — the starvation-guard headline."""
         return float(min(self.potentials))
 
 
@@ -94,8 +142,9 @@ class DynamicScenario:
     process as a few bytes and the run is a pure function of the spec —
     the determinism regression compares 1-worker and N-worker reports
     bit for bit.  ``cache_path`` optionally names a persisted
-    :class:`~repro.sim.EvaluationCache` for the worker to load on start
-    (built for the same platform, see ``EvaluationCache.load``).
+    :class:`~repro.sim.EvaluationCache` for the worker to load on start;
+    a file built for a different platform is ignored (cold start) since
+    the cache only affects wall clock, never the report.
     """
 
     name: str
@@ -125,6 +174,12 @@ class DynamicScenario:
         if self.capacity < 1:
             raise ValueError("capacity must be at least 1")
 
+    @classmethod
+    def from_dict(cls, spec: dict) -> "DynamicScenario":
+        """Build a :class:`DynamicScenario` from a plain dict, rejecting
+        unknown keys instead of silently ignoring them."""
+        return _strict_from_dict(cls, spec, convert={"pool": tuple})
+
 
 @dataclass(frozen=True)
 class DynamicResult:
@@ -143,6 +198,86 @@ class DynamicResult:
     wall_seconds: float
     eval_cache_hit_rate: float = 0.0
     eval_cache_preloaded: int = 0       # entries loaded from cache_path
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """One cluster-scale serving study: N nodes sharing a Poisson demand.
+
+    The fleet samples *one* aggregate session trace from its own
+    ``(horizon_s, arrival_rate_per_s, mean_session_s, seed)`` and routes
+    it across ``nodes`` with the named routing policy
+    (:data:`repro.serve.fleet.ROUTING_POLICIES` key).  Each node is a
+    :class:`DynamicScenario` reused as a *node description* — its
+    manager, platform, replan policy, admission knobs, pool, seed, search
+    budget and ``cache_path`` all apply; its own trace fields
+    (``horizon_s``, ``arrival_rate_per_s``, ``mean_session_s``,
+    ``tier_shift_prob``) are ignored because the fleet owns the demand.
+
+    ``fail_at`` lists ``(node_index, time_s)`` failures: the node serves
+    up to that instant and its live sessions are re-dispatched to the
+    survivors.  Like every spec here the scenario is a pure value — the
+    resulting :class:`~repro.serve.fleet.FleetReport` is bit-identical
+    for any ``ScenarioRunner`` worker count.
+    """
+
+    name: str
+    nodes: tuple[DynamicScenario, ...]
+    routing: str = "round_robin"        # serve.fleet.ROUTING_POLICIES key
+    seed: int = 0
+    horizon_s: float = 600.0
+    arrival_rate_per_s: float = 1.0 / 20.0
+    mean_session_s: float = 180.0
+    tier_shift_prob: float = 0.0        # mid-session priority-shift odds
+    fail_at: tuple[tuple[int, float], ...] = ()   # (node index, fail time)
+
+    def __post_init__(self):
+        if not self.nodes:
+            raise ValueError("fleet must have at least one node")
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival_rate_per_s must be positive")
+        if self.mean_session_s <= 0:
+            raise ValueError("mean_session_s must be positive")
+        seen: set[int] = set()
+        for index, fail_s in self.fail_at:
+            if not 0 <= index < len(self.nodes):
+                raise ValueError(f"fail_at node index {index} out of range")
+            if fail_s <= 0:
+                raise ValueError("fail_at time must be positive")
+            if index in seen:
+                raise ValueError(
+                    f"duplicate fail_at entry for node {index}; a node "
+                    "fails at most once")
+            seen.add(index)
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "FleetScenario":
+        """Build a :class:`FleetScenario` from a plain dict, rejecting
+        unknown keys; node entries may themselves be dicts (parsed
+        strictly through :meth:`DynamicScenario.from_dict`)."""
+        return _strict_from_dict(cls, spec, convert={
+            "nodes": lambda nodes: tuple(
+                DynamicScenario.from_dict(n) if isinstance(n, dict) else n
+                for n in nodes),
+            "fail_at": _tupled,
+        })
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Per-fleet outcome: the aggregated report plus worker-local stats.
+
+    ``report`` is deterministic per spec; ``wall_seconds`` (the summed
+    node serving walls) depends on the machine, which is why it lives
+    outside the report.
+    """
+
+    name: str
+    routing: str
+    report: FleetReport
+    wall_seconds: float
 
 
 def mix_scenarios(managers: tuple[str, ...],
@@ -215,6 +350,64 @@ def dynamic_sweep_scenarios(policies: tuple[str, ...] = ("full", "warm",
     return scenarios
 
 
+def fleet_sweep_scenarios(routings: tuple[str, ...] = ("round_robin",
+                                                       "least_loaded",
+                                                       "tier_affinity"),
+                          traces_per_cell: int = 2,
+                          num_nodes: int = 3,
+                          manager: str = "rankmap_d",
+                          policy: str = "warm",
+                          platforms: tuple[str, ...] = ("orange_pi_5",
+                                                        "jetson_class"),
+                          seed: int = 0,
+                          horizon_s: float = 600.0,
+                          arrival_rate_per_s: float = 1.0 / 15.0,
+                          mean_session_s: float = 180.0,
+                          pool: tuple[str, ...] = (),
+                          capacity: int = 3,
+                          tier_shift_prob: float = 0.0,
+                          search_iterations: int = 24,
+                          search_rollouts: int = 2,
+                          cache_path: str | None = None,
+                          fail_at: tuple[tuple[int, float], ...] = (),
+                          ) -> list[FleetScenario]:
+    """A (routing x trace) grid of fleet studies over heterogeneous nodes.
+
+    Node ``i`` runs on ``platforms[i % len(platforms)]``, so any
+    ``num_nodes >= 2`` fleet with the default platform pair is genuinely
+    heterogeneous.  A shared ``cache_path`` therefore warms only the
+    nodes whose platform matches the persisted cache; the others start
+    cold (see :class:`DynamicScenario`).  Every routing cell sees the
+    *same* sampled aggregate traces (the trace seed depends only on the
+    trace index), so per-routing aggregates stay comparable — the
+    cluster analogue of :func:`dynamic_sweep_scenarios`.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be at least 1")
+    nodes = tuple(
+        DynamicScenario(
+            name=f"node{i}", manager=manager,
+            platform=platforms[i % len(platforms)], policy=policy,
+            seed=seed + i, pool=pool, capacity=capacity,
+            search_iterations=search_iterations,
+            search_rollouts=search_rollouts, cache_path=cache_path)
+        for i in range(num_nodes))
+    scenarios: list[FleetScenario] = []
+    for trace_index in range(traces_per_cell):
+        for routing in routings:
+            scenarios.append(FleetScenario(
+                name=f"fleet{trace_index}_{routing}",
+                nodes=nodes, routing=routing,
+                seed=seed + 1000 * trace_index,
+                horizon_s=horizon_s,
+                arrival_rate_per_s=arrival_rate_per_s,
+                mean_session_s=mean_session_s,
+                tier_shift_prob=tier_shift_prob,
+                fail_at=fail_at,
+            ))
+    return scenarios
+
+
 def summarise(results: list[ScenarioResult]) -> list[dict]:
     """Aggregate results per (manager, platform): one row each."""
     groups: dict[tuple[str, str], list[ScenarioResult]] = {}
@@ -258,6 +451,39 @@ def summarise_dynamic(results: list[DynamicResult]) -> list[dict]:
                 [rep.mean_session_rate for rep in reports])),
             "admitted": sum(rep.admitted for rep in reports),
             "rejected": sum(rep.rejected for rep in reports),
+            "mean_queue_wait_s": float(np.mean(
+                [rep.mean_queue_wait_s for rep in reports])),
+        })
+    return rows
+
+
+def summarise_fleet(results: list[FleetResult]) -> list[dict]:
+    """Aggregate fleet results per routing policy: one row each.
+
+    Rows surface the cluster-scale trade-offs the per-node summary cannot
+    see: admission totals, mean session rate, cross-node fairness,
+    starvation, and the failure-path counters (re-dispatched / lost).
+    """
+    groups: dict[str, list[FleetResult]] = {}
+    for r in results:
+        groups.setdefault(r.routing, []).append(r)
+    rows = []
+    for routing, rs in sorted(groups.items()):
+        reports = [r.report for r in rs]
+        rows.append({
+            "routing": routing,
+            "scenarios": len(rs),
+            "admitted": sum(rep.admitted for rep in reports),
+            "rejected": sum(rep.rejected for rep in reports),
+            "abandoned": sum(rep.abandoned for rep in reports),
+            "re_dispatched": sum(rep.re_dispatched for rep in reports),
+            "lost": sum(rep.lost for rep in reports),
+            "mean_session_rate": float(np.mean(
+                [rep.mean_session_rate for rep in reports])),
+            "mean_node_fairness": float(np.mean(
+                [rep.node_fairness for rep in reports])),
+            "mean_starvation_rate": float(np.mean(
+                [rep.starvation_rate for rep in reports])),
             "mean_queue_wait_s": float(np.mean(
                 [rep.mean_queue_wait_s for rep in reports])),
         })

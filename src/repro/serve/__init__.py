@@ -14,9 +14,14 @@ problem.  This subsystem closes that gap:
   :func:`repro.sim.run_dynamic_scenario`.
 * :mod:`repro.serve.report` — plain-data per-session and aggregate
   outcomes (:class:`ServeReport`), safe to ship across process pools.
+* :mod:`repro.serve.fleet` — the cluster layer: a dispatcher routing one
+  shared demand across N heterogeneous nodes (round-robin, least-loaded,
+  tier-affinity), with node-failure draining and a :class:`FleetReport`
+  rollup of per-node reports.
 
-``repro.runner.DynamicScenario`` wraps all of this into a declarative
-spec for fleet-scale dynamic-traffic sweeps.
+``repro.runner.DynamicScenario`` wraps a single node into a declarative
+spec for dynamic-traffic sweeps; ``repro.runner.FleetScenario`` does the
+same for whole fleets, fanning nodes across the process pool.
 """
 
 from .admission import ADMIT, QUEUE, REJECT, AdmissionConfig, AdmissionController

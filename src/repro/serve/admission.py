@@ -57,6 +57,7 @@ class AdmissionController:
         self._tiers = {t.name: t for t in tiers}
 
     def tier(self, name: str) -> SlaClass:
+        """Resolve a tier name to its :class:`SlaClass` (or raise)."""
         try:
             return self._tiers[name]
         except KeyError:

@@ -1,0 +1,61 @@
+"""Multi-node fleet dispatcher: cluster-scale serving over RankMap nodes.
+
+The paper plans one heterogeneous node at a time; its edge-data-center
+framing implies a *fleet* of such nodes sharing traffic.  This package is
+that cluster layer:
+
+* :mod:`repro.serve.fleet.routing` — pluggable session-routing policies
+  (round-robin, least-loaded by steady-state throughput headroom,
+  tier-affinity reserving fast nodes for gold sessions).
+* :mod:`repro.serve.fleet.dispatch` — the dispatcher: fixes a
+  deterministic :class:`DispatchPlan` for a shared Poisson demand
+  (including node-failure draining with session re-dispatch), then serves
+  each node's slice through :func:`repro.serve.serve_trace`.
+* :mod:`repro.serve.fleet.report` — the :class:`FleetReport` rollup of
+  per-node :class:`~repro.serve.ServeReport` outputs with cross-node
+  fairness and starvation metrics.
+
+``repro.runner.FleetScenario`` wraps a whole fleet study into a
+declarative spec and :meth:`repro.runner.ScenarioRunner.run_fleet` fans
+the nodes across the process pool with bit-identical reports for any
+worker count.
+"""
+
+from .dispatch import (
+    DispatchPlan,
+    FleetNode,
+    NodeSpec,
+    node_speed,
+    plan_dispatch,
+    serve_fleet,
+)
+from .report import FleetReport, NodeReport, build_fleet_report, jain_index
+from .routing import (
+    ROUTING_POLICIES,
+    LeastLoadedRouter,
+    NodeView,
+    RoundRobinRouter,
+    RoutingPolicy,
+    TierAffinityRouter,
+    build_routing_policy,
+)
+
+__all__ = [
+    "NodeSpec",
+    "FleetNode",
+    "DispatchPlan",
+    "node_speed",
+    "plan_dispatch",
+    "serve_fleet",
+    "FleetReport",
+    "NodeReport",
+    "build_fleet_report",
+    "jain_index",
+    "NodeView",
+    "RoutingPolicy",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "TierAffinityRouter",
+    "ROUTING_POLICIES",
+    "build_routing_policy",
+]

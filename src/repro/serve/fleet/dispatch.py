@@ -1,0 +1,304 @@
+"""Cluster dispatcher: route one shared session trace across N nodes.
+
+The fleet layer sits one level above :func:`repro.serve.serve_trace`.  A
+single raw Poisson demand (the edge data center's aggregate traffic) is
+*dispatched* — every session request is routed to exactly one node by a
+pluggable :class:`~repro.serve.fleet.routing.RoutingPolicy` — and each
+node then serves its slice with its own admission controller, replan
+policy and evaluation cache, exactly as a standalone node would.
+
+Two phases keep this deterministic and pool-friendly:
+
+1. :func:`plan_dispatch` walks the arrival timeline once, maintaining a
+   dispatcher-side estimate of per-node live sessions, and fixes the
+   complete routing (including node-failure draining) *before any node
+   runs*.  The result is a plain-data :class:`DispatchPlan`.
+2. The per-node serving loops execute independently — inline via
+   :func:`serve_fleet`, or fanned across a process pool via
+   :meth:`repro.runner.ScenarioRunner.run_fleet` — and their
+   :class:`~repro.serve.report.ServeReport` outputs roll up into a
+   :class:`~repro.serve.fleet.report.FleetReport`.
+
+Node failure is modeled as a drain-and-re-dispatch: a node with
+``NodeSpec.fail_at_s`` serves only up to the failure instant, and every
+session the dispatcher estimates live there at that moment is re-routed
+to a surviving node as a fresh request carrying the remaining duration
+(and its current tier, if a mid-session shift already fired).  The
+dispatcher's live-set estimate intentionally ignores node-side queueing
+and rejection — the dispatcher cannot observe them before the nodes run —
+so a re-dispatched session may appear in two node reports: truncated
+(``serving``) on the failed node and completed on the survivor.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ...hw.platform import Platform
+from ...sim.cache import EvaluationCache
+from ...workloads.traces import SessionRequest
+from ...zoo.registry import get_model
+from ..loop import ServeConfig, serve_trace
+from ..replan import ReplanPolicy
+from .report import FleetReport, build_fleet_report
+from .routing import NodeView, RoutingPolicy, build_routing_policy
+
+__all__ = [
+    "NodeSpec",
+    "FleetNode",
+    "DispatchPlan",
+    "node_speed",
+    "plan_dispatch",
+    "serve_fleet",
+]
+
+# Same-instant processing order: a node failing at t must not receive an
+# arrival at t, so failures drain before arrivals route.
+_RANK_FAILURE = 0
+_RANK_ARRIVAL = 1
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Dispatcher-side description of one heterogeneous node.
+
+    ``speed`` is the node's relative steady-state throughput weight (see
+    :func:`node_speed`); ``capacity`` its admission multi-tenancy level.
+    ``fail_at_s`` optionally marks the instant the node dies — it serves
+    nothing beyond that point and its live sessions are re-dispatched.
+    """
+
+    name: str
+    capacity: int
+    speed: float = 1.0
+    fail_at_s: float | None = None
+
+    def __post_init__(self):
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
+        if self.fail_at_s is not None and self.fail_at_s <= 0:
+            raise ValueError("fail_at_s must be positive")
+
+
+@dataclass(frozen=True)
+class FleetNode:
+    """One executable node: its dispatch spec plus the objects to run it.
+
+    This is the serve-layer (inline) execution record used by
+    :func:`serve_fleet`; the process-pool path builds the same pieces
+    inside each worker from a :class:`~repro.runner.DynamicScenario`
+    instead.  ``cache`` is the node's own :class:`EvaluationCache`
+    snapshot — fleets deliberately do not share one, mirroring per-node
+    cache state in a real cluster.
+    """
+
+    spec: NodeSpec
+    platform: Platform
+    policy: ReplanPolicy
+    config: ServeConfig
+    cache: EvaluationCache | None = None
+
+
+@dataclass(frozen=True)
+class DispatchPlan:
+    """The fixed routing of one trace across the fleet.
+
+    ``node_requests[i]`` is the slice of the demand routed to node ``i``
+    (re-dispatched continuations included, with re-based arrival times);
+    ``routed[i]`` its length.  ``lost`` holds sessions that could not be
+    routed because no node was alive when they arrived, and
+    ``out_of_horizon`` the demand arriving at or after ``horizon_s`` —
+    never routed, but recorded so fleet accounting matches the
+    single-node :data:`~repro.serve.report.OUT_OF_HORIZON` ledger.
+    """
+
+    node_requests: tuple[tuple[SessionRequest, ...], ...]
+    routed: tuple[int, ...]
+    re_dispatched: int
+    lost: tuple[SessionRequest, ...]
+    out_of_horizon: tuple[SessionRequest, ...] = ()
+
+
+class _NodeState:
+    """Mutable dispatch-time accounting of one node."""
+
+    __slots__ = ("spec", "index", "alive", "live", "assigned")
+
+    def __init__(self, spec: NodeSpec, index: int):
+        self.spec = spec
+        self.index = index
+        self.alive = True
+        self.live: list[tuple[float, SessionRequest]] = []  # (est_depart, r)
+        self.assigned: list[SessionRequest] = []
+
+    def expire(self, t: float) -> None:
+        self.live = [(end, r) for end, r in self.live if end > t]
+
+    def view(self) -> NodeView:
+        return NodeView(index=self.index, name=self.spec.name,
+                        capacity=self.spec.capacity, speed=self.spec.speed,
+                        est_live=len(self.live))
+
+
+def node_speed(platform: Platform, pool: tuple[str, ...]) -> float:
+    """Relative steady-state speed of a node: mean ideal throughput.
+
+    Averages :meth:`Platform.ideal_throughput` over the node's model pool
+    — the rate the board would sustain serving each pool model alone with
+    no contention.  Routing policies use it to weight free capacity, so
+    only the *ratios* between nodes matter.
+    """
+    if not pool:
+        raise ValueError("pool must not be empty")
+    return float(np.mean([platform.ideal_throughput(get_model(name))
+                          for name in pool]))
+
+
+def _shift_forward(request: SessionRequest, now: float,
+                   remaining: float) -> SessionRequest:
+    """Rebase a live session as a fresh request arriving ``now``.
+
+    The dispatcher approximates the session's admission time by its
+    routed arrival time, so a pending mid-session tier shift keeps its
+    remaining offset and an already-fired shift bakes the new tier in.
+    """
+    tier = request.tier
+    shift = None
+    if request.tier_shift is not None:
+        offset, new_tier = request.tier_shift
+        elapsed = now - request.arrival_s
+        if offset <= elapsed:
+            tier = new_tier
+        elif offset - elapsed < remaining:
+            shift = (offset - elapsed, new_tier)
+    return SessionRequest(session_id=request.session_id, arrival_s=now,
+                          duration_s=remaining, tier=tier, tier_shift=shift)
+
+
+def plan_dispatch(requests: list[SessionRequest],
+                  nodes: list[NodeSpec] | tuple[NodeSpec, ...],
+                  routing: RoutingPolicy | str,
+                  horizon_s: float) -> DispatchPlan:
+    """Fix the complete routing of ``requests`` across ``nodes``.
+
+    Walks arrivals and node failures in one deterministic event order,
+    asking ``routing`` (a policy object or roster key; keys build a fresh
+    instance, which stateful policies require) to place each session on
+    an alive node.  Failure events drain the dead node's estimated live
+    set back through the router at the failure instant, oldest arrival
+    first.  The plan is a pure function of ``(requests, node specs,
+    routing key, horizon_s)``.
+    """
+    if not nodes:
+        raise ValueError("fleet must have at least one node")
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be positive")
+    policy = (build_routing_policy(routing) if isinstance(routing, str)
+              else routing)
+    states = [_NodeState(spec, i) for i, spec in enumerate(nodes)]
+
+    heap: list[tuple] = []
+    seq = 0
+
+    def push(time: float, rank: int, payload) -> None:
+        nonlocal seq
+        heapq.heappush(heap, (time, rank, seq, payload))
+        seq += 1
+
+    out_of_horizon: list[SessionRequest] = []
+    for request in sorted(requests,
+                          key=lambda r: (r.arrival_s, r.session_id)):
+        if request.arrival_s < horizon_s:
+            push(request.arrival_s, _RANK_ARRIVAL, request)
+        else:
+            out_of_horizon.append(request)
+    for state in states:
+        fail = state.spec.fail_at_s
+        if fail is not None and fail < horizon_s:
+            push(fail, _RANK_FAILURE, state.index)
+
+    lost: list[SessionRequest] = []
+    re_dispatched = 0
+
+    def route(request: SessionRequest, t: float) -> None:
+        alive = [s for s in states if s.alive]
+        if not alive:
+            lost.append(request)
+            return
+        for state in alive:
+            state.expire(t)
+        views = [s.view() for s in alive]
+        index = policy.choose(request.tier, views)
+        target = states[index]
+        if not target.alive:
+            raise RuntimeError(
+                f"routing policy {policy.name!r} chose dead node {index}")
+        target.assigned.append(request)
+        target.live.append((t + request.duration_s, request))
+
+    while heap:
+        t, rank, _, payload = heapq.heappop(heap)
+        if rank == _RANK_ARRIVAL:
+            route(payload, t)
+            continue
+        # Node failure: drain the estimated live set onto the survivors.
+        state = states[payload]
+        state.alive = False
+        state.expire(t)
+        survivors = sorted(state.live,
+                           key=lambda item: (item[1].arrival_s,
+                                             item[1].session_id))
+        state.live = []
+        for est_depart, request in survivors:
+            re_dispatched += 1
+            route(_shift_forward(request, t, est_depart - t), t)
+
+    return DispatchPlan(
+        node_requests=tuple(tuple(s.assigned) for s in states),
+        routed=tuple(len(s.assigned) for s in states),
+        re_dispatched=re_dispatched,
+        lost=tuple(lost),
+        out_of_horizon=tuple(out_of_horizon),
+    )
+
+
+def serve_fleet(requests: list[SessionRequest],
+                nodes: list[FleetNode] | tuple[FleetNode, ...],
+                routing: RoutingPolicy | str = "round_robin",
+                horizon_s: float | None = None) -> FleetReport:
+    """Dispatch ``requests`` across ``nodes`` and serve every slice inline.
+
+    The single-process reference implementation of the fleet: routing via
+    :func:`plan_dispatch`, then one :func:`repro.serve.serve_trace` call
+    per node (a failed node serves up to ``fail_at_s`` only), rolled up
+    into a :class:`FleetReport`.  ``horizon_s`` defaults to the largest
+    node-config horizon.  :meth:`repro.runner.ScenarioRunner.run_fleet`
+    produces bit-identical reports with the nodes fanned across a process
+    pool.
+    """
+    if not nodes:
+        raise ValueError("fleet must have at least one node")
+    policy = (build_routing_policy(routing) if isinstance(routing, str)
+              else routing)
+    if horizon_s is None:
+        horizon_s = max(node.config.horizon_s for node in nodes)
+    specs = [node.spec for node in nodes]
+    plan = plan_dispatch(requests, specs, policy, horizon_s)
+
+    reports = []
+    for node, slice_requests in zip(nodes, plan.node_requests):
+        config = node.config
+        fail = node.spec.fail_at_s
+        node_horizon = horizon_s if fail is None else min(fail, horizon_s)
+        if config.horizon_s != node_horizon:
+            config = replace(config, horizon_s=node_horizon)
+        reports.append(serve_trace(list(slice_requests), node.policy,
+                                   node.platform, config, cache=node.cache))
+    platforms = [node.platform.name for node in nodes]
+    return build_fleet_report(horizon_s, policy.name, specs, platforms,
+                              plan, reports)

@@ -1,0 +1,217 @@
+"""Session-routing policies for the fleet dispatcher.
+
+A routing policy answers one question: *which node should this arriving
+session land on?*  It sees only the dispatcher-side view of the fleet —
+per-node capacity, a relative steady-state speed weight, and the
+dispatcher's estimate of how many sessions are currently live on each
+node — never the nodes' internal serving state (which does not exist yet
+at routing time; nodes are served after the dispatch plan is fixed, see
+:mod:`repro.serve.fleet.dispatch`).
+
+Three policies ship in the roster:
+
+* :class:`RoundRobinRouter` — cycle through the alive nodes in index
+  order, ignoring load and speed.  The baseline every smarter policy is
+  compared against.
+* :class:`LeastLoadedRouter` — pick the node with the largest
+  steady-state throughput headroom, ``(capacity - est_live) * speed``:
+  free slots weighted by how fast the node drains them.
+* :class:`TierAffinityRouter` — reserve the fastest nodes for gold
+  sessions; lower tiers fill the remaining nodes first and spill onto a
+  reserved node only when every unreserved node is saturated.
+
+All policies are deterministic: ties break on the lowest node index, and
+the only state any of them carries is the round-robin cursor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "NodeView",
+    "RoutingPolicy",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "TierAffinityRouter",
+    "ROUTING_POLICIES",
+    "build_routing_policy",
+]
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """Dispatcher-side snapshot of one alive node at a routing instant.
+
+    ``est_live`` is the dispatcher's estimate of concurrently live
+    sessions — arrivals routed to the node whose sampled duration has not
+    elapsed yet.  It ignores the node's own queueing and rejection, which
+    happen later, inside the node's serving loop.
+    """
+
+    index: int                 # position in the fleet's node list
+    name: str
+    capacity: int              # the node's admission capacity
+    speed: float               # relative steady-state throughput weight
+    est_live: int              # dispatcher-estimated live sessions
+
+    @property
+    def free_slots(self) -> int:
+        """Estimated unoccupied admission slots (may go negative)."""
+        return self.capacity - self.est_live
+
+    @property
+    def headroom(self) -> float:
+        """Steady-state throughput headroom: free slots x node speed."""
+        return self.free_slots * self.speed
+
+
+class RoutingPolicy:
+    """Strategy interface: pick a node for each arriving session.
+
+    ``choose`` receives the request's SLA tier and the views of every
+    *alive* node (dead nodes are filtered out by the dispatcher) and
+    returns the chosen node's ``index``.  Implementations must be
+    deterministic in (their own state, the arguments).
+    """
+
+    name: str = "routing"
+
+    def choose(self, tier: str, nodes: Sequence[NodeView]) -> int:
+        """Return the ``index`` of the node the session is routed to."""
+        raise NotImplementedError  # pragma: no cover
+
+
+def _drain_score(view: NodeView) -> float:
+    """Routing desirability of a node, saturation-aware.
+
+    With free capacity the score is the throughput headroom (free slots x
+    speed).  At or over capacity it switches to the negated drain time of
+    the backlog (``free_slots / speed``, a non-positive number): a fast
+    node two sessions over capacity clears its excess sooner than a slow
+    node one over, so multiplying the deficit by speed — which would
+    punish exactly the nodes that recover fastest — is wrong there.
+    """
+    if view.free_slots > 0:
+        return view.headroom
+    return view.free_slots / view.speed
+
+
+def _most_headroom(nodes: Sequence[NodeView]) -> int:
+    """Index of the node with the best :func:`_drain_score` (lowest index
+    wins ties)."""
+    best = nodes[0]
+    for view in nodes[1:]:
+        if _drain_score(view) > _drain_score(best):
+            best = view
+    return best.index
+
+
+class RoundRobinRouter(RoutingPolicy):
+    """Cycle through the alive nodes in index order, blind to load.
+
+    The cursor advances on every routed session, so a fleet with a dead
+    node keeps rotating evenly over the survivors.  This is the
+    dispatcher-less baseline: what static sharding of the trace
+    (:func:`repro.workloads.split_session_requests`) approximates offline.
+    """
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def choose(self, tier: str, nodes: Sequence[NodeView]) -> int:
+        """Pick the next node in rotation among the alive views."""
+        view = nodes[self._cursor % len(nodes)]
+        self._cursor += 1
+        return view.index
+
+
+class LeastLoadedRouter(RoutingPolicy):
+    """Route to the node with the most steady-state throughput headroom.
+
+    Headroom is ``(capacity - est_live) * speed``: a fast node with one
+    free slot can beat a slow node with two, which is exactly the
+    heterogeneity the per-node contention solver models.  When every node
+    is saturated the comparison flips to backlog drain time
+    (``deficit / speed``), so arrivals keep landing where the queue
+    clears fastest instead of on the slowest overloaded node.
+    """
+
+    name = "least_loaded"
+
+    def choose(self, tier: str, nodes: Sequence[NodeView]) -> int:
+        """Pick the alive node with the best saturation-aware headroom."""
+        return _most_headroom(nodes)
+
+
+class TierAffinityRouter(RoutingPolicy):
+    """Reserve the fastest nodes for gold sessions.
+
+    The fastest ``reserve_fraction`` of the alive fleet (at least one
+    node) is the *gold partition*.  Gold sessions go to the reserved node
+    with the most headroom; other tiers fill the unreserved nodes and
+    spill onto a reserved node only when no unreserved node has a free
+    slot — so a gold burst never queues behind bronze traffic, at the
+    price of idling fast nodes under bronze-heavy load.
+    """
+
+    name = "tier_affinity"
+
+    def __init__(self, reserve_fraction: float = 1 / 3,
+                 gold_tiers: tuple[str, ...] = ("gold",)):
+        if not 0.0 < reserve_fraction <= 1.0:
+            raise ValueError("reserve_fraction must be in (0, 1]")
+        if not gold_tiers:
+            raise ValueError("gold_tiers must not be empty")
+        self.reserve_fraction = reserve_fraction
+        self.gold_tiers = gold_tiers
+
+    def _reserved(self, nodes: Sequence[NodeView]) -> set[int]:
+        count = max(1, round(len(nodes) * self.reserve_fraction))
+        count = min(count, len(nodes))
+        fastest = sorted(nodes, key=lambda v: (-v.speed, v.index))
+        return {view.index for view in fastest[:count]}
+
+    def choose(self, tier: str, nodes: Sequence[NodeView]) -> int:
+        """Route gold to the reserved partition, other tiers around it."""
+        reserved = self._reserved(nodes)
+        preferred = [v for v in nodes if (v.index in reserved)
+                     == (tier in self.gold_tiers)]
+        fallback = [v for v in nodes if v not in preferred]
+        if tier in self.gold_tiers:
+            # Gold only leaves the reserved partition when it is gone
+            # entirely (every reserved node dead): prefer always.
+            return _most_headroom(preferred or fallback)
+        if not preferred:
+            return _most_headroom(fallback)
+        if all(v.free_slots <= 0 for v in preferred) \
+                and any(v.free_slots > 0 for v in fallback):
+            return _most_headroom(fallback)
+        return _most_headroom(preferred)
+
+
+#: Roster of routing-policy factories, keyed for fleet scenario specs.
+ROUTING_POLICIES = {
+    "round_robin": RoundRobinRouter,
+    "least_loaded": LeastLoadedRouter,
+    "tier_affinity": TierAffinityRouter,
+}
+
+
+def build_routing_policy(key: str) -> RoutingPolicy:
+    """Build a fresh routing policy from its roster key.
+
+    Policies may carry state (the round-robin cursor), so every dispatch
+    must start from a fresh instance — which is why scenario specs store
+    the key, not the object.
+    """
+    try:
+        factory = ROUTING_POLICIES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {key!r}; "
+            f"choose from {sorted(ROUTING_POLICIES)}") from None
+    return factory()

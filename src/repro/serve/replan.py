@@ -67,6 +67,12 @@ class ReplanPolicy:
     def replan(self, workload: list[ModelSpec],
                priorities: np.ndarray | None,
                incumbent: Incumbent | None) -> ReplanOutcome:
+        """Decide the next mapping for ``workload``.
+
+        ``incumbent`` is what the loop remembers of the previous decision
+        (``None`` on the first plan of a run); ``priorities`` is the user
+        vector for static-mode managers, ``None`` in dynamic mode.
+        """
         raise NotImplementedError  # pragma: no cover
 
 
@@ -79,6 +85,7 @@ class FullReplan(ReplanPolicy):
         self.manager = manager
 
     def replan(self, workload, priorities, incumbent) -> ReplanOutcome:
+        """Run the wrapped manager's full search, ignoring the incumbent."""
         decision = self.manager.plan(workload, priorities)
         return ReplanOutcome(decision.mapping, decision.decision_seconds,
                              "full")
@@ -152,6 +159,8 @@ class WarmStartReplan(ReplanPolicy):
         return normalize_priorities(priorities)
 
     def replan(self, workload, priorities, incumbent) -> ReplanOutcome:
+        """Extend the incumbent; fall back to a reduced search only when
+        no extension candidate clears the starvation floors."""
         if incumbent is None:
             decision = self.manager.plan(workload, priorities)
             return ReplanOutcome(decision.mapping, decision.decision_seconds,
@@ -201,6 +210,7 @@ class PlanCacheReplan(ReplanPolicy):
 
     def key(self, workload: list[ModelSpec],
             priorities: np.ndarray | None) -> tuple:
+        """Canonical memoisation key: names in order + rounded priorities."""
         names = tuple(m.name for m in workload)
         if priorities is None:
             return (names, None)
@@ -210,10 +220,13 @@ class PlanCacheReplan(ReplanPolicy):
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of replans answered from the plan cache so far."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def replan(self, workload, priorities, incumbent) -> ReplanOutcome:
+        """Replay the memoised mapping on a key hit (zero modeled
+        latency); otherwise defer to the inner policy and memoise."""
         k = self.key(workload, priorities)
         cached = self._store.get(k)
         if cached is not None:
@@ -236,6 +249,12 @@ REPLAN_POLICIES = {
 
 
 def build_replan_policy(key: str, manager: Manager) -> ReplanPolicy:
+    """Build a fresh replan policy from its roster key around ``manager``.
+
+    Policies carry run state (plan caches, incumbents), so every serving
+    run must start from a fresh instance — scenario specs therefore store
+    the key, not the object.
+    """
     try:
         factory = REPLAN_POLICIES[key]
     except KeyError:

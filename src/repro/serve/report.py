@@ -70,26 +70,32 @@ class ServeReport:
 
     @property
     def arrivals(self) -> int:
+        """Total session requests the run observed (every outcome)."""
         return len(self.sessions)
 
     @property
     def admitted(self) -> int:
+        """Sessions that reached a serving slot (immediately or queued)."""
         return sum(1 for s in self.sessions if s.admitted_s is not None)
 
     @property
     def rejected(self) -> int:
+        """Sessions the admission controller turned away outright."""
         return self._count(REJECTED)
 
     @property
     def abandoned(self) -> int:
+        """Sessions that queued but timed out before admission."""
         return self._count(ABANDONED)
 
     @property
     def queued_at_horizon(self) -> int:
+        """Sessions still in the waiting room when the horizon closed."""
         return self._count(QUEUED)
 
     @property
     def out_of_horizon(self) -> int:
+        """Trace requests arriving after the horizon (never observed)."""
         return self._count(OUT_OF_HORIZON)
 
     @property
@@ -100,6 +106,7 @@ class ServeReport:
 
     @property
     def mean_queue_wait_s(self) -> float:
+        """Mean waiting-room time of the sessions that got admitted."""
         waits = [s.queue_wait_s for s in self.sessions
                  if s.admitted_s is not None]
         return sum(waits) / len(waits) if waits else 0.0
@@ -107,14 +114,17 @@ class ServeReport:
     # --------------------------------------------------------- service
     @property
     def observed_seconds(self) -> float:
+        """Total admitted DNN-time within the horizon, summed over sessions."""
         return sum(s.served_seconds for s in self.sessions)
 
     @property
     def total_gap_seconds(self) -> float:
+        """Admitted time spent at rate 0 (re-mapping gaps), summed."""
         return sum(s.gap_seconds for s in self.sessions)
 
     @property
     def sla_violation_seconds(self) -> float:
+        """Admitted time below the session tier's minimum P, summed."""
         return sum(s.violation_seconds for s in self.sessions)
 
     @property
@@ -126,12 +136,14 @@ class ServeReport:
 
     @property
     def mean_session_rate(self) -> float:
+        """Mean delivered inferences/s over the sessions that served."""
         rates = [s.mean_rate for s in self.sessions
                  if s.served_seconds > 0]
         return sum(rates) / len(rates) if rates else 0.0
 
     @property
     def mean_decision_seconds(self) -> float:
+        """Mean modeled planner latency per replan invocation."""
         return self.total_decision_seconds / self.replans if self.replans \
             else 0.0
 

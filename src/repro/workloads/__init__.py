@@ -52,9 +52,11 @@ from .traces import (
     SessionRequest,
     TraceConfig,
     TraceStats,
+    fleet_demand_config,
     poisson_trace,
     poisson_trace_with_stats,
     sample_session_requests,
+    split_session_requests,
     trace_peak_concurrency,
 )
 
@@ -82,6 +84,8 @@ __all__ = [
     "poisson_trace_with_stats",
     "sample_session_requests",
     "trace_peak_concurrency",
+    "fleet_demand_config",
+    "split_session_requests",
     "SlaClass",
     "SlaAssignment",
     "SlaViolation",

@@ -22,7 +22,7 @@ Two consumers read these traces:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -38,6 +38,8 @@ __all__ = [
     "poisson_trace_with_stats",
     "sample_session_requests",
     "trace_peak_concurrency",
+    "fleet_demand_config",
+    "split_session_requests",
 ]
 
 #: Default SLA-tier rotation for sampled session requests (highest first,
@@ -212,6 +214,44 @@ def sample_session_requests(
             duration_s=float(duration), tier=tier, tier_shift=shift,
         ))
     return requests
+
+
+def fleet_demand_config(config: TraceConfig, num_nodes: int) -> TraceConfig:
+    """Scale a single-node trace shape to the aggregate demand of a fleet.
+
+    Superposing ``num_nodes`` independent Poisson processes is itself a
+    Poisson process with the summed rate, so the cluster-level demand a
+    :mod:`repro.serve.fleet` dispatcher splits back up is simply the
+    per-node config with ``arrival_rate_per_s`` (and the blind
+    ``max_concurrent`` cap, for the capped samplers) multiplied by the
+    node count.  Session durations and the model pool are per-session
+    properties and stay untouched.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be at least 1")
+    return replace(config,
+                   arrival_rate_per_s=config.arrival_rate_per_s * num_nodes,
+                   max_concurrent=config.max_concurrent * num_nodes)
+
+
+def split_session_requests(requests: list[SessionRequest],
+                           num_nodes: int) -> list[list[SessionRequest]]:
+    """Shard raw demand across ``num_nodes`` statically, round-robin.
+
+    The dispatcher-less baseline: session ``i`` (in arrival order) lands
+    on node ``i % num_nodes`` regardless of tier or load — what a DNS-
+    style static splitter would do.  The fleet dispatcher's routing
+    policies (:mod:`repro.serve.fleet.routing`) are measured against this
+    in the docs and examples.  Every request appears in exactly one
+    shard; shards preserve arrival order.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be at least 1")
+    shards: list[list[SessionRequest]] = [[] for _ in range(num_nodes)]
+    ordered = sorted(requests, key=lambda r: (r.arrival_s, r.session_id))
+    for index, request in enumerate(ordered):
+        shards[index % num_nodes].append(request)
+    return shards
 
 
 def trace_peak_concurrency(events: list[ScenarioEvent]) -> int:

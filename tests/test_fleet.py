@@ -1,0 +1,333 @@
+"""Tests for the multi-node fleet dispatcher (routing, dispatch, report)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OraclePredictor, RankMap, RankMapConfig
+from repro.hw import jetson_class, orange_pi_5
+from repro.search import MCTSConfig
+from repro.serve import AdmissionConfig, ServeConfig, build_replan_policy
+from repro.serve.fleet import (
+    ROUTING_POLICIES,
+    DispatchPlan,
+    FleetNode,
+    LeastLoadedRouter,
+    NodeSpec,
+    NodeView,
+    RoundRobinRouter,
+    TierAffinityRouter,
+    build_routing_policy,
+    jain_index,
+    node_speed,
+    plan_dispatch,
+    serve_fleet,
+)
+from repro.workloads import (
+    SessionRequest,
+    TraceConfig,
+    fleet_demand_config,
+    sample_session_requests,
+    split_session_requests,
+)
+
+POOL = ("alexnet", "squeezenet", "mobilenet_v2", "shufflenet")
+
+
+def request(sid, arrival, duration, tier="gold", shift=None):
+    return SessionRequest(session_id=sid, arrival_s=arrival,
+                          duration_s=duration, tier=tier, tier_shift=shift)
+
+
+def views(*specs):
+    return [NodeView(index=i, name=f"n{i}", capacity=cap, speed=speed,
+                     est_live=live)
+            for i, (cap, speed, live) in enumerate(specs)]
+
+
+# --------------------------------------------------------------- routing
+class TestRouting:
+    def test_round_robin_cycles(self):
+        router = RoundRobinRouter()
+        nodes = views((2, 1.0, 0), (2, 1.0, 0), (2, 1.0, 0))
+        picks = [router.choose("gold", nodes) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_skips_dead_nodes(self):
+        router = RoundRobinRouter()
+        alive = views((2, 1.0, 0), (2, 1.0, 0))      # node 2 already dead
+        picks = [router.choose("gold", alive) for _ in range(4)]
+        assert picks == [0, 1, 0, 1]
+
+    def test_least_loaded_weighs_speed(self):
+        router = LeastLoadedRouter()
+        # One free slot on a fast node beats two on a slow one.
+        nodes = views((3, 1.0, 1), (2, 4.0, 1))
+        assert router.choose("bronze", nodes) == 1
+
+    def test_least_loaded_prefers_lowest_index_on_tie(self):
+        router = LeastLoadedRouter()
+        nodes = views((2, 1.0, 1), (2, 1.0, 1))
+        assert router.choose("gold", nodes) == 0
+
+    def test_least_loaded_saturated_picks_least_overloaded(self):
+        router = LeastLoadedRouter()
+        nodes = views((2, 1.0, 4), (2, 1.0, 3))
+        assert router.choose("gold", nodes) == 1
+
+    def test_least_loaded_overload_favours_fast_drain(self):
+        """Regression: under saturation the deficit is divided by speed,
+        not multiplied — a fast node 2 over capacity clears its backlog
+        sooner than a slow node 2 over."""
+        router = LeastLoadedRouter()
+        nodes = views((2, 4.0, 4), (2, 1.0, 4))
+        assert router.choose("gold", nodes) == 0
+        # A free slot anywhere still beats every saturated node.
+        with_free = views((2, 4.0, 4), (2, 1.0, 1))
+        assert router.choose("gold", with_free) == 1
+
+    def test_tier_affinity_reserves_fastest_for_gold(self):
+        router = TierAffinityRouter(reserve_fraction=1 / 3)
+        nodes = views((2, 1.0, 0), (2, 5.0, 0), (2, 1.0, 0))
+        assert router.choose("gold", nodes) == 1
+        assert router.choose("bronze", nodes) in (0, 2)
+
+    def test_tier_affinity_bronze_spills_only_when_saturated(self):
+        router = TierAffinityRouter(reserve_fraction=1 / 3)
+        full = views((1, 1.0, 1), (2, 5.0, 0), (1, 1.0, 1))
+        assert router.choose("bronze", full) == 1   # unreserved saturated
+        free = views((1, 1.0, 0), (2, 5.0, 0), (1, 1.0, 1))
+        assert router.choose("bronze", free) == 0
+
+    def test_tier_affinity_validates_config(self):
+        with pytest.raises(ValueError):
+            TierAffinityRouter(reserve_fraction=0.0)
+        with pytest.raises(ValueError):
+            TierAffinityRouter(gold_tiers=())
+
+    def test_roster_builds_fresh_instances(self):
+        assert set(ROUTING_POLICIES) == {"round_robin", "least_loaded",
+                                         "tier_affinity"}
+        a = build_routing_policy("round_robin")
+        b = build_routing_policy("round_robin")
+        assert a is not b
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            build_routing_policy("nope")
+
+
+# -------------------------------------------------------------- dispatch
+class TestPlanDispatch:
+    def _specs(self, n=3, capacity=2, fail=None):
+        return [NodeSpec(name=f"n{i}", capacity=capacity,
+                         speed=1.0 + 0.5 * i,
+                         fail_at_s=(fail if i == 0 else None))
+                for i in range(n)]
+
+    def test_round_robin_splits_evenly(self):
+        requests = [request(i, 10.0 * i, 5.0) for i in range(6)]
+        plan = plan_dispatch(requests, self._specs(), "round_robin", 100.0)
+        assert plan.routed == (2, 2, 2)
+        assert plan.re_dispatched == 0 and plan.lost == ()
+
+    def test_every_request_routed_exactly_once(self):
+        rng = np.random.default_rng(3)
+        requests = sample_session_requests(
+            rng, TraceConfig(horizon_s=400.0, arrival_rate_per_s=1 / 10,
+                             mean_session_s=60.0))
+        plan = plan_dispatch(requests, self._specs(), "least_loaded", 400.0)
+        routed_ids = sorted(r.session_id for node in plan.node_requests
+                            for r in node)
+        assert routed_ids == sorted(r.session_id for r in requests)
+
+    def test_deterministic_per_key(self):
+        requests = [request(i, 3.0 * i, 40.0) for i in range(20)]
+        plans = [plan_dispatch(requests, self._specs(), "tier_affinity",
+                               200.0) for _ in range(2)]
+        assert plans[0] == plans[1]
+
+    def test_failure_drains_live_sessions(self):
+        # Both sessions live on node 0 when it dies at t=50.
+        requests = [request(0, 0.0, 100.0), request(1, 10.0, 100.0)]
+        specs = [NodeSpec(name="dead", capacity=4, fail_at_s=50.0),
+                 NodeSpec(name="alive", capacity=4)]
+        plan = plan_dispatch(requests, specs, "round_robin", 200.0)
+        assert plan.re_dispatched >= 1
+        moved = [r for r in plan.node_requests[1] if r.arrival_s == 50.0]
+        assert moved, "re-dispatched continuations arrive at the failure time"
+        for r in moved:
+            original = requests[r.session_id]
+            assert r.duration_s == pytest.approx(
+                original.arrival_s + original.duration_s - 50.0)
+
+    def test_out_of_horizon_demand_is_recorded(self):
+        """Regression: demand arriving after the horizon must be counted,
+        not silently vanish from the plan."""
+        requests = [request(0, 10.0, 5.0), request(1, 150.0, 5.0)]
+        plan = plan_dispatch(requests, self._specs(), "round_robin", 100.0)
+        assert sum(plan.routed) == 1
+        assert [r.session_id for r in plan.out_of_horizon] == [1]
+
+    def test_failure_with_no_survivors_loses_sessions(self):
+        requests = [request(0, 0.0, 100.0), request(1, 60.0, 10.0)]
+        specs = [NodeSpec(name="only", capacity=4, fail_at_s=50.0)]
+        plan = plan_dispatch(requests, specs, "round_robin", 200.0)
+        # Session 0 was live at the failure; session 1 arrived after it.
+        assert plan.re_dispatched == 1
+        assert len(plan.lost) == 2
+
+    def test_fired_tier_shift_bakes_into_redispatch(self):
+        req = request(0, 0.0, 100.0, tier="bronze", shift=(10.0, "gold"))
+        specs = [NodeSpec(name="dead", capacity=4, fail_at_s=50.0),
+                 NodeSpec(name="alive", capacity=4)]
+        plan = plan_dispatch([req], specs, "round_robin", 200.0)
+        moved = plan.node_requests[1][0]
+        assert moved.tier == "gold" and moved.tier_shift is None
+
+    def test_pending_tier_shift_keeps_remaining_offset(self):
+        req = request(0, 0.0, 100.0, tier="bronze", shift=(80.0, "gold"))
+        specs = [NodeSpec(name="dead", capacity=4, fail_at_s=50.0),
+                 NodeSpec(name="alive", capacity=4)]
+        plan = plan_dispatch([req], specs, "round_robin", 200.0)
+        moved = plan.node_requests[1][0]
+        assert moved.tier == "bronze"
+        assert moved.tier_shift == (pytest.approx(30.0), "gold")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec(name="x", capacity=0)
+        with pytest.raises(ValueError):
+            NodeSpec(name="x", capacity=1, speed=0.0)
+        with pytest.raises(ValueError):
+            NodeSpec(name="x", capacity=1, fail_at_s=0.0)
+        with pytest.raises(ValueError):
+            plan_dispatch([], [], "round_robin", 100.0)
+        with pytest.raises(ValueError):
+            plan_dispatch([], self._specs(), "round_robin", 0.0)
+
+    def test_node_speed_orders_platforms(self):
+        slow = node_speed(orange_pi_5(), POOL)
+        fast = node_speed(jetson_class(), POOL)
+        assert 0 < slow < fast
+        with pytest.raises(ValueError):
+            node_speed(orange_pi_5(), ())
+
+
+# ------------------------------------------------------------ the fleet
+def fleet_nodes(n=3, capacity=2, fail=None, horizon=240.0):
+    nodes = []
+    for i in range(n):
+        platform = orange_pi_5() if i % 2 == 0 else jetson_class()
+        manager = RankMap(
+            platform, OraclePredictor(platform),
+            RankMapConfig(mode="dynamic",
+                          mcts=MCTSConfig(iterations=6, rollouts_per_leaf=2,
+                                          seed=i)))
+        nodes.append(FleetNode(
+            spec=NodeSpec(name=f"n{i}", capacity=capacity,
+                          speed=node_speed(platform, POOL),
+                          fail_at_s=(fail if i == 0 else None)),
+            platform=platform,
+            policy=build_replan_policy("warm", manager),
+            config=ServeConfig(horizon_s=horizon,
+                               admission=AdmissionConfig(capacity=capacity),
+                               pool=POOL, seed=i)))
+    return nodes
+
+
+def demand(horizon=240.0, seed=0, rate=1 / 8):
+    return sample_session_requests(
+        np.random.default_rng(seed),
+        TraceConfig(horizon_s=horizon, arrival_rate_per_s=rate,
+                    mean_session_s=90.0))
+
+
+class TestServeFleet:
+    def test_inline_fleet_end_to_end(self):
+        # A 300 s demand against a 240 s fleet: the tail is out of horizon
+        # but still accounted, matching the single-node ledger.
+        requests = demand(horizon=300.0)
+        report = serve_fleet(requests, fleet_nodes(), "least_loaded")
+        assert report.routing == "least_loaded"
+        assert len(report.nodes) == 3
+        assert report.arrivals == len(requests)
+        assert report.out_of_horizon == sum(
+            1 for r in requests if r.arrival_s >= 240.0)
+        assert report.admitted > 0
+        assert report.delivered_inferences > 0
+        assert 0.0 < report.node_fairness <= 1.0
+        assert 0.0 < report.session_fairness <= 1.0
+        assert "FleetReport[least_loaded]" in report.summary()
+
+    def test_failed_node_report_truncates_at_failure(self):
+        report = serve_fleet(demand(), fleet_nodes(fail=100.0),
+                             "round_robin")
+        failed = report.nodes[0]
+        assert failed.failed_at_s == 100.0
+        assert failed.report.horizon_s == 100.0
+        assert all(n.report.horizon_s == 240.0 for n in report.nodes[1:])
+
+    def test_tier_outcomes_cover_all_tiers(self):
+        report = serve_fleet(demand(), fleet_nodes(), "tier_affinity")
+        tiers = report.tier_outcomes()
+        assert set(tiers) <= {"gold", "silver", "bronze"}
+        assert sum(row["arrivals"] for row in tiers.values()) \
+            == report.arrivals - report.lost - report.out_of_horizon
+        for row in tiers.values():
+            assert row["admitted"] <= row["arrivals"]
+
+    def test_tier_outcomes_distinct_under_failure(self):
+        """Regression: a re-dispatched session must count once per tier,
+        not once per node report it appears in."""
+        report = serve_fleet(demand(rate=1 / 5), fleet_nodes(fail=100.0),
+                             "round_robin")
+        assert report.re_dispatched > 0
+        tiers = report.tier_outcomes()
+        assert sum(row["arrivals"] for row in tiers.values()) \
+            == report.arrivals - report.lost - report.out_of_horizon
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            serve_fleet([], [], "round_robin")
+
+
+# --------------------------------------------------------------- report
+class TestJainIndex:
+    def test_even_is_one(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_holder_is_one_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_degenerate_inputs(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+
+# ------------------------------------------------------ trace utilities
+class TestTraceSplitting:
+    def test_fleet_demand_scales_rate_and_cap(self):
+        base = TraceConfig(horizon_s=600.0, arrival_rate_per_s=1 / 60,
+                           mean_session_s=120.0, max_concurrent=3)
+        scaled = fleet_demand_config(base, 4)
+        assert scaled.arrival_rate_per_s == pytest.approx(4 / 60)
+        assert scaled.max_concurrent == 12
+        assert scaled.mean_session_s == base.mean_session_s
+        with pytest.raises(ValueError):
+            fleet_demand_config(base, 0)
+
+    def test_split_round_robins_in_arrival_order(self):
+        requests = [request(i, float(10 - i), 5.0) for i in range(6)]
+        shards = split_session_requests(requests, 2)
+        assert [r.session_id for r in shards[0]] == [5, 3, 1]
+        assert [r.session_id for r in shards[1]] == [4, 2, 0]
+        assert sum(len(s) for s in shards) == len(requests)
+        with pytest.raises(ValueError):
+            split_session_requests(requests, 0)
+
+    def test_plan_is_plain_data(self):
+        import pickle
+
+        plan = plan_dispatch([request(0, 0.0, 5.0)],
+                             [NodeSpec(name="n", capacity=1)],
+                             "round_robin", 10.0)
+        assert isinstance(plan, DispatchPlan)
+        assert pickle.loads(pickle.dumps(plan)) == plan

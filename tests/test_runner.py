@@ -7,15 +7,18 @@ from repro.runner import (
     MANAGER_SPECS,
     PLATFORM_SPECS,
     DynamicScenario,
+    FleetScenario,
     Scenario,
     ScenarioResult,
     ScenarioRunner,
     dynamic_sweep_scenarios,
     execute_dynamic_scenario,
     execute_scenario,
+    fleet_sweep_scenarios,
     mix_scenarios,
     summarise,
     summarise_dynamic,
+    summarise_fleet,
 )
 
 FAST = dict(search_iterations=6, search_rollouts=2)
@@ -235,6 +238,32 @@ class TestDynamicScenario:
             assert r.eval_cache_preloaded > 0
             assert r.eval_cache_hit_rate > 0
 
+    def test_mismatched_cache_platform_starts_cold(self, tmp_path):
+        """A cache persisted for one platform must not abort a node on
+        another platform (heterogeneous fleets share one cache_path) —
+        the node starts cold and reports nothing preloaded."""
+        from repro.hw import orange_pi_5
+        from repro.sim import EvaluationCache
+
+        path = tmp_path / "orange.pkl"
+        EvaluationCache(orange_pi_5()).save(path)
+        spec = DynamicScenario(name="jet", manager="baseline",
+                               platform="jetson_class",
+                               cache_path=str(path), **DYNAMIC_FAST)
+        result = execute_dynamic_scenario(spec)
+        assert result.eval_cache_preloaded == 0
+        assert result.report.arrivals > 0
+
+    def test_corrupt_cache_file_starts_cold(self, tmp_path):
+        """A non-pickle cache file must downgrade to a cold start too."""
+        path = tmp_path / "garbage.pkl"
+        path.write_bytes(b"not a pickle at all")
+        spec = DynamicScenario(name="g", manager="baseline",
+                               cache_path=str(path), **DYNAMIC_FAST)
+        result = execute_dynamic_scenario(spec)
+        assert result.eval_cache_preloaded == 0
+        assert result.report.arrivals > 0
+
     def test_summarise_dynamic_groups_by_policy(self):
         # "warm" needs a RankMap manager, so the cheap baseline cells use
         # the full and plan-cache policies.
@@ -268,6 +297,161 @@ class TestDynamicScenario:
         assert len(results) == 1
         assert summary[0]["policy"] == "full"
         assert results[0].report.arrivals > 0
+
+
+def _fleet_nodes(n=3):
+    return tuple(DynamicScenario(
+        name=f"node{i}", manager="rankmap_d", policy="warm",
+        platform=("orange_pi_5" if i % 2 == 0 else "jetson_class"),
+        seed=i, pool=SMALL_POOL, capacity=2,
+        search_iterations=6, search_rollouts=2) for i in range(n))
+
+
+def _fleet(routing="least_loaded", fail_at=()):
+    return FleetScenario(name=f"f_{routing}", nodes=_fleet_nodes(),
+                         routing=routing, seed=0, horizon_s=240.0,
+                         arrival_rate_per_s=1 / 10, mean_session_s=90.0,
+                         fail_at=fail_at)
+
+
+class TestFleetScenario:
+    def test_spec_validated(self):
+        with pytest.raises(ValueError):
+            FleetScenario(name="x", nodes=())
+        with pytest.raises(ValueError):
+            FleetScenario(name="x", nodes=_fleet_nodes(), horizon_s=0.0)
+        with pytest.raises(ValueError):
+            FleetScenario(name="x", nodes=_fleet_nodes(),
+                          fail_at=((7, 10.0),))
+        with pytest.raises(ValueError):
+            FleetScenario(name="x", nodes=_fleet_nodes(),
+                          fail_at=((0, 0.0),))
+        with pytest.raises(ValueError, match="duplicate fail_at"):
+            FleetScenario(name="x", nodes=_fleet_nodes(),
+                          fail_at=((0, 60.0), (0, 200.0)))
+
+    def test_specs_are_picklable(self):
+        import pickle
+
+        fleet = _fleet()
+        assert pickle.loads(pickle.dumps(fleet)) == fleet
+
+    def test_run_fleet_produces_report(self):
+        results = ScenarioRunner(max_workers=1).run_fleet([_fleet()])
+        assert len(results) == 1
+        report = results[0].report
+        assert results[0].routing == "least_loaded"
+        assert len(report.nodes) == 3
+        assert report.admitted > 0
+        assert results[0].wall_seconds > 0
+
+    def test_parallel_equals_serial(self):
+        """Acceptance: fleet reports are bit-identical for 1 vs N workers."""
+        fleets = [_fleet("round_robin"), _fleet("least_loaded"),
+                  _fleet("tier_affinity", fail_at=((1, 120.0),))]
+        serial = ScenarioRunner(max_workers=1).run_fleet(fleets)
+        parallel = ScenarioRunner(max_workers=3).run_fleet(fleets)
+        assert [r.name for r in parallel] == [f.name for f in fleets]
+        assert [r.report for r in serial] == [r.report for r in parallel]
+
+    def test_failure_redispatches_across_pool(self):
+        results = ScenarioRunner(max_workers=2).run_fleet(
+            [_fleet("round_robin", fail_at=((0, 60.0),))])
+        report = results[0].report
+        assert report.nodes[0].failed_at_s == 60.0
+        assert report.nodes[0].report.horizon_s == 60.0
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            ScenarioRunner(max_workers=1).run_fleet(
+                [_fleet(routing="nope")])
+
+    def test_empty_run(self):
+        assert ScenarioRunner().run_fleet([]) == []
+
+    def test_fleet_sweep_cells_share_traces(self):
+        specs = fleet_sweep_scenarios(
+            routings=("round_robin", "least_loaded"), traces_per_cell=2,
+            pool=SMALL_POOL, search_iterations=6)
+        by_trace = {}
+        for s in specs:
+            by_trace.setdefault(s.name.split("_")[0], set()).add(s.seed)
+        assert all(len(seeds) == 1 for seeds in by_trace.values())
+        # Default platform pair makes any >=2-node fleet heterogeneous.
+        assert len({n.platform for n in specs[0].nodes}) == 2
+
+    def test_summarise_fleet_groups_by_routing(self):
+        specs = fleet_sweep_scenarios(
+            routings=("round_robin", "least_loaded"), traces_per_cell=1,
+            num_nodes=2, manager="baseline", policy="full",
+            horizon_s=240.0, arrival_rate_per_s=1 / 20,
+            pool=SMALL_POOL, capacity=2, search_iterations=6)
+        rows = summarise_fleet(
+            ScenarioRunner(max_workers=1).run_fleet(specs))
+        assert [r["routing"] for r in rows] == ["least_loaded",
+                                                "round_robin"]
+        assert all(r["scenarios"] == 1 for r in rows)
+
+    def test_experiment_context_fleet_serve_sweep(self, tmp_path):
+        from repro.experiments import ExperimentContext
+
+        ctx = ExperimentContext(preset="tiny", results_dir=tmp_path,
+                                use_artifact_cache=False)
+        results, summary = ctx.fleet_serve_sweep(
+            routings=("round_robin",), num_nodes=2, manager="baseline",
+            policy="full", traces_per_cell=1, horizon_s=240.0,
+            arrival_rate_per_s=1 / 20, pool=SMALL_POOL, capacity=2,
+            max_workers=1)
+        assert len(results) == 1
+        assert summary[0]["routing"] == "round_robin"
+        assert results[0].report.admitted > 0
+
+
+class TestStrictScenarioDicts:
+    """Satellite: scenario dicts must raise on unknown keys, not ignore."""
+
+    def test_scenario_from_dict_roundtrip(self):
+        spec = {"name": "s", "workload": ["alexnet", "mobilenet"],
+                "priorities": [0.8, 0.2], "search_iterations": 6}
+        s = Scenario.from_dict(spec)
+        assert s.workload == ("alexnet", "mobilenet")
+        assert s.priorities == (0.8, 0.2)
+
+    def test_scenario_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="unexpected Scenario field"):
+            Scenario.from_dict({"name": "s", "workload": ["alexnet"],
+                                "workloda": ["typo"]})
+
+    def test_dynamic_unknown_key_raises(self):
+        with pytest.raises(ValueError,
+                           match="unexpected DynamicScenario field"):
+            DynamicScenario.from_dict({"name": "d",
+                                       "arival_rate_per_s": 0.1})
+
+    def test_dynamic_from_dict_coerces_pool(self):
+        d = DynamicScenario.from_dict({"name": "d",
+                                       "pool": list(SMALL_POOL)})
+        assert d.pool == SMALL_POOL
+
+    def test_fleet_from_dict_parses_nested_nodes(self):
+        fleet = FleetScenario.from_dict({
+            "name": "f",
+            "nodes": [{"name": "node0", "capacity": 2},
+                      {"name": "node1", "platform": "jetson_class"}],
+            "fail_at": [[0, 120.0]],
+        })
+        assert fleet.nodes[1].platform == "jetson_class"
+        assert fleet.fail_at == ((0, 120.0),)
+
+    def test_fleet_nested_unknown_key_raises(self):
+        with pytest.raises(ValueError,
+                           match="unexpected DynamicScenario field"):
+            FleetScenario.from_dict({
+                "name": "f", "nodes": [{"name": "n", "capaciti": 3}]})
+
+    def test_non_dict_spec_rejected(self):
+        with pytest.raises(TypeError, match="must be a dict"):
+            Scenario.from_dict(["not", "a", "dict"])
 
 
 class TestMixScenariosAndSummarise:

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Validate that intra-repo markdown links resolve to real files.
+
+Scans ``README.md``, ``ROADMAP.md`` and every ``docs/*.md`` for inline
+markdown links, skips external schemes (http/https/mailto) and pure
+anchors, resolves the rest relative to the containing file, and reports
+every target that does not exist.  Exit status 1 on any broken link, so
+``make docs-check`` can gate on it; ``tests/test_docs.py`` runs the same
+check under tier-1.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown link: [text](target) — target up to the first ')' or
+#: whitespace (titles like `(x "y")` keep only the path part).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)")
+
+#: Link targets that never resolve to a repo file.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """The markdown set the repo's docs subsystem guarantees link-clean."""
+    files = [root / "README.md", root / "ROADMAP.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def check_links(root: Path) -> list[str]:
+    """Return one error string per broken intra-repo link under ``root``."""
+    errors: list[str] = []
+    for source in markdown_files(root):
+        for target in LINK_RE.findall(source.read_text()):
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:          # pure in-page anchor
+                continue
+            resolved = (source.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{source.relative_to(root)}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    """CLI entry point: print broken links, exit 1 when any exist."""
+    root = Path(__file__).resolve().parents[1]
+    files = markdown_files(root)
+    errors = check_links(root)
+    for error in errors:
+        print(error)
+    print(f"docs-check: {len(files)} markdown files, "
+          f"{len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
