@@ -3,11 +3,17 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench serve-demo docs-check
+.PHONY: test test-prop bench serve-demo docs-check
 
 ## Tier-1 verification: the full test suite in benchmark smoke mode.
 test:
 	$(PY) -m pytest -x -q
+
+## Property suites only (hypothesis), pinned to a fixed seed so a red
+## run reproduces exactly; the serve/fleet invariants additionally set
+## derandomize=True and are deterministic under plain tier-1 too.
+test-prop:
+	$(PY) -m pytest tests/property -q --hypothesis-seed=0
 
 ## Measure the micro-benchmarks, refresh BENCH_micro.json and append a
 ## dated entry to BENCH_history.jsonl (the cross-PR perf trajectory).

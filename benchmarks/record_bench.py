@@ -9,6 +9,13 @@ machine-readable perf trajectory across PRs — the batch-vs-scalar sweep
 (``test_bench_simulator_solve_batch[*]``) and the serve replan-policy
 comparison (``test_bench_serve_replan[*]``) are the rows to watch.
 
+Before appending, the serve-path rows are compared against the previous
+history entry: any ``test_bench_serve_replan[*]`` or
+``test_bench_serve_preempt[*]`` mean that got more than 25% slower is
+flagged loudly (the hot serving path must not regress silently behind an
+unrelated PR).  Flags are warnings, not
+failures — machine noise is real — but they belong in the PR discussion.
+
 Usage:
     PYTHONPATH=src python benchmarks/record_bench.py [history.jsonl]
 """
@@ -22,6 +29,56 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Benchmark-name prefixes guarded against silent slowdowns.
+GUARDED_PREFIXES = ("test_bench_serve_replan[", "test_bench_serve_preempt[")
+
+#: Relative mean-time growth beyond which a guarded row is flagged.
+REGRESSION_THRESHOLD = 0.25
+
+
+def flag_regressions(previous: dict, current: dict,
+                     prefixes: tuple[str, ...] = GUARDED_PREFIXES,
+                     threshold: float = REGRESSION_THRESHOLD) -> list[str]:
+    """Compare guarded benchmark rows of two history entries.
+
+    ``previous`` and ``current`` are ``{name: {"mean_s": ...}}`` benchmark
+    maps (the ``"benchmarks"`` value of a history entry).  Returns one
+    human-readable flag line per guarded row whose mean grew more than
+    ``threshold`` relative to the previous entry; rows absent from either
+    side are skipped (a renamed or new benchmark has no baseline).
+    """
+    flags = []
+    for name in sorted(current):
+        if not any(name.startswith(prefix) for prefix in prefixes):
+            continue
+        old = previous.get(name)
+        if not old:
+            continue
+        old_mean = old.get("mean_s", 0.0)
+        new_mean = current[name].get("mean_s", 0.0)
+        if old_mean <= 0.0:
+            continue
+        growth = new_mean / old_mean - 1.0
+        if growth > threshold:
+            flags.append(
+                f"REGRESSION {name}: mean {old_mean:.3e} s -> "
+                f"{new_mean:.3e} s (+{growth:.0%}, threshold "
+                f"+{threshold:.0%})")
+    return flags
+
+
+def last_history_entry(history_path: Path) -> dict | None:
+    """The most recent history entry, or ``None`` for a fresh file."""
+    if not history_path.exists():
+        return None
+    last = None
+    with open(history_path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                last = line
+    return json.loads(last) if last else None
 
 
 def main() -> None:
@@ -38,6 +95,16 @@ def main() -> None:
         "meta": record.get("meta", {}),
         "benchmarks": record.get("benchmarks", {}),
     }
+    previous = last_history_entry(history_path)
+    if previous is not None:
+        flags = flag_regressions(previous.get("benchmarks", {}),
+                                 entry["benchmarks"])
+        for flag in flags:
+            print(flag)
+        if flags:
+            print(f"{len(flags)} guarded benchmark(s) regressed vs the "
+                  f"{previous.get('date', '?')} entry — investigate before "
+                  "committing this history entry.")
     with open(history_path, "a") as fh:
         fh.write(json.dumps(entry, sort_keys=True) + "\n")
     count = sum(1 for _ in open(history_path))

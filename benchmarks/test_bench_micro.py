@@ -188,6 +188,61 @@ def test_bench_fleet_dispatch(benchmark, routing):
     assert sum(plan.routed) >= len(requests)
 
 
+@pytest.mark.parametrize("preemption", ["none", "evict_lowest_tier",
+                                        "renegotiate"])
+def test_bench_serve_preempt(benchmark, preemption):
+    """Serving-loop overhead of the preemption policies on one node.
+
+    Serves a fixed saturating 600 s Poisson trace (arrival rate 1/10 s
+    against capacity 2) end to end through each preemption policy, with
+    the replan layer pinned to the trivial GPU-only manager and a shared
+    pre-warmed evaluation cache — so the three rows isolate what the
+    admission-side preemption machinery (victim selection, suspend /
+    resume bookkeeping, extra replans) costs on top of the baseline
+    accept/queue/reject loop.
+    """
+    from repro.baselines import GpuBaseline
+    from repro.serve import AdmissionConfig, FullReplan, ServeConfig, serve_trace
+    from repro.workloads import TraceConfig, sample_session_requests
+
+    pool = ("alexnet", "squeezenet", "mobilenet_v2", "shufflenet")
+    # Silver-heavy demand: silver sits strictly between gold and the
+    # ladder floor, so both eviction and renegotiation find victims.
+    requests = sample_session_requests(
+        np.random.default_rng(0),
+        TraceConfig(horizon_s=600.0, arrival_rate_per_s=1 / 10,
+                    mean_session_s=140.0, pool=pool),
+        tiers=("gold", "silver", "silver"))
+    config = ServeConfig(
+        horizon_s=600.0,
+        admission=AdmissionConfig(capacity=2, queue_limit=6,
+                                  max_queue_wait_s=120.0,
+                                  preemption=preemption),
+        pool=pool, seed=0)
+    cache = EvaluationCache(PLATFORM)
+    policy = FullReplan(GpuBaseline())
+    serve_trace(requests, policy, PLATFORM, config, cache=cache)  # warm
+
+    report = benchmark(lambda: serve_trace(requests, policy, PLATFORM,
+                                           config, cache=cache))
+    assert report.arrivals == len(requests)
+    if preemption == "evict_lowest_tier":
+        assert report.evictions > 0
+        # Acceptance: preemption strictly improves gold under saturation.
+        baseline = serve_trace(
+            requests, policy, PLATFORM,
+            ServeConfig(horizon_s=600.0,
+                        admission=AdmissionConfig(
+                            capacity=2, queue_limit=6,
+                            max_queue_wait_s=120.0, preemption="none"),
+                        pool=pool, seed=0),
+            cache=cache)
+        assert report.tier_violation_fraction("gold") \
+            < baseline.tier_violation_fraction("gold")
+    elif preemption == "renegotiate":
+        assert report.demotions > 0
+
+
 @pytest.mark.parametrize("policy_key", ["full", "warm", "cache"])
 def test_bench_serve_replan(benchmark, policy_key):
     """Serve-path replan decision: full search vs warm start vs plan-cache.

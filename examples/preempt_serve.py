@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Preemption under saturation: evict, renegotiate, or make gold wait.
+
+Samples one saturating Poisson session trace (arrival rate well beyond
+what the node's admission capacity can carry) and serves it three times
+with the same priority-aware RankMap manager, changing only the
+admission controller's preemption policy:
+
+* ``none``              — the accept/queue/reject baseline: a gold
+  arrival into a full node waits behind running bronze sessions;
+* ``evict_lowest_tier`` — suspend the cheapest strictly-lower-tier
+  resident and admit the gold arrival into its slot; the victim parks
+  with its remaining duration and resumes when capacity frees (or ends
+  ``evicted`` if it never does);
+* ``renegotiate``       — demote the victim's tier to the ladder floor
+  instead and admit the arrival by overcommitting one slot: nobody is
+  suspended, everybody is squeezed.
+
+The headline table shows the trade: eviction converts gold waiting
+(pure SLA violation — a queued session's potential is 0) into gold
+service, renegotiation spares every bronze session from suspension
+(eviction fairness stays 1.0) at the price of overcommit contention.
+The per-tier violation fraction counts waiting time as violation time;
+the eviction-fairness column is the Jain index of per-tier survival
+that bounds how hard the collateral concentrates on bronze.
+
+Usage:  python preempt_serve.py [horizon_s] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core import OraclePredictor, RankMap, RankMapConfig
+from repro.hw import orange_pi_5
+from repro.search import MCTSConfig
+from repro.serve import (
+    AdmissionConfig,
+    ServeConfig,
+    build_replan_policy,
+    serve_trace,
+)
+from repro.sim import EvaluationCache
+from repro.workloads import TraceConfig, sample_session_requests
+
+LIGHT_POOL = ("alexnet", "squeezenet", "mobilenet_v2", "shufflenet",
+              "resnet12", "mobilenet")
+
+POLICIES = ("none", "evict_lowest_tier", "renegotiate")
+
+
+def main() -> None:
+    horizon = float(sys.argv[1]) if len(sys.argv) > 1 else 600.0
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 60
+    platform = orange_pi_5()
+
+    trace_config = TraceConfig(
+        horizon_s=horizon, arrival_rate_per_s=1 / 10.0,
+        mean_session_s=140.0, max_concurrent=2, pool=LIGHT_POOL)
+    requests = sample_session_requests(
+        np.random.default_rng(seed), trace_config,
+        tiers=("gold", "silver", "bronze", "bronze"))
+    demand = sum(r.duration_s for r in requests)
+    print(f"trace: {len(requests)} session requests over {horizon:.0f} s "
+          f"({demand:.0f} DNN-seconds of demand against capacity 2 — "
+          f"~{demand / (2 * horizon):.1f}x oversubscribed)")
+
+    cache = EvaluationCache(platform)
+    reports = {}
+    for preemption in POLICIES:
+        config = ServeConfig(
+            horizon_s=horizon,
+            admission=AdmissionConfig(capacity=2, queue_limit=6,
+                                      max_queue_wait_s=120.0,
+                                      preemption=preemption),
+            pool=LIGHT_POOL, seed=seed)
+        manager = RankMap(
+            platform, OraclePredictor(platform, cache=cache),
+            RankMapConfig(mode="static",
+                          mcts=MCTSConfig(iterations=12,
+                                          rollouts_per_leaf=2)))
+        policy = build_replan_policy("warm", manager)
+        t0 = time.perf_counter()
+        report = serve_trace(requests, policy, platform, config,
+                             cache=cache)
+        wall = time.perf_counter() - t0
+        reports[preemption] = report
+        print(f"\n[{preemption}] wall {wall:.2f} s")
+        print(report.summary())
+
+    header = (f"{'preemption':>18s} {'gold viol':>9s} {'bronze viol':>11s} "
+              f"{'admit':>5s} {'evict':>5s} {'resume':>6s} {'lost':>4s} "
+              f"{'demote':>6s} {'fair':>5s}")
+    print("\n" + header)
+    print("-" * len(header))
+    for preemption in POLICIES:
+        rep = reports[preemption]
+        print(f"{preemption:>18s} "
+              f"{rep.tier_violation_fraction('gold'):>9.1%} "
+              f"{rep.tier_violation_fraction('bronze'):>11.1%} "
+              f"{rep.admitted:>5d} {rep.evictions:>5d} "
+              f"{rep.resumptions:>6d} {rep.evicted:>4d} "
+              f"{rep.demotions:>6d} {rep.eviction_fairness:>5.3f}")
+
+    base = reports["none"].tier_violation_fraction("gold")
+    evicting = reports["evict_lowest_tier"].tier_violation_fraction("gold")
+    verb = "cuts" if evicting < base else "moves"
+    print(f"\nevict_lowest_tier {verb} the gold violation fraction "
+          f"{base:.1%} -> {evicting:.1%} "
+          f"(waiting counts as violation: a queued session's potential "
+          f"is 0), while the eviction-fairness column bounds the bronze "
+          f"collateral; renegotiate keeps fairness at 1.000 — no session "
+          f"is ever suspended — by paying with overcommit contention.")
+    if evicting >= base:
+        print("note: this trace/horizon sits outside the saturated "
+              "regime the monotonicity property covers — rerun with the "
+              "defaults (600 s, seed 60) for the headline study.")
+
+
+if __name__ == "__main__":
+    np.set_printoptions(precision=3, suppress=True)
+    main()

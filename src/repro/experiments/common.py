@@ -294,6 +294,7 @@ class ExperimentContext:
                     arrival_rate_per_s: float = 1.0 / 45.0,
                     pool: tuple[str, ...] = (),
                     platform: str | None = None,
+                    preemption: str = "none",
                     max_workers: int | None = None,
                     cache_path=None):
         """Dynamic-traffic study fanned across the process pool.
@@ -303,7 +304,9 @@ class ExperimentContext:
         :func:`repro.serve.serve_trace` on a worker process, so replan
         policies are compared on identical arrival processes.  The
         preset's MCTS budget scales the search managers; ``cache_path``
-        optionally points workers at a persisted evaluation cache.
+        optionally points workers at a persisted evaluation cache and
+        ``preemption`` keys the admission-side preemption policy
+        (:data:`repro.serve.PREEMPTION_POLICIES`) in every cell.
         Returns ``(results, summary_rows)``.
         """
         from ..runner import (
@@ -324,6 +327,7 @@ class ExperimentContext:
             traces_per_cell=traces_per_cell, seed=self.preset.seed,
             platform=platform, horizon_s=horizon_s,
             arrival_rate_per_s=arrival_rate_per_s, pool=pool,
+            preemption=preemption,
             search_iterations=self.preset.mcts_iterations,
             search_rollouts=self.preset.mcts_rollouts,
             cache_path=(str(cache_path) if cache_path is not None
@@ -346,6 +350,7 @@ class ExperimentContext:
                           arrival_rate_per_s: float = 1.0 / 15.0,
                           pool: tuple[str, ...] = (),
                           capacity: int = 3,
+                          preemption: str = "none",
                           fail_at: tuple[tuple[int, float], ...] = (),
                           max_workers: int | None = None,
                           cache_path=None):
@@ -356,9 +361,11 @@ class ExperimentContext:
         across a heterogeneous fleet (node ``i`` runs the
         ``platforms[i % len(platforms)]`` preset), each node serving its
         slice through :func:`repro.serve.serve_trace` on a worker
-        process.  The preset's MCTS budget scales the node managers and
-        ``fail_at`` optionally kills nodes mid-run to exercise the
-        re-dispatch path.  Returns ``(results, summary_rows)``.
+        process.  The preset's MCTS budget scales the node managers,
+        ``preemption`` keys every node's admission-side preemption
+        policy, and ``fail_at`` optionally kills nodes mid-run to
+        exercise the re-dispatch path.  Returns
+        ``(results, summary_rows)``.
         """
         from ..runner import (
             PLATFORM_SPECS,
@@ -377,7 +384,7 @@ class ExperimentContext:
             num_nodes=num_nodes, manager=manager, policy=policy,
             platforms=platforms, seed=self.preset.seed,
             horizon_s=horizon_s, arrival_rate_per_s=arrival_rate_per_s,
-            pool=pool, capacity=capacity,
+            pool=pool, capacity=capacity, preemption=preemption,
             search_iterations=self.preset.mcts_iterations,
             search_rollouts=self.preset.mcts_rollouts,
             cache_path=(str(cache_path) if cache_path is not None

@@ -175,7 +175,8 @@ def _serve_requests(spec: DynamicScenario, requests: list[SessionRequest],
         horizon_s=horizon_s,
         admission=AdmissionConfig(
             capacity=spec.capacity, queue_limit=spec.queue_limit,
-            max_queue_wait_s=spec.max_queue_wait_s),
+            max_queue_wait_s=spec.max_queue_wait_s,
+            preemption=spec.preemption),
         pool=pool, seed=spec.seed,
     )
 

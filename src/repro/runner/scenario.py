@@ -27,6 +27,7 @@ import numpy as np
 
 from ..mapping.mapping import Mapping
 from ..serve.fleet.report import FleetReport
+from ..serve.preempt import PREEMPTION_POLICIES
 from ..serve.report import ServeReport
 from ..workloads import sample_mix
 
@@ -160,6 +161,7 @@ class DynamicScenario:
     queue_limit: int = 8
     max_queue_wait_s: float = 180.0
     tier_shift_prob: float = 0.0        # mid-session priority-shift odds
+    preemption: str = "none"            # serve.PREEMPTION_POLICIES key
     search_iterations: int = 40         # MCTS budget for search managers
     search_rollouts: int = 2
     cache_path: str | None = None       # persisted EvaluationCache to load
@@ -173,6 +175,10 @@ class DynamicScenario:
             raise ValueError("mean_session_s must be positive")
         if self.capacity < 1:
             raise ValueError("capacity must be at least 1")
+        if self.preemption not in PREEMPTION_POLICIES:
+            raise ValueError(
+                f"unknown preemption policy {self.preemption!r}; "
+                f"choose from {sorted(PREEMPTION_POLICIES)}")
 
     @classmethod
     def from_dict(cls, spec: dict) -> "DynamicScenario":
@@ -321,6 +327,7 @@ def dynamic_sweep_scenarios(policies: tuple[str, ...] = ("full", "warm",
                             pool: tuple[str, ...] = (),
                             capacity: int = 4,
                             tier_shift_prob: float = 0.0,
+                            preemption: str = "none",
                             search_iterations: int = 24,
                             search_rollouts: int = 2,
                             cache_path: str | None = None,
@@ -330,6 +337,8 @@ def dynamic_sweep_scenarios(policies: tuple[str, ...] = ("full", "warm",
     Every policy/manager cell sees the *same* sampled traces (the trace
     seed depends only on the trace index), so per-policy aggregates stay
     comparable — the dynamic analogue of :func:`mix_scenarios`.
+    ``preemption`` keys the node-side preemption policy
+    (:data:`repro.serve.PREEMPTION_POLICIES`) applied in every cell.
     """
     scenarios: list[DynamicScenario] = []
     for trace_index in range(traces_per_cell):
@@ -343,6 +352,7 @@ def dynamic_sweep_scenarios(policies: tuple[str, ...] = ("full", "warm",
                     arrival_rate_per_s=arrival_rate_per_s,
                     mean_session_s=mean_session_s, pool=pool,
                     capacity=capacity, tier_shift_prob=tier_shift_prob,
+                    preemption=preemption,
                     search_iterations=search_iterations,
                     search_rollouts=search_rollouts,
                     cache_path=cache_path,
@@ -366,6 +376,7 @@ def fleet_sweep_scenarios(routings: tuple[str, ...] = ("round_robin",
                           pool: tuple[str, ...] = (),
                           capacity: int = 3,
                           tier_shift_prob: float = 0.0,
+                          preemption: str = "none",
                           search_iterations: int = 24,
                           search_rollouts: int = 2,
                           cache_path: str | None = None,
@@ -380,7 +391,9 @@ def fleet_sweep_scenarios(routings: tuple[str, ...] = ("round_robin",
     cold (see :class:`DynamicScenario`).  Every routing cell sees the
     *same* sampled aggregate traces (the trace seed depends only on the
     trace index), so per-routing aggregates stay comparable — the
-    cluster analogue of :func:`dynamic_sweep_scenarios`.
+    cluster analogue of :func:`dynamic_sweep_scenarios`.  ``preemption``
+    applies the keyed :data:`repro.serve.PREEMPTION_POLICIES` policy on
+    every node's admission controller.
     """
     if num_nodes < 1:
         raise ValueError("num_nodes must be at least 1")
@@ -389,6 +402,7 @@ def fleet_sweep_scenarios(routings: tuple[str, ...] = ("round_robin",
             name=f"node{i}", manager=manager,
             platform=platforms[i % len(platforms)], policy=policy,
             seed=seed + i, pool=pool, capacity=capacity,
+            preemption=preemption,
             search_iterations=search_iterations,
             search_rollouts=search_rollouts, cache_path=cache_path)
         for i in range(num_nodes))
@@ -451,6 +465,10 @@ def summarise_dynamic(results: list[DynamicResult]) -> list[dict]:
                 [rep.mean_session_rate for rep in reports])),
             "admitted": sum(rep.admitted for rep in reports),
             "rejected": sum(rep.rejected for rep in reports),
+            "evictions": sum(rep.evictions for rep in reports),
+            "demotions": sum(rep.demotions for rep in reports),
+            "mean_eviction_fairness": float(np.mean(
+                [rep.eviction_fairness for rep in reports])),
             "mean_queue_wait_s": float(np.mean(
                 [rep.mean_queue_wait_s for rep in reports])),
         })
@@ -478,6 +496,10 @@ def summarise_fleet(results: list[FleetResult]) -> list[dict]:
             "abandoned": sum(rep.abandoned for rep in reports),
             "re_dispatched": sum(rep.re_dispatched for rep in reports),
             "lost": sum(rep.lost for rep in reports),
+            "evictions": sum(rep.evictions for rep in reports),
+            "demotions": sum(rep.demotions for rep in reports),
+            "mean_eviction_fairness": float(np.mean(
+                [rep.eviction_fairness for rep in reports])),
             "mean_session_rate": float(np.mean(
                 [rep.mean_session_rate for rep in reports])),
             "mean_node_fairness": float(np.mean(

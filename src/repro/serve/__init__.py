@@ -6,6 +6,9 @@ problem.  This subsystem closes that gap:
 
 * :mod:`repro.serve.admission` — SLA-tier-aware accept/queue/reject
   decisions instead of the blind ``max_concurrent`` drop.
+* :mod:`repro.serve.preempt` — pluggable preemption: a blocked
+  higher-tier arrival may evict (suspend + later resume) or tier-demote
+  a running lower-tier session instead of waiting behind it.
 * :mod:`repro.serve.replan` — pluggable replanning on every workload
   change: full search, warm start from the incumbent mapping, or a plan
   cache keyed on the canonical workload.
@@ -24,8 +27,25 @@ spec for dynamic-traffic sweeps; ``repro.runner.FleetScenario`` does the
 same for whole fleets, fanning nodes across the process pool.
 """
 
-from .admission import ADMIT, QUEUE, REJECT, AdmissionConfig, AdmissionController
+from .admission import (
+    ADMIT,
+    PREEMPT,
+    QUEUE,
+    REJECT,
+    AdmissionConfig,
+    AdmissionController,
+)
 from .loop import ServeConfig, serve_trace
+from .preempt import (
+    PREEMPTION_POLICIES,
+    EvictLowestTier,
+    LiveView,
+    NoPreempt,
+    PreemptionDecision,
+    PreemptionPolicy,
+    RenegotiateTier,
+    build_preemption_policy,
+)
 from .replan import (
     REPLAN_POLICIES,
     FullReplan,
@@ -41,8 +61,17 @@ __all__ = [
     "ADMIT",
     "QUEUE",
     "REJECT",
+    "PREEMPT",
     "AdmissionConfig",
     "AdmissionController",
+    "PreemptionPolicy",
+    "PreemptionDecision",
+    "LiveView",
+    "NoPreempt",
+    "EvictLowestTier",
+    "RenegotiateTier",
+    "PREEMPTION_POLICIES",
+    "build_preemption_policy",
     "ServeConfig",
     "serve_trace",
     "ReplanPolicy",

@@ -7,20 +7,34 @@ ladder: a request that cannot be placed immediately is *queued* when its
 tier ranks high enough and the waiting room has space, and only otherwise
 rejected.  Queued requests abandon after ``max_queue_wait_s`` and are
 drained highest-tier-first whenever capacity frees up.
+
+A configured :mod:`~repro.serve.preempt` policy adds a fourth verdict:
+:data:`PREEMPT` — the arrival displaces a running lower-tier session
+(eviction or tier demotion) instead of waiting behind it.  The controller
+only *decides*; the serving loop executes the preemption.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..workloads.sla import SLA_TIERS, SlaClass
+from .preempt import (
+    EVICT,
+    PREEMPTION_POLICIES,
+    LiveView,
+    PreemptionDecision,
+    build_preemption_policy,
+)
 
 __all__ = ["AdmissionConfig", "AdmissionController",
-           "ADMIT", "QUEUE", "REJECT"]
+           "ADMIT", "QUEUE", "REJECT", "PREEMPT"]
 
 ADMIT = "admit"
 QUEUE = "queue"
 REJECT = "reject"
+PREEMPT = "preempt"
 
 
 @dataclass(frozen=True)
@@ -31,13 +45,16 @@ class AdmissionConfig:
     concurrent DNNs).  ``min_queue_priority`` draws the line between tiers
     that may wait for a slot and tiers that are turned away outright when
     the node is saturated — with the default ladder, gold and silver
-    queue, bronze is rejected.
+    queue, bronze is rejected.  ``preemption`` keys the
+    :data:`~repro.serve.preempt.PREEMPTION_POLICIES` roster; the default
+    ``"none"`` keeps the accept/queue/reject ladder untouched.
     """
 
     capacity: int = 4
     queue_limit: int = 8
     max_queue_wait_s: float = 180.0
     min_queue_priority: float = 0.15
+    preemption: str = "none"
 
     def __post_init__(self):
         if self.capacity < 1:
@@ -46,14 +63,19 @@ class AdmissionConfig:
             raise ValueError("queue_limit must be non-negative")
         if self.max_queue_wait_s <= 0:
             raise ValueError("max_queue_wait_s must be positive")
+        if self.preemption not in PREEMPTION_POLICIES:
+            raise ValueError(
+                f"unknown preemption policy {self.preemption!r}; "
+                f"choose from {sorted(PREEMPTION_POLICIES)}")
 
 
 class AdmissionController:
-    """Accept / queue / reject decisions over the SLA tier ladder."""
+    """Accept / preempt / queue / reject decisions over the tier ladder."""
 
     def __init__(self, config: AdmissionConfig | None = None,
                  tiers: tuple[SlaClass, ...] = SLA_TIERS):
         self.config = config if config is not None else AdmissionConfig()
+        self.preemption = build_preemption_policy(self.config.preemption)
         self._tiers = {t.name: t for t in tiers}
 
     def tier(self, name: str) -> SlaClass:
@@ -65,22 +87,85 @@ class AdmissionController:
                 f"unknown SLA tier {name!r}; "
                 f"choose from {sorted(self._tiers)}") from None
 
+    def can_admit(self, active_count: int, can_place: bool) -> bool:
+        """The immediate-admission fast path: a free capacity slot and a
+        free pool model name.  Exposed so the serving loop can skip
+        building preemption views for arrivals that admit outright."""
+        return can_place and active_count < self.config.capacity
+
+    def floor_tier(self) -> SlaClass:
+        """The ladder's lowest-priority tier — the demotion floor.
+
+        Derived from whatever ladder this controller was built with, so
+        renegotiation works on custom tier sets, not just the default
+        gold/silver/bronze one.
+        """
+        return min(self._tiers.values(), key=lambda t: t.priority)
+
     def decide(self, tier_name: str, active_count: int, queue_len: int,
-               can_place: bool) -> str:
+               can_place: bool,
+               live: Sequence[LiveView] | None = None) -> str:
         """One arrival's fate given the node's current occupancy.
 
         ``can_place`` tells the controller whether a pool model name is
         free for immediate admission (the event engine identifies DNNs by
         name, so a saturated name pool blocks placement even below the
-        capacity cap).
+        capacity cap).  ``live`` — views of the running sessions — feeds
+        the preemption policy; without it (or with the ``"none"``
+        policy) the verdict degrades to the accept/queue/reject ladder.
+        """
+        return self.decide_with_plan(tier_name, active_count, queue_len,
+                                     can_place, live)[0]
+
+    def decide_with_plan(self, tier_name: str, active_count: int,
+                         queue_len: int, can_place: bool,
+                         live: Sequence[LiveView] | None = None,
+                         ) -> tuple[str, PreemptionDecision | None]:
+        """Like :meth:`decide`, but returns the verdict *with* the
+        concrete preemption to execute on :data:`PREEMPT`.
+
+        The serving loop uses this form so the executed preemption is
+        exactly the decision that produced the verdict — victim
+        selection runs once per arrival, and a future stateful policy
+        cannot diverge between deciding and executing.
         """
         tier = self.tier(tier_name)
-        if can_place and active_count < self.config.capacity:
-            return ADMIT
+        if self.can_admit(active_count, can_place):
+            return ADMIT, None
+        if live is not None:
+            plan = self.plan_preemption(tier_name, active_count,
+                                        can_place, live)
+            if plan is not None:
+                return PREEMPT, plan
         if queue_len < self.config.queue_limit \
                 and tier.priority >= self.config.min_queue_priority:
-            return QUEUE
-        return REJECT
+            return QUEUE, None
+        return REJECT, None
+
+    def plan_preemption(self, tier_name: str, active_count: int,
+                        can_place: bool, live: Sequence[LiveView],
+                        ) -> PreemptionDecision | None:
+        """The executable preemption for a blocked arrival, if any.
+
+        Feasibility is checked here, on top of the policy's own victim
+        selection: an eviction frees one slot *and* one pool name, so it
+        only needs the post-eviction count to fit the capacity; a
+        demotion frees nothing, so it needs a free pool name and
+        overcommit headroom (``capacity + max_overcommit``).
+        """
+        decision = self.preemption.consider(tier_name, live, self)
+        if decision is None:
+            return None
+        if decision.action == EVICT:
+            if active_count - 1 >= self.config.capacity:
+                return None
+            return decision
+        if not can_place:
+            return None
+        if active_count >= self.config.capacity \
+                + self.preemption.max_overcommit:
+            return None
+        return decision
 
     def queue_order_key(self, tier_name: str, enqueue_s: float,
                         session_id: int) -> tuple:

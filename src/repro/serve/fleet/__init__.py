@@ -6,7 +6,9 @@ that cluster layer:
 
 * :mod:`repro.serve.fleet.routing` — pluggable session-routing policies
   (round-robin, least-loaded by steady-state throughput headroom,
-  tier-affinity reserving fast nodes for gold sessions).
+  tier-affinity reserving fast nodes for gold sessions, and a
+  preemption-aware tier-affinity variant preferring nodes that can
+  admit without an eviction).
 * :mod:`repro.serve.fleet.dispatch` — the dispatcher: fixes a
   deterministic :class:`DispatchPlan` for a shared Poisson demand
   (including node-failure draining with session re-dispatch), then serves
@@ -34,6 +36,7 @@ from .routing import (
     ROUTING_POLICIES,
     LeastLoadedRouter,
     NodeView,
+    PreemptAwareTierRouter,
     RoundRobinRouter,
     RoutingPolicy,
     TierAffinityRouter,
@@ -56,6 +59,7 @@ __all__ = [
     "RoundRobinRouter",
     "LeastLoadedRouter",
     "TierAffinityRouter",
+    "PreemptAwareTierRouter",
     "ROUTING_POLICIES",
     "build_routing_policy",
 ]

@@ -20,28 +20,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
-from ..report import ABANDONED, REJECTED, ServeReport, SessionOutcome
+from ..report import (
+    ABANDONED,
+    EVICTED,
+    REJECTED,
+    ServeReport,
+    SessionOutcome,
+    jain_index,
+    tier_survival_rates,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .dispatch import DispatchPlan, NodeSpec
 
+# jain_index moved to repro.serve.report (the node-level eviction-fairness
+# metric needs it below the fleet layer) and stays re-exported here.
 __all__ = ["NodeReport", "FleetReport", "jain_index", "build_fleet_report"]
-
-
-def jain_index(values: Sequence[float]) -> float:
-    """Jain's fairness index of ``values``: ``(sum x)^2 / (n * sum x^2)``.
-
-    1.0 means perfectly even, ``1/n`` means one value holds everything.
-    An empty or all-zero sequence reports 1.0 (nothing is being shared
-    unevenly).
-    """
-    if not values:
-        return 1.0
-    total = float(sum(values))
-    squares = float(sum(v * v for v in values))
-    if squares <= 0.0:
-        return 1.0
-    return total * total / (len(values) * squares)
 
 
 @dataclass(frozen=True)
@@ -127,6 +121,40 @@ class FleetReport:
     def replans(self) -> int:
         """Replanning invocations summed over the fleet."""
         return sum(n.report.replans for n in self.nodes)
+
+    # ------------------------------------------------------- preemption
+    @property
+    def evictions(self) -> int:
+        """Preemption eviction events summed over the fleet."""
+        return sum(n.report.evictions for n in self.nodes)
+
+    @property
+    def demotions(self) -> int:
+        """Tier-renegotiation events summed over the fleet."""
+        return sum(n.report.demotions for n in self.nodes)
+
+    @property
+    def resumptions(self) -> int:
+        """Evicted-session resumptions summed over the fleet."""
+        return sum(n.report.resumptions for n in self.nodes)
+
+    @property
+    def evicted_sessions(self) -> int:
+        """Distinct sessions whose final fate was terminal eviction
+        (the continuation record decides, like every distinct count)."""
+        return sum(1 for s in self._distinct_sessions()
+                   if s.outcome == EVICTED)
+
+    @property
+    def eviction_fairness(self) -> float:
+        """Jain index of per-tier survival under preemption, fleet-wide.
+
+        The cluster analogue of
+        :attr:`repro.serve.ServeReport.eviction_fairness`, computed over
+        distinct sessions: each tier with admitted sessions contributes
+        the fraction that did not end terminally evicted.
+        """
+        return jain_index(tier_survival_rates(self._distinct_sessions()))
 
     @property
     def mean_queue_wait_s(self) -> float:
@@ -240,6 +268,12 @@ class FleetReport:
             f"{self.session_fairness:.3f}; starved {self.starved_sessions} "
             f"({self.starvation_rate:.1%})",
         ]
+        if self.evictions or self.demotions:
+            lines.append(
+                f"  preemption: {self.evictions} evictions "
+                f"({self.resumptions} resumed, {self.evicted_sessions} "
+                f"lost), {self.demotions} demotions; eviction fairness "
+                f"{self.eviction_fairness:.3f}")
         for node in self.nodes:
             failed = (f", FAILED at {node.failed_at_s:.0f} s"
                       if node.failed_at_s is not None else "")

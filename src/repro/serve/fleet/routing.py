@@ -19,6 +19,12 @@ Three policies ship in the roster:
 * :class:`TierAffinityRouter` — reserve the fastest nodes for gold
   sessions; lower tiers fill the remaining nodes first and spill onto a
   reserved node only when every unreserved node is saturated.
+* :class:`PreemptAwareTierRouter` — tier affinity for fleets whose nodes
+  run a :mod:`repro.serve.preempt` policy: prefer any node that can
+  admit the session *without* an eviction (a free estimated slot),
+  partition-preferred first, and fall back to plain tier affinity only
+  when the whole fleet looks saturated — preemption then happens where
+  the tier partition wants it.
 
 All policies are deterministic: ties break on the lowest node index, and
 the only state any of them carries is the round-robin cursor.
@@ -35,6 +41,7 @@ __all__ = [
     "RoundRobinRouter",
     "LeastLoadedRouter",
     "TierAffinityRouter",
+    "PreemptAwareTierRouter",
     "ROUTING_POLICIES",
     "build_routing_policy",
 ]
@@ -175,12 +182,20 @@ class TierAffinityRouter(RoutingPolicy):
         fastest = sorted(nodes, key=lambda v: (-v.speed, v.index))
         return {view.index for view in fastest[:count]}
 
-    def choose(self, tier: str, nodes: Sequence[NodeView]) -> int:
-        """Route gold to the reserved partition, other tiers around it."""
+    def _partition(self, tier: str, nodes: Sequence[NodeView],
+                   ) -> tuple[list[NodeView], list[NodeView]]:
+        """Split the alive views into the session's preferred partition
+        (reserved nodes for gold tiers, unreserved for the rest) and the
+        remainder — the one partition rule both affinity routers share."""
         reserved = self._reserved(nodes)
         preferred = [v for v in nodes if (v.index in reserved)
                      == (tier in self.gold_tiers)]
         fallback = [v for v in nodes if v not in preferred]
+        return preferred, fallback
+
+    def choose(self, tier: str, nodes: Sequence[NodeView]) -> int:
+        """Route gold to the reserved partition, other tiers around it."""
+        preferred, fallback = self._partition(tier, nodes)
         if tier in self.gold_tiers:
             # Gold only leaves the reserved partition when it is gone
             # entirely (every reserved node dead): prefer always.
@@ -193,11 +208,42 @@ class TierAffinityRouter(RoutingPolicy):
         return _most_headroom(preferred)
 
 
+class PreemptAwareTierRouter(TierAffinityRouter):
+    """Tier affinity that avoids triggering node-side preemptions.
+
+    On a preemption-enabled fleet, landing a gold session on a full
+    reserved node evicts (or demotes) a resident — collateral the
+    dispatcher can often avoid when *some* node still has a free slot.
+    This router therefore prefers admission-without-eviction: among the
+    session's preferred tier partition first, then the rest of the
+    fleet, pick the best-headroom node with a free estimated slot.  Only
+    when every alive node looks saturated does it fall back to the plain
+    tier-affinity choice, concentrating the unavoidable preemptions
+    where the partition wants the session anyway.
+
+    The dispatcher's ``est_live`` view still ignores node-internal
+    queueing/eviction state (phase 1 cannot observe it), so "free slot"
+    is the same estimate every other policy routes on.
+    """
+
+    name = "tier_affinity_preempt"
+
+    def choose(self, tier: str, nodes: Sequence[NodeView]) -> int:
+        """Prefer eviction-free admission; else plain tier affinity."""
+        preferred, fallback = self._partition(tier, nodes)
+        for group in (preferred, fallback):
+            with_free = [v for v in group if v.free_slots > 0]
+            if with_free:
+                return _most_headroom(with_free)
+        return super().choose(tier, nodes)
+
+
 #: Roster of routing-policy factories, keyed for fleet scenario specs.
 ROUTING_POLICIES = {
     "round_robin": RoundRobinRouter,
     "least_loaded": LeastLoadedRouter,
     "tier_affinity": TierAffinityRouter,
+    "tier_affinity_preempt": PreemptAwareTierRouter,
 }
 
 

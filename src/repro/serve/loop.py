@@ -2,7 +2,9 @@
 
 This is the online layer over the planning stack: raw session requests
 (:func:`repro.workloads.sample_session_requests`) flow through an
-SLA-tier-aware :class:`~repro.serve.admission.AdmissionController`, every
+SLA-tier-aware :class:`~repro.serve.admission.AdmissionController`
+(whose configured :mod:`~repro.serve.preempt` policy may evict or
+demote a running lower-tier session for a blocked arrival), every
 admission/departure/priority shift invokes the configured
 :class:`~repro.serve.replan.ReplanPolicy`, and the modeled decision
 latency opens a re-mapping gap during which residents keep running on the
@@ -33,10 +35,12 @@ from ..sim.dynamic import Segment, Timeline, restrict_mapping
 from ..workloads.traces import SessionRequest
 from ..zoo.layers import ModelSpec
 from ..zoo.registry import MODEL_POOL, get_model
-from .admission import ADMIT, QUEUE, AdmissionConfig, AdmissionController
+from .admission import ADMIT, PREEMPT, QUEUE, AdmissionConfig, AdmissionController
+from .preempt import EVICT, LiveView
 from .replan import ReplanPolicy
 from .report import (
     ABANDONED,
+    EVICTED,
     OUT_OF_HORIZON,
     QUEUED,
     REJECTED,
@@ -71,10 +75,23 @@ class ServeConfig:
 
 
 class _Live:
-    """Mutable accounting record of one admitted session."""
+    """Mutable accounting record of one admitted session.
+
+    A record survives eviction: it is parked in the waiting room with
+    its remaining duration and carried back into the live set on
+    resumption, so served/delivered/violation accounting accumulates
+    across suspensions.  ``epoch`` increments on every (re-)admission
+    and guards the heap against stale departure/shift events scheduled
+    for an earlier service interval.  ``pending_shift`` is the not-yet-
+    fired tier shift, as an offset relative to ``last_admit_s`` —
+    suspended time does not advance it, mirroring how the remaining
+    duration freezes while evicted.
+    """
 
     __slots__ = ("request", "model", "tier", "admitted_s", "queue_wait_s",
-                 "served", "delivered", "gap", "violation")
+                 "served", "delivered", "gap", "violation",
+                 "last_admit_s", "depart_s", "epoch", "pending_shift",
+                 "evictions", "demotions", "resumptions")
 
     def __init__(self, request: SessionRequest, model: ModelSpec,
                  admitted_s: float, queue_wait_s: float):
@@ -87,6 +104,13 @@ class _Live:
         self.delivered = 0.0
         self.gap = 0.0
         self.violation = 0.0
+        self.last_admit_s = admitted_s
+        self.depart_s = admitted_s + request.duration_s
+        self.epoch = 0
+        self.pending_shift = request.tier_shift
+        self.evictions = 0
+        self.demotions = 0
+        self.resumptions = 0
 
     def outcome(self, state: str, departed_s: float | None) -> SessionOutcome:
         return SessionOutcome(
@@ -96,6 +120,8 @@ class _Live:
             departed_s=departed_s, queue_wait_s=self.queue_wait_s,
             served_seconds=self.served, delivered_inferences=self.delivered,
             gap_seconds=self.gap, violation_seconds=self.violation,
+            evictions=self.evictions, demotions=self.demotions,
+            resumptions=self.resumptions,
         )
 
 
@@ -120,6 +146,7 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
     if cache is None:
         cache = EvaluationCache(platform)
     controller = AdmissionController(config.admission)
+    preempting = config.admission.preemption != "none"
     for request in requests:                   # validate tiers up front
         controller.tier(request.tier)
         if request.tier_shift is not None:
@@ -136,8 +163,12 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
         seq += 1
 
     live: dict[str, _Live] = {}                # name -> record, in order
-    queue: list[tuple[SessionRequest, float]] = []   # (request, enqueue_s)
+    # Waiting room: (request, enqueue_s, suspended record | None,
+    # remaining duration).  Fresh arrivals carry no record; evicted
+    # sessions park their accounting record + unserved remainder here.
+    queue: list[tuple[SessionRequest, float, _Live | None, float]] = []
     results: dict[int, SessionOutcome] = {}
+    epoch_seq = 0                              # admission epochs, see _Live
 
     for request in sorted(requests,
                           key=lambda r: (r.arrival_s, r.session_id)):
@@ -190,31 +221,59 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
     def purge_queue(t: float) -> None:
         max_wait = controller.config.max_queue_wait_s
         kept = []
-        for request, enqueued in queue:
+        for request, enqueued, record, remaining in queue:
             if t - enqueued > max_wait:
-                results[request.session_id] = SessionOutcome(
-                    session_id=request.session_id, tier=request.tier,
-                    arrival_s=request.arrival_s, outcome=ABANDONED,
-                    queue_wait_s=max_wait)
+                if record is None:
+                    results[request.session_id] = SessionOutcome(
+                        session_id=request.session_id, tier=request.tier,
+                        arrival_s=request.arrival_s, outcome=ABANDONED,
+                        queue_wait_s=max_wait)
+                else:
+                    # A suspended session that waited out the timeout is
+                    # eviction collateral, not a plain abandonment.
+                    record.queue_wait_s += max_wait
+                    results[request.session_id] = record.outcome(
+                        EVICTED, departed_s=None)
             else:
-                kept.append((request, enqueued))
+                kept.append((request, enqueued, record, remaining))
         queue[:] = kept
 
-    def admit(request: SessionRequest, t: float, queue_wait: float) -> None:
+    def admit(request: SessionRequest, t: float, queue_wait: float,
+              record: _Live | None = None,
+              remaining_s: float | None = None) -> None:
+        nonlocal epoch_seq
         free = [n for n in config.pool if n not in live]
         name = str(rng.choice(free))
-        record = _Live(request, get_model(name), t, queue_wait)
+        if record is None:
+            record = _Live(request, get_model(name), t, queue_wait)
+            duration = request.duration_s
+        else:
+            # Resumption: the suspended record re-admits with its
+            # remainder, possibly under a different free pool name.
+            record.model = get_model(name)
+            record.resumptions += 1
+            record.queue_wait_s += queue_wait
+            duration = remaining_s
+        epoch_seq += 1
+        record.epoch = epoch_seq
+        record.last_admit_s = t
+        record.depart_s = t + duration
         live[name] = record
-        depart = t + request.duration_s
-        if depart < horizon:
-            push(depart, _RANK_DEPARTURE, "departure",
-                 (name, request.session_id))
-        if request.tier_shift is not None:
-            offset, new_tier = request.tier_shift
+        if record.depart_s < horizon:
+            push(record.depart_s, _RANK_DEPARTURE, "departure",
+                 (name, request.session_id, record.epoch))
+        if record.pending_shift is not None:
+            offset, new_tier = record.pending_shift
             shift_t = t + offset
-            if shift_t < min(depart, horizon):
+            if shift_t < min(record.depart_s, horizon):
                 push(shift_t, _RANK_SHIFT, "shift",
-                     (name, request.session_id, new_tier))
+                     (name, request.session_id, record.epoch, new_tier))
+
+    def queue_tier(item: tuple) -> str:
+        """Drain priority follows the *current* tier of a suspended
+        record (shifts and demotions included), the request tier else."""
+        request, _, record, _ = item
+        return record.tier if record is not None else request.tier
 
     def drain(t: float) -> bool:
         admitted_any = False
@@ -225,11 +284,32 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
             if all(n in live for n in config.pool):
                 break
             queue.sort(key=lambda item: controller.queue_order_key(
-                item[0].tier, item[1], item[0].session_id))
-            request, enqueued = queue.pop(0)
-            admit(request, t, queue_wait=t - enqueued)
+                queue_tier(item), item[1], item[0].session_id))
+            request, enqueued, record, remaining = queue.pop(0)
+            admit(request, t, queue_wait=t - enqueued, record=record,
+                  remaining_s=remaining)
             admitted_any = True
         return admitted_any
+
+    def evict(name: str, t: float) -> None:
+        """Suspend the named session: park its record (and remainder) in
+        the waiting room and free its slot + pool name."""
+        victim = live.pop(name)
+        remaining = victim.depart_s - t
+        if remaining <= 0:
+            # A decision gap delayed the victim's own departure past this
+            # arrival: it has already served its full duration, so it
+            # completes here instead of parking an empty remainder (and
+            # being misreported as eviction collateral).
+            results[victim.request.session_id] = victim.outcome(
+                SERVED, departed_s=t)
+            return
+        victim.evictions += 1
+        if victim.pending_shift is not None:
+            offset, new_tier = victim.pending_shift
+            victim.pending_shift = (offset - (t - victim.last_admit_s),
+                                    new_tier)
+        queue.append((victim.request, t, victim, remaining))
 
     # ------------------------------------------------------------------
     def handle(kind: str, payload, t: float) -> bool:
@@ -238,33 +318,72 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
             request = payload
             purge_queue(t)
             free = any(n not in live for n in config.pool)
-            decision = controller.decide(request.tier, len(live),
-                                         len(queue), free)
+            if preempting and not controller.can_admit(len(live), free):
+                views = tuple(
+                    LiveView(name=n, session_id=r.request.session_id,
+                             tier=r.tier,
+                             priority=controller.tier(r.tier).priority,
+                             admitted_s=r.last_admit_s,
+                             served_s=r.served)
+                    for n, r in live.items())
+                # Suspended (evicted) sessions park in the waiting room
+                # but do not consume its bounded slots — only fresh
+                # arrivals count against queue_limit, else evictions
+                # would crowd out the very tier they were made for.
+                fresh_queued = sum(1 for item in queue
+                                   if item[2] is None)
+            else:
+                # No policy can preempt (every queue entry is fresh, so
+                # len(queue) is exact) — or the arrival admits outright
+                # and the verdict reads neither value: skip the
+                # per-arrival view build either way.
+                views = None
+                fresh_queued = len(queue)
+            decision, plan = controller.decide_with_plan(
+                request.tier, len(live), fresh_queued, free, views)
             if decision == ADMIT:
                 admit(request, t, queue_wait=0.0)
                 return True
+            if decision == PREEMPT:
+                if plan.action == EVICT:
+                    evict(plan.victim, t)
+                else:
+                    victim = live[plan.victim]
+                    victim.tier = plan.demote_to
+                    victim.demotions += 1
+                    # The tier contract was renegotiated: a pending
+                    # mid-session promotion is void with it (its heap
+                    # event is ignored by the None guard below).
+                    victim.pending_shift = None
+                admit(request, t, queue_wait=0.0)
+                return True
             if decision == QUEUE:
-                queue.append((request, t))
+                queue.append((request, t, None, request.duration_s))
                 return False
             results[request.session_id] = SessionOutcome(
                 session_id=request.session_id, tier=request.tier,
                 arrival_s=request.arrival_s, outcome=REJECTED)
             return False
         if kind == "departure":
-            name, session_id = payload
+            name, session_id, epoch = payload
             record = live.get(name)
-            if record is None or record.request.session_id != session_id:
-                return False
+            if record is None or record.request.session_id != session_id \
+                    or record.epoch != epoch:
+                return False       # stale: slot reused or session resumed
             del live[name]
             results[session_id] = record.outcome(SERVED, departed_s=t)
             drain(t)
             return True
         # kind == "shift"
-        name, session_id, new_tier = payload
+        name, session_id, epoch, new_tier = payload
         record = live.get(name)
-        if record is None or record.request.session_id != session_id:
+        if record is None or record.request.session_id != session_id \
+                or record.epoch != epoch:
             return False
+        if record.pending_shift is None:
+            return False     # cancelled — e.g. voided by a renegotiation
         record.tier = new_tier
+        record.pending_shift = None
         return True
 
     # ------------------------------------------------------------------
@@ -319,8 +438,13 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
         results[record.request.session_id] = record.outcome(
             SERVING, departed_s=None)
     max_wait = controller.config.max_queue_wait_s
-    for request, enqueued in queue:
+    for request, enqueued, record, _ in queue:
         wait = horizon - enqueued
+        if record is not None:
+            record.queue_wait_s += min(wait, max_wait)
+            results[request.session_id] = record.outcome(
+                EVICTED, departed_s=None)
+            continue
         state = ABANDONED if wait > max_wait else QUEUED
         results[request.session_id] = SessionOutcome(
             session_id=request.session_id, tier=request.tier,

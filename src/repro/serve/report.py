@@ -13,9 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Sequence
+
 from ..sim.dynamic import Timeline
 
-__all__ = ["SessionOutcome", "ServeReport"]
+__all__ = ["SessionOutcome", "ServeReport", "jain_index",
+           "tier_survival_rates"]
 
 #: Session terminal states.
 SERVED = "served"                  # completed its full duration
@@ -24,6 +27,44 @@ REJECTED = "rejected"              # admission controller turned it away
 ABANDONED = "abandoned"            # queued, timed out before admission
 QUEUED = "queued"                  # still waiting when the horizon closed
 OUT_OF_HORIZON = "out_of_horizon"  # would arrive after the horizon closed
+EVICTED = "evicted"                # preempted, never resumed service
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of ``values``: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means perfectly even, ``1/n`` means one value holds everything.
+    An empty or all-zero sequence reports 1.0 (nothing is being shared
+    unevenly).
+    """
+    if not values:
+        return 1.0
+    total = float(sum(values))
+    squares = float(sum(v * v for v in values))
+    if squares <= 0.0:
+        return 1.0
+    return total * total / (len(values) * squares)
+
+
+def tier_survival_rates(sessions: "Sequence[SessionOutcome]") -> list[float]:
+    """Per-tier survival under preemption: for every tier with at least
+    one admitted session, the fraction of its admitted sessions that did
+    *not* end terminally evicted.
+
+    The shared substrate of the node- and fleet-level
+    ``eviction_fairness`` metrics (the fleet feeds distinct sessions in),
+    so the survival definition cannot silently diverge between the two.
+    """
+    admitted: dict[str, int] = {}
+    survived: dict[str, int] = {}
+    for s in sessions:
+        if s.admitted_s is None:
+            continue
+        admitted[s.tier] = admitted.get(s.tier, 0) + 1
+        if s.outcome != EVICTED:
+            survived[s.tier] = survived.get(s.tier, 0) + 1
+    return [survived.get(tier, 0) / count
+            for tier, count in admitted.items()]
 
 
 @dataclass(frozen=True)
@@ -34,7 +75,9 @@ class SessionOutcome:
     tier: str                      # tier at the end of the session
     arrival_s: float
     outcome: str                   # SERVED | SERVING | REJECTED | ...
-    model: str | None = None       # pool model name while live
+    model: str | None = None       # pool model name while live (the last
+    #                                one; a resumed session may re-admit
+    #                                under a different free pool name)
     admitted_s: float | None = None
     departed_s: float | None = None
     queue_wait_s: float = 0.0
@@ -42,6 +85,9 @@ class SessionOutcome:
     delivered_inferences: float = 0.0
     gap_seconds: float = 0.0       # admitted time at rate 0 (re-mapping gaps)
     violation_seconds: float = 0.0  # admitted time below the tier's min P
+    evictions: int = 0             # times this session was suspended
+    demotions: int = 0             # times its tier was renegotiated down
+    resumptions: int = 0           # times it re-admitted after eviction
 
     @property
     def mean_rate(self) -> float:
@@ -97,6 +143,66 @@ class ServeReport:
     def out_of_horizon(self) -> int:
         """Trace requests arriving after the horizon (never observed)."""
         return self._count(OUT_OF_HORIZON)
+
+    # ------------------------------------------------------- preemption
+    @property
+    def evicted(self) -> int:
+        """Sessions that ended in the ``evicted`` terminal state
+        (suspended by a preemption and never resumed)."""
+        return self._count(EVICTED)
+
+    @property
+    def evictions(self) -> int:
+        """Eviction *events*, summed — a session suspended twice counts
+        twice, and a later resumption does not subtract."""
+        return sum(s.evictions for s in self.sessions)
+
+    @property
+    def demotions(self) -> int:
+        """Tier-renegotiation events (victim demoted to the floor tier)."""
+        return sum(s.demotions for s in self.sessions)
+
+    @property
+    def resumptions(self) -> int:
+        """Evicted sessions re-admitted from the waiting room, summed."""
+        return sum(s.resumptions for s in self.sessions)
+
+    @property
+    def eviction_fairness(self) -> float:
+        """Jain index of per-tier survival under preemption.
+
+        Each tier with at least one admitted session contributes the
+        fraction of its admitted sessions that did *not* end terminally
+        evicted.  1.0 means no tier lost sessions to preemption (or
+        losses were spread evenly); the index drops as eviction
+        collateral concentrates on one tier — the bound the preemption
+        study tracks on bronze.
+        """
+        return jain_index(tier_survival_rates(self.sessions))
+
+    def tier_violation_fraction(self, tier: str) -> float:
+        """Fraction of one tier's observed session-time below its min P.
+
+        Unlike the aggregate :attr:`sla_violation_fraction`, the
+        per-tier view counts *waiting-room time as violation time*: a
+        queued session delivers nothing, so its potential sits at 0 —
+        below every tier's guarantee.  The denominator is the tier's
+        waited-plus-admitted time, which is what makes preemption
+        visible: evicting a bronze resident for a blocked gold arrival
+        converts gold waiting (pure violation) into gold service.
+        Sessions are bucketed by their *final* tier, so a renegotiated
+        victim's squeezed time is charged to the floor tier it was
+        demoted to, not the tier it bought.
+        """
+        waited = sum(s.queue_wait_s for s in self.sessions
+                     if s.tier == tier)
+        served = sum(s.served_seconds for s in self.sessions
+                     if s.tier == tier)
+        if waited + served <= 0:
+            return 0.0
+        violation = sum(s.violation_seconds for s in self.sessions
+                        if s.tier == tier)
+        return (waited + violation) / (waited + served)
 
     @property
     def waited_in_queue(self) -> int:
@@ -159,6 +265,14 @@ class ServeReport:
             f"({self.waited_in_queue} after queueing), "
             f"{self.rejected} rejected, {self.abandoned} abandoned, "
             f"{self.queued_at_horizon} still queued",
+        ]
+        if self.evictions or self.demotions:
+            lines.append(
+                f"  preemption: {self.evictions} evictions "
+                f"({self.resumptions} resumed, {self.evicted} lost), "
+                f"{self.demotions} demotions; eviction fairness "
+                f"{self.eviction_fairness:.3f}")
+        lines += [
             f"  replans: {self.replans} ({kinds}); decision latency "
             f"{self.total_decision_seconds:.1f} s total, "
             f"{self.mean_decision_seconds:.2f} s mean",

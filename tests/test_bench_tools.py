@@ -1,0 +1,92 @@
+"""Unit tests for the bench-history tooling (benchmarks/record_bench.py).
+
+The recorder is a script, not a package module, so it is loaded by file
+path; only the pure pieces (regression flagging, history tailing) are
+tested — the measurement run itself is exercised by ``make bench``.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_record_bench():
+    spec = importlib.util.spec_from_file_location(
+        "record_bench", REPO_ROOT / "benchmarks" / "record_bench.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def row(mean):
+    return {"mean_s": mean, "stddev_s": 0.0, "ops_per_s": 1.0 / mean,
+            "rounds": 10}
+
+
+class TestFlagRegressions:
+    def test_flags_guarded_row_over_threshold(self):
+        rb = _load_record_bench()
+        flags = rb.flag_regressions(
+            {"test_bench_serve_replan[warm]": row(1.0e-4)},
+            {"test_bench_serve_replan[warm]": row(1.4e-4)})
+        assert len(flags) == 1
+        assert "test_bench_serve_replan[warm]" in flags[0]
+        assert "+40%" in flags[0]
+
+    def test_within_threshold_not_flagged(self):
+        rb = _load_record_bench()
+        flags = rb.flag_regressions(
+            {"test_bench_serve_replan[full]": row(1.0e-2)},
+            {"test_bench_serve_replan[full]": row(1.2e-2)})
+        assert flags == []
+
+    def test_unguarded_rows_ignored(self):
+        rb = _load_record_bench()
+        flags = rb.flag_regressions(
+            {"test_bench_simulator_solve": row(1.0e-2)},
+            {"test_bench_simulator_solve": row(9.0e-2)})
+        assert flags == []
+
+    def test_new_and_removed_rows_skipped(self):
+        rb = _load_record_bench()
+        flags = rb.flag_regressions(
+            {"test_bench_serve_replan[cache]": row(1.0e-6)},
+            {"test_bench_serve_replan[brand_new]": row(5.0e-6)})
+        assert flags == []
+
+    def test_speedups_never_flagged(self):
+        rb = _load_record_bench()
+        flags = rb.flag_regressions(
+            {"test_bench_serve_replan[warm]": row(2.0e-4)},
+            {"test_bench_serve_replan[warm]": row(1.0e-4)})
+        assert flags == []
+
+
+class TestLastHistoryEntry:
+    def test_reads_final_line(self, tmp_path):
+        rb = _load_record_bench()
+        path = tmp_path / "hist.jsonl"
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"date": "2026-01-01"}) + "\n")
+            fh.write(json.dumps({"date": "2026-02-01"}) + "\n")
+        assert rb.last_history_entry(path)["date"] == "2026-02-01"
+
+    def test_missing_or_empty_file(self, tmp_path):
+        rb = _load_record_bench()
+        assert rb.last_history_entry(tmp_path / "none.jsonl") is None
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n")
+        assert rb.last_history_entry(empty) is None
+
+    def test_repo_history_parses_with_guarded_rows(self):
+        """The committed history must stay consumable by the flagger."""
+        rb = _load_record_bench()
+        entry = rb.last_history_entry(REPO_ROOT / "BENCH_history.jsonl")
+        assert entry is not None
+        assert any(name.startswith("test_bench_serve_replan[")
+                   for name in entry["benchmarks"])
+        # Self-comparison is the identity: nothing flags.
+        assert rb.flag_regressions(entry["benchmarks"],
+                                   entry["benchmarks"]) == []

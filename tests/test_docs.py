@@ -25,6 +25,7 @@ API_MODULES = (
     "repro.serve",
     "repro.serve.admission",
     "repro.serve.loop",
+    "repro.serve.preempt",
     "repro.serve.replan",
     "repro.serve.report",
     "repro.serve.fleet",

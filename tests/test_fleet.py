@@ -106,7 +106,8 @@ class TestRouting:
 
     def test_roster_builds_fresh_instances(self):
         assert set(ROUTING_POLICIES) == {"round_robin", "least_loaded",
-                                         "tier_affinity"}
+                                         "tier_affinity",
+                                         "tier_affinity_preempt"}
         a = build_routing_policy("round_robin")
         b = build_routing_policy("round_robin")
         assert a is not b
@@ -331,3 +332,82 @@ class TestTraceSplitting:
                              "round_robin", 10.0)
         assert isinstance(plan, DispatchPlan)
         assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+# ------------------------------------------------- preemption-aware fleet
+class TestPreemptAwareRouting:
+    def _router(self):
+        from repro.serve.fleet import PreemptAwareTierRouter
+
+        return PreemptAwareTierRouter(reserve_fraction=1 / 3)
+
+    def test_gold_prefers_reserved_free_slot(self):
+        router = self._router()
+        nodes = views((2, 1.0, 0), (2, 5.0, 0), (2, 1.0, 0))
+        assert router.choose("gold", nodes) == 1
+
+    def test_gold_avoids_eviction_by_spilling_to_unreserved(self):
+        """A full reserved node would evict; a free unreserved slot is
+        preferred even though tier affinity would keep gold reserved."""
+        router = self._router()
+        nodes = views((2, 1.0, 1), (2, 5.0, 2), (2, 1.0, 2))
+        assert router.choose("gold", nodes) == 0
+
+    def test_bronze_spills_to_reserved_free_slot(self):
+        router = self._router()
+        nodes = views((1, 1.0, 1), (2, 5.0, 0), (1, 1.0, 1))
+        assert router.choose("bronze", nodes) == 1
+
+    def test_saturated_fleet_falls_back_to_tier_affinity(self):
+        """With no free slot anywhere the preemption is unavoidable, so
+        the choice degrades to the plain tier-affinity pick."""
+        from repro.serve.fleet import TierAffinityRouter
+
+        router = self._router()
+        plain = TierAffinityRouter(reserve_fraction=1 / 3)
+        nodes = views((2, 1.0, 3), (2, 5.0, 2), (2, 1.0, 2))
+        for tier in ("gold", "bronze"):
+            assert router.choose(tier, nodes) == plain.choose(tier, nodes)
+
+
+class TestFleetPreemption:
+    def _preempt_fleet(self, routing="tier_affinity_preempt", fail_at=()):
+        from repro.runner import DynamicScenario, FleetScenario
+
+        nodes = tuple(DynamicScenario(
+            name=f"node{i}", manager="baseline", policy="full",
+            platform=("orange_pi_5" if i % 2 == 0 else "jetson_class"),
+            seed=i, pool=POOL, capacity=2, queue_limit=6,
+            preemption="evict_lowest_tier") for i in range(3))
+        return FleetScenario(name=f"pf_{routing}", nodes=nodes,
+                             routing=routing, seed=0, horizon_s=240.0,
+                             arrival_rate_per_s=1 / 4, mean_session_s=90.0,
+                             fail_at=fail_at)
+
+    def test_parallel_equals_serial_with_preemption_and_failure(self):
+        """Determinism regression: preemption-enabled fleets (including
+        the node-failure re-dispatch path, whose continuations land on
+        nodes that then evict for them) are bit-identical for 1 vs N
+        workers."""
+        from repro.runner import ScenarioRunner
+
+        fleets = [self._preempt_fleet(),
+                  self._preempt_fleet(fail_at=((1, 120.0),))]
+        serial = ScenarioRunner(max_workers=1).run_fleet(fleets)
+        parallel = ScenarioRunner(max_workers=3).run_fleet(fleets)
+        assert [r.report for r in serial] == [r.report for r in parallel]
+        report = serial[1].report
+        assert report.re_dispatched > 0
+        assert report.evictions > 0
+
+    def test_fleet_report_rolls_up_preemption(self):
+        from repro.runner import ScenarioRunner
+
+        report = ScenarioRunner(max_workers=1).run_fleet(
+            [self._preempt_fleet()])[0].report
+        assert report.evictions == sum(n.report.evictions
+                                       for n in report.nodes)
+        assert report.resumptions <= report.evictions
+        assert 0.0 < report.eviction_fairness <= 1.0
+        if report.evictions:
+            assert "preemption:" in report.summary()

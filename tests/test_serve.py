@@ -8,14 +8,17 @@ from repro.hw import orange_pi_5
 from repro.search import MCTSConfig
 from repro.serve import (
     ADMIT,
+    PREEMPT,
     QUEUE,
     REJECT,
     AdmissionConfig,
     AdmissionController,
     FullReplan,
+    LiveView,
     PlanCacheReplan,
     ServeConfig,
     WarmStartReplan,
+    build_preemption_policy,
     build_replan_policy,
     serve_trace,
 )
@@ -40,12 +43,19 @@ def request(sid, arrival, duration, tier="gold", shift=None):
 
 
 def serve_config(capacity=2, queue_limit=2, max_wait=100.0, horizon=400.0,
-                 seed=0):
+                 seed=0, preemption="none"):
     return ServeConfig(
         horizon_s=horizon,
         admission=AdmissionConfig(capacity=capacity, queue_limit=queue_limit,
-                                  max_queue_wait_s=max_wait),
+                                  max_queue_wait_s=max_wait,
+                                  preemption=preemption),
         pool=POOL, seed=seed)
+
+
+def live_view(name, sid, tier, priority, admitted=0.0, served=0.0):
+    return LiveView(name=name, session_id=sid, tier=tier,
+                    priority=priority, admitted_s=admitted,
+                    served_s=served)
 
 
 # ------------------------------------------------------------- admission
@@ -315,3 +325,309 @@ class TestServeLoop:
                              serve_config(horizon=100.0))
         text = report.summary()
         assert "ServeReport" in text and "replans" in text
+
+
+# -------------------------------------------------------------- preempt
+class TestPreemptionController:
+    """Verdict-level behaviour of decide()/plan_preemption()."""
+
+    def _controller(self, preemption, capacity=2, queue_limit=4):
+        return AdmissionController(AdmissionConfig(
+            capacity=capacity, queue_limit=queue_limit,
+            preemption=preemption))
+
+    def test_unknown_preemption_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown preemption policy"):
+            AdmissionConfig(preemption="nope")
+        with pytest.raises(ValueError, match="unknown preemption policy"):
+            build_preemption_policy("nope")
+
+    def test_no_preempt_without_live_views(self):
+        c = self._controller("evict_lowest_tier")
+        assert c.decide("gold", 2, 0, can_place=True) == QUEUE
+
+    def test_gold_preempts_bronze(self):
+        c = self._controller("evict_lowest_tier")
+        live = (live_view("a", 0, "gold", 0.7), live_view("b", 1, "bronze", 0.1))
+        assert c.decide("gold", 2, 0, True, live) == PREEMPT
+        plan = c.plan_preemption("gold", 2, True, live)
+        assert plan.action == "evict" and plan.victim == "b"
+
+    def test_no_self_preemption_among_equals(self):
+        """Gold-vs-gold contention: equal tiers never preempt each other."""
+        c = self._controller("evict_lowest_tier")
+        live = (live_view("a", 0, "gold", 0.7), live_view("b", 1, "gold", 0.7))
+        assert c.decide("gold", 2, 0, True, live) == QUEUE
+        assert c.plan_preemption("gold", 2, True, live) is None
+
+    def test_bronze_cannot_preempt_upward(self):
+        c = self._controller("evict_lowest_tier", queue_limit=0)
+        live = (live_view("a", 0, "gold", 0.7), live_view("b", 1, "silver", 0.2))
+        assert c.decide("bronze", 2, 0, True, live) == REJECT
+
+    def test_victim_is_lowest_tier_then_least_served(self):
+        c = self._controller("evict_lowest_tier", capacity=3)
+        live = (live_view("a", 0, "bronze", 0.1, served=5.0),
+                live_view("b", 1, "silver", 0.2, served=1.0),
+                live_view("c", 2, "bronze", 0.1, served=2.0))
+        plan = c.plan_preemption("gold", 3, True, live)
+        assert plan.victim == "c"     # lowest tier, least invested
+
+    def test_victim_tie_break_survives_resumption(self):
+        """Regression: a resumed session's admission time resets, but
+        its accumulated service must still protect it — otherwise the
+        policy re-evicts the same session forever."""
+        c = self._controller("evict_lowest_tier", capacity=3)
+        # A: evicted once, resumed late (latest admit) but most served.
+        live = (live_view("a", 0, "bronze", 0.1, admitted=100.0,
+                          served=50.0),
+                live_view("b", 1, "bronze", 0.1, admitted=60.0,
+                          served=40.0))
+        plan = c.plan_preemption("gold", 3, True, live)
+        assert plan.victim == "b"     # least served, not latest admitted
+
+    def test_renegotiate_demotes_to_floor(self):
+        c = self._controller("renegotiate")
+        live = (live_view("a", 0, "silver", 0.2), live_view("b", 1, "gold", 0.7))
+        assert c.decide("gold", 2, 0, True, live) == PREEMPT
+        plan = c.plan_preemption("gold", 2, True, live)
+        assert plan.action == "demote"
+        assert plan.victim == "a" and plan.demote_to == "bronze"
+
+    def test_renegotiate_skips_floor_tier_victims(self):
+        """A victim already at the ladder floor cannot be demoted."""
+        c = self._controller("renegotiate")
+        live = (live_view("a", 0, "bronze", 0.1), live_view("b", 1, "bronze", 0.1))
+        assert c.decide("gold", 2, 0, True, live) == QUEUE
+
+    def test_renegotiate_needs_free_name_and_headroom(self):
+        c = self._controller("renegotiate", capacity=2)
+        live = (live_view("a", 0, "silver", 0.2), live_view("b", 1, "gold", 0.7))
+        # Pool exhausted: a demotion frees no name, so no admission.
+        assert c.plan_preemption("gold", 2, False, live) is None
+        # Already one past capacity: the default overcommit of 1 is spent.
+        over = live + (live_view("c", 2, "silver", 0.2),)
+        assert c.plan_preemption("gold", 3, True, over) is None
+
+    def test_eviction_respects_capacity_after_freeing(self):
+        """Eviction frees exactly one slot, so an overcommitted node
+        (left behind by renegotiation) cannot evict below its cap."""
+        c = self._controller("evict_lowest_tier", capacity=1)
+        live = (live_view("a", 0, "bronze", 0.1), live_view("b", 1, "bronze", 0.1))
+        assert c.plan_preemption("gold", 2, True, live) is None
+
+
+class TestPreemptionLoop:
+    """End-to-end eviction / renegotiation semantics in serve_trace."""
+
+    @staticmethod
+    def _fast_policy():
+        """A near-zero-latency replan policy: timing-precise assertions
+        must not be smeared by modeled search gaps."""
+        from repro.baselines import GpuBaseline
+
+        return FullReplan(GpuBaseline())
+
+    def test_evicts_only_running_session_and_resumes(self):
+        """Edge case: the victim is the only resident — it suspends, the
+        gold arrival serves, and the victim resumes to completion."""
+        requests = [request(0, 0.0, 100.0, tier="bronze"),
+                    request(1, 10.0, 20.0, tier="gold")]
+        report = serve_trace(requests, self._fast_policy(), PLATFORM,
+                             serve_config(capacity=1,
+                                          preemption="evict_lowest_tier"))
+        bronze, gold = report.sessions
+        assert gold.outcome == "served"
+        assert gold.admitted_s == pytest.approx(10.0)
+        assert gold.queue_wait_s == 0.0
+        assert bronze.outcome == "served"
+        assert bronze.evictions == 1 and bronze.resumptions == 1
+        assert bronze.served_seconds == pytest.approx(100.0)
+        # Suspended from t=10 to t=30: the full duration still serves.
+        assert bronze.departed_s == pytest.approx(120.0)
+        assert report.evictions == 1 and report.resumptions == 1
+
+    def test_evicted_session_never_resumed_is_terminal(self):
+        requests = [request(0, 0.0, 390.0, tier="bronze"),
+                    request(1, 10.0, 380.0, tier="gold")]
+        report = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                             serve_config(capacity=1, max_wait=50.0,
+                                          preemption="evict_lowest_tier"))
+        bronze = report.sessions[0]
+        assert bronze.outcome == "evicted"
+        assert bronze.evictions == 1 and bronze.resumptions == 0
+        assert report.evicted == 1
+        assert report.eviction_fairness < 1.0
+
+    def test_stale_departure_after_resume_is_ignored(self):
+        """Regression: the victim's original departure event (still in
+        the heap) must not end its resumed service interval early."""
+        requests = [request(0, 0.0, 100.0, tier="bronze"),
+                    request(1, 50.0, 10.0, tier="gold")]
+        report = serve_trace(requests, self._fast_policy(), PLATFORM,
+                             serve_config(capacity=1,
+                                          preemption="evict_lowest_tier"))
+        bronze = report.sessions[0]
+        # Evicted at 50, resumed at 60; the stale t=100 departure is
+        # skipped and the true one fires at 110.
+        assert bronze.departed_s == pytest.approx(110.0)
+        assert bronze.served_seconds == pytest.approx(100.0)
+
+    def test_eviction_racing_coincident_departure(self):
+        """A departure at the same instant frees the slot first (the
+        departure event rank precedes arrivals), so no eviction fires."""
+        requests = [request(0, 0.0, 50.0, tier="bronze"),
+                    request(1, 50.0, 30.0, tier="gold")]
+        report = serve_trace(requests, self._fast_policy(), PLATFORM,
+                             serve_config(capacity=1,
+                                          preemption="evict_lowest_tier"))
+        bronze, gold = report.sessions
+        assert report.evictions == 0
+        assert bronze.outcome == "served"
+        assert gold.admitted_s == pytest.approx(50.0)
+
+    def test_renegotiation_demotes_and_overcommits(self):
+        requests = [request(0, 0.0, 200.0, tier="silver"),
+                    request(1, 10.0, 50.0, tier="gold")]
+        report = serve_trace(requests, self._fast_policy(), PLATFORM,
+                             serve_config(capacity=1,
+                                          preemption="renegotiate"))
+        victim, gold = report.sessions
+        assert report.demotions == 1 and report.evictions == 0
+        assert victim.tier == "bronze"        # demoted to the floor
+        assert victim.demotions == 1
+        assert victim.outcome == "served"     # kept running, overcommitted
+        assert gold.admitted_s == pytest.approx(10.0)
+
+    def test_renegotiation_queues_when_victim_already_bronze(self):
+        """Edge case: an all-bronze node renegotiates nothing — the gold
+        arrival falls back to the queue."""
+        requests = [request(0, 0.0, 200.0, tier="bronze"),
+                    request(1, 10.0, 50.0, tier="gold")]
+        report = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                             serve_config(capacity=1,
+                                          preemption="renegotiate"))
+        bronze, gold = report.sessions
+        assert report.demotions == 0
+        assert bronze.tier == "bronze" and bronze.demotions == 0
+        assert gold.queue_wait_s > 0
+
+    def test_parked_victims_do_not_consume_queue_slots(self):
+        """Suspended sessions wait outside the bounded waiting room: a
+        fresh gold arrival still finds a queue slot after an eviction
+        filled the node, even with queue_limit=1."""
+        requests = [request(0, 0.0, 300.0, tier="bronze"),
+                    request(1, 10.0, 300.0, tier="gold"),
+                    request(2, 20.0, 50.0, tier="gold")]
+        report = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                             serve_config(capacity=1, queue_limit=1,
+                                          preemption="evict_lowest_tier"))
+        third = report.sessions[2]
+        assert report.evictions == 1
+        assert third.outcome != "rejected"
+
+    def test_pending_tier_shift_survives_suspension(self):
+        """A not-yet-fired shift keeps its remaining offset across an
+        evict/resume cycle (service-relative, like the duration)."""
+        requests = [request(0, 0.0, 200.0, tier="bronze",
+                            shift=(60.0, "gold")),
+                    request(1, 10.0, 20.0, tier="gold")]
+        report = serve_trace(requests, self._fast_policy(), PLATFORM,
+                             serve_config(capacity=1,
+                                          preemption="evict_lowest_tier"))
+        bronze = report.sessions[0]
+        # Evicted at 10 after 10 s of service, resumed at 30; the shift
+        # fires 50 s of service later, and the session ends gold.
+        assert bronze.evictions == 1 and bronze.resumptions == 1
+        assert bronze.tier == "gold"
+
+    def test_preemption_none_matches_legacy_reports(self):
+        """The default policy is bit-identical to the pre-preemption
+        loop on a stochastic trace."""
+        requests = sample_session_requests(
+            np.random.default_rng(11),
+            TraceConfig(horizon_s=300.0, arrival_rate_per_s=1 / 30,
+                        mean_session_s=120.0, pool=POOL))
+        a = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                        serve_config())
+        b = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                        serve_config(preemption="none"))
+        assert a == b
+        assert a.evictions == 0 and a.demotions == 0
+
+    def test_preemption_deterministic_given_seed(self):
+        requests = sample_session_requests(
+            np.random.default_rng(13),
+            TraceConfig(horizon_s=300.0, arrival_rate_per_s=1 / 15,
+                        mean_session_s=120.0, pool=POOL))
+        runs = [serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                            serve_config(preemption="evict_lowest_tier"))
+                for _ in range(2)]
+        assert runs[0] == runs[1]
+
+    def test_summary_shows_preemption_line(self):
+        requests = [request(0, 0.0, 100.0, tier="bronze"),
+                    request(1, 10.0, 20.0, tier="gold")]
+        report = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                             serve_config(capacity=1,
+                                          preemption="evict_lowest_tier"))
+        assert "preemption:" in report.summary()
+        assert "eviction fairness" in report.summary()
+
+
+class TestPreemptionGapEdge:
+    def test_gap_delayed_departure_completes_instead_of_evicting(self):
+        """Regression: an eviction landing inside a decision gap *after*
+        the victim's scheduled departure must complete the victim (it
+        already served its full duration) rather than park a negative
+        remainder that would later read as eviction collateral."""
+        # b's 20 s session ends inside the ~32 s initial-plan gap; the
+        # gold arrival at t=10 is processed when the gap closes, with b
+        # still occupying the only slot past its own departure time.
+        requests = [request(0, 0.0, 20.0, tier="bronze"),
+                    request(1, 10.0, 50.0, tier="gold")]
+        report = serve_trace(requests, FullReplan(rankmap()), PLATFORM,
+                             serve_config(capacity=1,
+                                          preemption="evict_lowest_tier"))
+        bronze, gold = report.sessions
+        assert bronze.outcome == "served"
+        assert bronze.evictions == 0
+        assert report.evictions == 0 and report.evicted == 0
+        assert gold.admitted_s is not None
+
+    def test_renegotiation_voids_pending_tier_shift(self):
+        """Regression: demoting a victim renegotiates its whole contract
+        — a pre-scheduled mid-session promotion must not silently fire
+        later and undo the demotion."""
+        from repro.baselines import GpuBaseline
+
+        requests = [request(0, 0.0, 200.0, tier="silver",
+                            shift=(60.0, "gold")),
+                    request(1, 10.0, 50.0, tier="gold")]
+        report = serve_trace(requests, FullReplan(GpuBaseline()), PLATFORM,
+                             serve_config(capacity=1,
+                                          preemption="renegotiate"))
+        victim = report.sessions[0]
+        assert victim.demotions == 1
+        assert victim.tier == "bronze"     # stays at the floor
+
+
+class TestCustomLadderRenegotiation:
+    def test_renegotiate_derives_floor_from_custom_ladder(self):
+        """Regression: the demotion floor follows the controller's own
+        tier ladder instead of assuming a tier named 'bronze' exists."""
+        from repro.workloads.sla import SlaClass
+
+        ladder = (SlaClass("plat", priority=0.8, min_potential=0.3),
+                  SlaClass("mid", priority=0.4, min_potential=0.1),
+                  SlaClass("basic", priority=0.1, min_potential=0.01))
+        c = AdmissionController(
+            AdmissionConfig(capacity=1, preemption="renegotiate"),
+            tiers=ladder)
+        assert c.floor_tier().name == "basic"
+        plan = c.plan_preemption("plat", 1, True,
+                                 (live_view("a", 0, "mid", 0.4),))
+        assert plan.action == "demote" and plan.demote_to == "basic"
+        # A victim already at the custom floor is still not demotable.
+        assert c.plan_preemption("plat", 1, True,
+                                 (live_view("a", 0, "basic", 0.1),)) is None
