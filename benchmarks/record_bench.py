@@ -10,8 +10,9 @@ machine-readable perf trajectory across PRs — the batch-vs-scalar sweep
 comparison (``test_bench_serve_replan[*]``) are the rows to watch.
 
 Before appending, the serve-path rows are compared against the previous
-history entry: any ``test_bench_serve_replan[*]`` or
-``test_bench_serve_preempt[*]`` mean that got more than 25% slower is
+history entry: any ``test_bench_serve_replan[*]``,
+``test_bench_serve_preempt[*]`` or ``test_bench_estimator_predict[*]``
+mean that got more than 25% slower is
 flagged loudly (the hot serving path must not regress silently behind an
 unrelated PR).  Flags are warnings, not
 failures — machine noise is real — but they belong in the PR discussion.
@@ -31,7 +32,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Benchmark-name prefixes guarded against silent slowdowns.
-GUARDED_PREFIXES = ("test_bench_serve_replan[", "test_bench_serve_preempt[")
+GUARDED_PREFIXES = ("test_bench_serve_replan[", "test_bench_serve_preempt[",
+                    "test_bench_estimator_predict[")
 
 #: Relative mean-time growth beyond which a guarded row is flagged.
 REGRESSION_THRESHOLD = 0.25

@@ -99,6 +99,41 @@ def test_bench_estimator_forward(benchmark):
     benchmark(lambda: model.predict_log_rates(q))
 
 
+@pytest.mark.parametrize("mode", ["scalar", "batch"])
+def test_bench_estimator_predict(benchmark, mode, rollout_mappings):
+    """Learned-path candidate scoring: looped single-mapping ``predict``
+    calls vs one fused ``predict_batch`` over the same 16-candidate
+    roster (full-size estimator, the serving stack's hot path when
+    ``DynamicScenario.predictor == "estimator"``).
+
+    The scalar row pays 16 Q assemblies and 16 batch-1 forward passes;
+    the batch row pays one fused assembly
+    (``build_q_tensor_batch``) and a single batch-16 forward.
+    Acceptance: the batch row is measurably faster on batch >= 8 — the
+    two rows land side by side in ``BENCH_history.jsonl`` for that
+    comparison, and ``record_bench.py``'s guard flags either row
+    slowing >25% against its own previous entry.
+    """
+    from repro.core import EstimatorPredictor
+
+    model = ThroughputEstimator(np.random.default_rng(0), EstimatorConfig())
+    embedder = EmbeddingCache(LayerVQVAE(np.random.default_rng(0)))
+    predictor = EstimatorPredictor(model, embedder)
+    predictor.predict_batch(WORKLOAD, rollout_mappings[:1])  # warm embeddings
+
+    if mode == "scalar":
+        def step():
+            return np.concatenate(
+                [predictor.predict(WORKLOAD, [m]) for m in rollout_mappings])
+    else:
+        def step():
+            return predictor.predict_batch(WORKLOAD, rollout_mappings)
+
+    rates = benchmark(step)
+    assert rates.shape == (len(rollout_mappings), len(WORKLOAD))
+    assert (rates >= 0).all()
+
+
 def test_bench_vqvae_embed(benchmark):
     vqvae = LayerVQVAE(np.random.default_rng(0))
     model = get_model("resnet50")

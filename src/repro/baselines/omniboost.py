@@ -43,7 +43,7 @@ class OmniBoost(Manager):
             raise ValueError("workload must not be empty")
 
         def evaluate(mappings: list[Mapping]) -> np.ndarray:
-            rates = self.predictor.predict(workload, mappings)
+            rates = self.predictor.predict_batch(workload, mappings)
             return rates.mean(axis=1)
 
         self._plan_counter += 1

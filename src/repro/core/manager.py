@@ -91,6 +91,7 @@ class RankMapConfig:
             raise ValueError(f"unknown RankMap mode {self.mode!r}")
 
     def resolved_reward(self) -> RewardConfig:
+        """The effective reward configuration: explicit, or per mode."""
         if self.reward is not None:
             return self.reward
         if self.mode == "static":
@@ -123,6 +124,14 @@ class RankMap(Manager):
     # ------------------------------------------------------------------
     def plan(self, workload: list[ModelSpec],
              priorities: np.ndarray | None = None) -> MappingDecision:
+        """Search a mapping for ``workload`` (Sec. IV flow).
+
+        Resolves priorities and starvation thresholds, runs MCTS through
+        the configured predictor, relaxes the floors under saturation,
+        optionally re-measures the top-k candidates on the board, and
+        returns the decided :class:`Mapping` with its modeled on-board
+        decision latency.
+        """
         t0 = time.perf_counter()
         if not workload:
             raise ValueError("workload must not be empty")
@@ -215,7 +224,7 @@ class RankMap(Manager):
                 thresholds: np.ndarray, ideals: np.ndarray | None,
                 kind: str, attempt: int = 0) -> tuple[Mapping, MCTSStats]:
         def evaluate(mappings: list[Mapping]) -> np.ndarray:
-            rates = self.predictor.predict(workload, mappings)
+            rates = self.predictor.predict_batch(workload, mappings)
             return np.array([
                 mapping_reward(row, p, thresholds, ideals, kind)
                 for row in rates

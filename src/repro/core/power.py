@@ -112,7 +112,7 @@ class PowerAwareRankMap(RankMap):
                 thresholds: np.ndarray, ideals: np.ndarray | None,
                 kind: str, attempt: int = 0) -> tuple[Mapping, MCTSStats]:
         def evaluate(mappings: list[Mapping]) -> np.ndarray:
-            rates = self.predictor.predict(workload, mappings)
+            rates = self.predictor.predict_batch(workload, mappings)
             rewards = np.empty(len(mappings))
             for i, (mapping, row) in enumerate(zip(mappings, rates)):
                 base = mapping_reward(row, p, thresholds, ideals, kind)

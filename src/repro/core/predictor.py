@@ -13,7 +13,7 @@ import numpy as np
 from ..estimator.model import ThroughputEstimator
 from ..hw.platform import Platform
 from ..mapping.mapping import Mapping
-from ..mapping.qtensor import build_q_tensor
+from ..mapping.qtensor import build_q_tensor_batch
 from ..sim.cache import EvaluationCache
 from ..vqvae.train import EmbeddingCache
 from ..zoo.layers import ModelSpec
@@ -26,7 +26,20 @@ class RatePredictor:
 
     def predict(self, workload: list[ModelSpec],
                 mappings: list[Mapping]) -> np.ndarray:  # pragma: no cover
+        """Per-DNN rates, one row per candidate mapping: (B, len(workload))."""
         raise NotImplementedError
+
+    def predict_batch(self, workload: list[ModelSpec],
+                      mappings: list[Mapping]) -> np.ndarray:
+        """Batched entry point for the search/replan hot paths.
+
+        The base implementation defers to :meth:`predict` (which already
+        takes a candidate list); implementations with a genuinely fused
+        fast path — stacked Q-tensor assembly, one batched forward pass —
+        override this, and the hot callers (MCTS rollout scoring,
+        warm-start candidate rosters) call it explicitly.
+        """
+        return self.predict(workload, mappings)
 
     @property
     def board_latency_per_eval(self) -> float:
@@ -35,7 +48,17 @@ class RatePredictor:
 
 
 class EstimatorPredictor(RatePredictor):
-    """Predict rates with the trained multi-task estimator."""
+    """Predict rates with the trained multi-task estimator.
+
+    Candidate batches are featurized through one fused
+    :func:`~repro.mapping.qtensor.build_q_tensor_batch` call and scored by
+    a single stacked :meth:`~repro.estimator.ThroughputEstimator.predict_rates`
+    forward pass — the estimator-path analogue of the oracle's
+    ``simulate_batch`` treatment.  Each *modeled* candidate evaluation
+    still costs :attr:`board_latency_per_eval` (0.04 s, the paper's
+    learned decision latency) instead of the oracle's full measurement
+    window.
+    """
 
     def __init__(self, estimator: ThroughputEstimator,
                  embedder: EmbeddingCache):
@@ -44,25 +67,36 @@ class EstimatorPredictor(RatePredictor):
 
     def predict(self, workload: list[ModelSpec],
                 mappings: list[Mapping]) -> np.ndarray:
+        """Per-DNN rates for ``mappings``; defers to :meth:`predict_batch`."""
+        return self.predict_batch(workload, mappings)
+
+    def predict_batch(self, workload: list[ModelSpec],
+                      mappings: list[Mapping]) -> np.ndarray:
+        """Fused batch scoring: one stacked Q assembly + one forward pass.
+
+        Bit-compatible with per-mapping Q-tensor assembly (the scalar
+        :func:`~repro.mapping.qtensor.build_q_tensor` reference), locked
+        by ``tests/property/test_estimator_batch_equivalence.py``.
+        """
         cfg = self.estimator.config
         if len(workload) > cfg.max_dnns:
             raise ValueError(
                 f"workload of {len(workload)} exceeds estimator capacity "
                 f"{cfg.max_dnns}"
             )
+        if not mappings:
+            return np.zeros((0, len(workload)), dtype=np.float32)
         embeddings = self.embedder.for_workload(workload)
-        q = np.stack([
-            build_q_tensor(workload, m, embeddings, cfg.num_components,
-                           cfg.max_dnns, cfg.max_layers)
-            for m in mappings
-        ]).astype(np.float32)
+        q = build_q_tensor_batch(workload, mappings, embeddings,
+                                 cfg.num_components, cfg.max_dnns,
+                                 cfg.max_layers).astype(np.float32)
         rates = self.estimator.predict_rates(q)
         return rates[:, : len(workload)]
 
     @property
     def board_latency_per_eval(self) -> float:
-        # One estimator forward pass on the board (paper: ~30 s for the
-        # full search budget).
+        """One estimator forward pass on the board: the paper's 0.04 s/eval
+        learned decision latency (~30 s for the full search budget)."""
         return 0.04
 
 
@@ -87,10 +121,11 @@ class OraclePredictor(RatePredictor):
 
     def predict(self, workload: list[ModelSpec],
                 mappings: list[Mapping]) -> np.ndarray:
+        """Measured rates for ``mappings``: one cached batched solve."""
         results = self.cache.simulate(workload, mappings)
         return np.stack([r.rates for r in results])
 
     @property
     def board_latency_per_eval(self) -> float:
-        # Measuring a mapping on the device means running it for a window.
+        """Measuring a mapping on the device means running it for a window."""
         return self.measurement_window_s

@@ -1,5 +1,17 @@
-"""Multi-task throughput estimator (Sec. IV-D) and its training data."""
+"""Multi-task throughput estimator (Sec. IV-D): model, data, artifacts.
 
+See ``docs/estimator.md`` for the end-to-end story: Q-tensor
+featurization, the estimator architecture, training, the on-disk
+artifact format and how the serving stack loads it.
+"""
+
+from .artifact import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactPlatformMismatch,
+    EstimatorArtifact,
+    load_estimator_artifact,
+    save_estimator_artifact,
+)
 from .dataset import EstimatorDataset, EstimatorSample, generate_dataset
 from .metrics import l2_loss, pairwise_ranking_accuracy, spearman_r
 from .model import EstimatorConfig, ThroughputEstimator
@@ -11,6 +23,11 @@ from .train import (
 )
 
 __all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactPlatformMismatch",
+    "EstimatorArtifact",
+    "load_estimator_artifact",
+    "save_estimator_artifact",
     "EstimatorDataset",
     "EstimatorSample",
     "generate_dataset",

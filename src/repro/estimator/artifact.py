@@ -1,0 +1,201 @@
+"""Trained-estimator artifact persistence.
+
+The paper's operational pitch is that RankMap plans over a *learned*
+throughput estimator (0.04 s per candidate evaluation) instead of
+measuring candidates on the board.  For that path to be usable from the
+serving stack — where every :class:`~repro.runner.DynamicScenario` worker
+rebuilds its world from a few registry keys — the trained weights must be
+a disk artifact a worker can load by path, exactly like the persisted
+:class:`~repro.sim.EvaluationCache`.
+
+An artifact bundles everything :class:`~repro.core.EstimatorPredictor`
+needs: the :class:`~repro.estimator.EstimatorConfig` shapes, the trained
+:class:`~repro.estimator.ThroughputEstimator` weights, the
+:class:`~repro.vqvae.LayerVQVAE` (whose embeddings featurize the
+Q tensors) with its quantizer codebooks, and the validation quality of
+the training run.  The on-disk record mirrors the evaluation cache's
+versioned persistence:
+
+* a **format version** — unknown versions are refused;
+* a **platform fingerprint** (:func:`repro.sim.cache.platform_fingerprint`)
+  of the board the training rates were simulated on — an estimator
+  trained against one board model must never score candidates for
+  another.  A mismatch raises :class:`ArtifactPlatformMismatch`
+  (a ``ValueError`` subclass) so callers that can fall back — the
+  scenario runner downgrades to the oracle predictor with a warning,
+  matching the ``cache_path`` behaviour — can distinguish it from a
+  corrupt file, which raises a plain ``ValueError``.
+
+Writes go through a temp file and an atomic rename, so concurrent
+readers (pool workers warming from one shared path) never observe a
+half-written artifact.
+"""
+
+from __future__ import annotations
+
+import pickle
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..hw.platform import Platform
+from ..sim.cache import platform_fingerprint
+from ..vqvae.model import LayerVQVAE
+from ..vqvae.train import EmbeddingCache
+from .model import EstimatorConfig, ThroughputEstimator
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactPlatformMismatch",
+    "EstimatorArtifact",
+    "save_estimator_artifact",
+    "load_estimator_artifact",
+]
+
+#: On-disk artifact format version; bump when the payload layout changes.
+ARTIFACT_FORMAT_VERSION = 1
+
+
+class ArtifactPlatformMismatch(ValueError):
+    """Raised when an artifact was trained for a different platform.
+
+    Distinct from the plain ``ValueError`` a corrupt or unknown-format
+    file raises, so callers with a sensible fallback (e.g. the scenario
+    runner's downgrade to the oracle predictor) can catch exactly the
+    recoverable case.
+    """
+
+
+@dataclass
+class EstimatorArtifact:
+    """A loaded artifact: the rebuilt learned components plus metadata."""
+
+    estimator: ThroughputEstimator
+    vqvae: LayerVQVAE
+    embedder: EmbeddingCache
+    config: EstimatorConfig
+    platform_name: str
+    fingerprint: str
+    val_l2: float = float("nan")
+    val_spearman: float = float("nan")
+
+
+def _vqvae_hyperparams(vqvae: LayerVQVAE) -> dict:
+    """Recover the constructor arguments of a trained VQ-VAE.
+
+    Everything is readable off the instance: ``hidden`` from the first
+    encoder convolution's output channels, the rest from stored
+    attributes — so saving needs no side-channel of how the model was
+    built.
+    """
+    return {
+        "hidden": int(vqvae.encoder.layers[0].weight.data.shape[0]),
+        "embed_dim": int(vqvae.embed_dim),
+        "groups": int(vqvae.quantizer.groups),
+        "stages": int(vqvae.quantizer.stages),
+        "codebook_size": int(vqvae.quantizer.codebook_size),
+        "commitment_beta": float(vqvae.commitment_beta),
+    }
+
+
+def save_estimator_artifact(path: str | Path,
+                            estimator: ThroughputEstimator,
+                            vqvae: LayerVQVAE,
+                            platform: Platform,
+                            val_l2: float = float("nan"),
+                            val_spearman: float = float("nan")) -> Path:
+    """Serialize a trained estimator + VQ-VAE to ``path``; returns it.
+
+    The parent directory is created if needed; the write is atomic
+    (temp file + rename).  ``platform`` stamps the artifact with the
+    fingerprint of the board the training rates came from — loading for
+    any other board refuses (see :func:`load_estimator_artifact`).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": ARTIFACT_FORMAT_VERSION,
+        "fingerprint": platform_fingerprint(platform),
+        "platform_name": platform.name,
+        "estimator_config": asdict(estimator.config),
+        "estimator_arrays": estimator.state_arrays(),
+        "vqvae_params": _vqvae_hyperparams(vqvae),
+        "vqvae_arrays": vqvae.state_arrays(),
+        "codebook_arrays": vqvae.quantizer.state_arrays(),
+        "val_l2": float(val_l2),
+        "val_spearman": float(val_spearman),
+    }
+    # Unique temp name per writer: concurrent saves to one path must not
+    # interleave into the same file before the atomic rename.
+    with tempfile.NamedTemporaryFile(dir=path.parent, delete=False,
+                                     suffix=".tmp") as fh:
+        tmp = Path(fh.name)
+        try:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        except BaseException:
+            fh.close()
+            tmp.unlink(missing_ok=True)
+            raise
+    tmp.replace(path)
+    return path
+
+
+def load_estimator_artifact(path: str | Path,
+                            platform: Platform) -> EstimatorArtifact:
+    """Rebuild the learned components from :func:`save_estimator_artifact`.
+
+    Raises :class:`ArtifactPlatformMismatch` when the artifact was
+    trained for a platform with a different fingerprint, and a plain
+    ``ValueError`` (with the underlying cause chained) for a corrupt,
+    truncated or unknown-format file — a broken artifact must fail
+    loudly, never silently score with garbage weights.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise ValueError(
+            f"corrupt estimator artifact {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"corrupt estimator artifact {path}: payload is "
+            f"{type(payload).__name__}, expected dict")
+    version = payload.get("version")
+    if version != ARTIFACT_FORMAT_VERSION:
+        raise ValueError(
+            f"estimator artifact {path} has format version {version!r}; "
+            f"this build reads version {ARTIFACT_FORMAT_VERSION}")
+    fingerprint = platform_fingerprint(platform)
+    if payload.get("fingerprint") != fingerprint:
+        raise ArtifactPlatformMismatch(
+            f"estimator artifact {path} was trained for platform "
+            f"{payload.get('platform_name')!r} (fingerprint "
+            f"{payload.get('fingerprint')!r}); refusing to load it for "
+            f"{platform.name!r} (fingerprint {fingerprint!r})")
+    try:
+        config = EstimatorConfig(**{
+            k: tuple(v) if isinstance(v, list) else v
+            for k, v in payload["estimator_config"].items()})
+        estimator = ThroughputEstimator(np.random.default_rng(0), config)
+        estimator.load_arrays(payload["estimator_arrays"])
+        vqvae = LayerVQVAE(np.random.default_rng(0),
+                           **payload["vqvae_params"])
+        vqvae.load_arrays(payload["vqvae_arrays"])
+        vqvae.quantizer.load_arrays(payload["codebook_arrays"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(
+            f"corrupt estimator artifact {path}: {exc}") from exc
+    vqvae.eval()
+    estimator.eval()
+    return EstimatorArtifact(
+        estimator=estimator, vqvae=vqvae, embedder=EmbeddingCache(vqvae),
+        config=config, platform_name=str(payload.get("platform_name")),
+        fingerprint=str(payload.get("fingerprint")),
+        val_l2=float(payload.get("val_l2", float("nan"))),
+        val_spearman=float(payload.get("val_spearman", float("nan"))),
+    )

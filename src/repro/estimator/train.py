@@ -40,6 +40,7 @@ class TrainReport:
 
     @property
     def final_val_loss(self) -> float:
+        """Validation L2 after the last epoch (NaN before any epoch)."""
         return self.val_loss[-1] if self.val_loss else float("nan")
 
 

@@ -26,6 +26,8 @@ from ..estimator import (
     ThroughputEstimator,
     evaluate_estimator,
     generate_dataset,
+    load_estimator_artifact,
+    save_estimator_artifact,
     train_estimator,
 )
 from ..hw import orange_pi_5
@@ -133,7 +135,12 @@ class ExperimentContext:
         return self._artifacts
 
     def _cache_path(self) -> Path:
-        return self.results_dir / f"artifacts_{self.preset.name}.npz"
+        # Keyed by platform as well as preset: the dataset (and therefore
+        # the trained weights) depends on the board the rates were
+        # simulated on, and a platform-blind cache would let one board's
+        # weights be re-stamped as another's by estimator_artifact_path.
+        return (self.results_dir /
+                f"artifacts_{self.preset.name}_{self.platform.name}.npz")
 
     def _build_or_load_artifacts(self) -> Artifacts:
         cache = self._cache_path()
@@ -246,6 +253,37 @@ class ExperimentContext:
         return RankMap(self.platform, OraclePredictor(self.platform),
                        RankMapConfig(mode=mode, mcts=self.mcts_config(400)))
 
+    def estimator_artifact_path(self, refresh: bool = False) -> Path:
+        """Train-or-load the context's estimator once; return its artifact.
+
+        The first call trains (or loads from the artifact cache) the
+        VQ-VAE + estimator and persists them as one
+        :func:`repro.estimator.save_estimator_artifact` file under the
+        results directory; later calls — and every
+        :class:`~repro.runner.ScenarioRunner` worker a sweep fans out —
+        reuse that file by path.  This is what lets
+        :meth:`serve_sweep`/:meth:`fleet_serve_sweep` pay for training
+        exactly once per (preset, platform) regardless of worker count.
+        The filename is keyed by platform and an existing file is
+        fingerprint-validated before reuse, so a stale artifact left by
+        a context on a different board — or a corrupt file — is
+        retrained instead of silently downgrading every sweep cell.
+        """
+        path = (self.results_dir /
+                f"estimator_{self.preset.name}_{self.platform.name}.pkl")
+        if not refresh and path.exists():
+            try:
+                load_estimator_artifact(path, self.platform)
+                return path
+            except ValueError:
+                pass    # wrong platform / corrupt / old format: retrain
+        artifacts = self.artifacts
+        save_estimator_artifact(
+            path, artifacts.estimator, artifacts.vqvae, self.platform,
+            val_l2=artifacts.estimator_val_l2,
+            val_spearman=artifacts.estimator_val_spearman)
+        return path
+
     # ------------------------------------------------------------------
     def fleet_sweep(self, managers: tuple[str, ...] = ("baseline", "mosaic",
                                                        "rankmap_d"),
@@ -296,7 +334,9 @@ class ExperimentContext:
                     platform: str | None = None,
                     preemption: str = "none",
                     max_workers: int | None = None,
-                    cache_path=None):
+                    cache_path=None,
+                    predictor: str = "oracle",
+                    estimator_path=None):
         """Dynamic-traffic study fanned across the process pool.
 
         The online analogue of :meth:`fleet_sweep`: every (policy,
@@ -307,7 +347,11 @@ class ExperimentContext:
         optionally points workers at a persisted evaluation cache and
         ``preemption`` keys the admission-side preemption policy
         (:data:`repro.serve.PREEMPTION_POLICIES`) in every cell.
-        Returns ``(results, summary_rows)``.
+        ``predictor="estimator"`` runs the paper's learned decision path:
+        the context trains (or loads) its estimator artifact *once*
+        (:meth:`estimator_artifact_path`, unless ``estimator_path``
+        points at an existing artifact) and every worker loads it by
+        path.  Returns ``(results, summary_rows)``.
         """
         from ..runner import (
             PLATFORM_SPECS,
@@ -322,6 +366,18 @@ class ExperimentContext:
             raise ValueError(
                 f"platform {platform!r} is not a runner preset; "
                 f"choose from {sorted(PLATFORM_SPECS)}")
+        if predictor == "estimator" and estimator_path is None:
+            # The context trains for its own platform; fanning that
+            # artifact to a sweep on a *different* platform would
+            # downgrade every cell to the oracle — a config error, not a
+            # study.  Callers with a matching artifact pass it explicitly.
+            if platform != self.platform.name:
+                raise ValueError(
+                    f"the context's estimator is trained for "
+                    f"{self.platform.name!r}; a {platform!r} sweep would "
+                    "downgrade every cell to the oracle — pass an "
+                    "estimator_path trained for that platform")
+            estimator_path = self.estimator_artifact_path()
         scenarios = dynamic_sweep_scenarios(
             policies=policies, managers=managers,
             traces_per_cell=traces_per_cell, seed=self.preset.seed,
@@ -332,6 +388,9 @@ class ExperimentContext:
             search_rollouts=self.preset.mcts_rollouts,
             cache_path=(str(cache_path) if cache_path is not None
                         else None),
+            predictor=predictor,
+            estimator_path=(str(estimator_path)
+                            if estimator_path is not None else None),
         )
         results = ScenarioRunner(max_workers=max_workers).run_dynamic(
             scenarios)
@@ -353,7 +412,9 @@ class ExperimentContext:
                           preemption: str = "none",
                           fail_at: tuple[tuple[int, float], ...] = (),
                           max_workers: int | None = None,
-                          cache_path=None):
+                          cache_path=None,
+                          predictor: str = "oracle",
+                          estimator_path=None):
         """Cluster-scale serving study fanned across the process pool.
 
         The multi-node analogue of :meth:`serve_sweep`: every routing
@@ -364,7 +425,12 @@ class ExperimentContext:
         process.  The preset's MCTS budget scales the node managers,
         ``preemption`` keys every node's admission-side preemption
         policy, and ``fail_at`` optionally kills nodes mid-run to
-        exercise the re-dispatch path.  Returns
+        exercise the re-dispatch path.  ``predictor="estimator"`` gives
+        every node the learned decision path via one shared artifact
+        (trained once by :meth:`estimator_artifact_path` unless
+        ``estimator_path`` is given); nodes on platforms the artifact
+        was not trained for downgrade to the oracle with a warning,
+        mirroring a shared ``cache_path``.  Returns
         ``(results, summary_rows)``.
         """
         from ..runner import (
@@ -379,6 +445,23 @@ class ExperimentContext:
                 raise ValueError(
                     f"platform {platform!r} is not a runner preset; "
                     f"choose from {sorted(PLATFORM_SPECS)}")
+        if predictor == "estimator" and estimator_path is None:
+            # Heterogeneous fleets legitimately warm only the nodes the
+            # artifact matches, but a fleet with *no* node on the
+            # context's platform would downgrade every node — refuse.
+            # Check the platforms nodes actually get (node i runs
+            # platforms[i % len(platforms)]), not the raw tuple: a short
+            # fleet may never reach the matching entry.
+            node_platforms = {platforms[i % len(platforms)]
+                              for i in range(num_nodes)}
+            if self.platform.name not in node_platforms:
+                raise ValueError(
+                    f"the context's estimator is trained for "
+                    f"{self.platform.name!r}, which is not among the fleet "
+                    f"node platforms {sorted(node_platforms)} — every "
+                    "node would downgrade to the oracle; pass an "
+                    "estimator_path trained for one of them")
+            estimator_path = self.estimator_artifact_path()
         scenarios = fleet_sweep_scenarios(
             routings=routings, traces_per_cell=traces_per_cell,
             num_nodes=num_nodes, manager=manager, policy=policy,
@@ -389,6 +472,9 @@ class ExperimentContext:
             search_rollouts=self.preset.mcts_rollouts,
             cache_path=(str(cache_path) if cache_path is not None
                         else None),
+            predictor=predictor,
+            estimator_path=(str(estimator_path)
+                            if estimator_path is not None else None),
             fail_at=fail_at,
         )
         results = ScenarioRunner(max_workers=max_workers).run_fleet(

@@ -7,7 +7,12 @@ from .mapping import (
     gpu_only_mapping,
     single_component_mapping,
 )
-from .qtensor import build_q_tensor, layer_component_vector, scatter_layers
+from .qtensor import (
+    build_q_tensor,
+    build_q_tensor_batch,
+    layer_component_vector,
+    scatter_layers,
+)
 from .random_map import random_partition_mapping, uniform_block_mapping
 from .serialize import DeploymentRecord, load_deployment, save_deployment
 from .space import log10_solution_space, solution_space_size
@@ -21,6 +26,7 @@ __all__ = [
     "random_partition_mapping",
     "uniform_block_mapping",
     "build_q_tensor",
+    "build_q_tensor_batch",
     "layer_component_vector",
     "scatter_layers",
     "solution_space_size",

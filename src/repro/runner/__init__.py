@@ -25,6 +25,7 @@ from .runner import (
     execute_dynamic_scenario,
     execute_fleet_node,
     execute_scenario,
+    resolve_predictor,
     sample_fleet_requests,
 )
 from .scenario import (
@@ -58,6 +59,7 @@ __all__ = [
     "summarise_dynamic",
     "summarise_fleet",
     "build_manager",
+    "resolve_predictor",
     "execute_scenario",
     "execute_dynamic_scenario",
     "execute_fleet_node",

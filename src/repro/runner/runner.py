@@ -15,6 +15,7 @@ from __future__ import annotations
 import os
 import pickle
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -24,13 +25,15 @@ import numpy as np
 
 from ..baselines import GAConfig, GeneticManager, GpuBaseline, Mosaic, Odmdef, OmniBoost
 from ..core.manager import Manager, RankMap, RankMapConfig
-from ..core.predictor import OraclePredictor
+from ..core.predictor import EstimatorPredictor, OraclePredictor, RatePredictor
+from ..estimator import ArtifactPlatformMismatch, load_estimator_artifact
 from ..hw import jetson_class, orange_pi_5
 from ..hw.platform import Platform
 from ..search import MCTSConfig
 from ..serve import AdmissionConfig, ServeConfig, build_replan_policy, serve_trace
 from ..serve.fleet import NodeSpec, build_fleet_report, node_speed, plan_dispatch
 from ..sim import EvaluationCache, simulate
+from ..sim.cache import platform_fingerprint
 from ..workloads import SessionRequest, TraceConfig, sample_session_requests
 from ..zoo import MODEL_POOL, get_model
 from .scenario import (
@@ -43,13 +46,96 @@ from .scenario import (
 )
 
 __all__ = ["ScenarioRunner", "MANAGER_SPECS", "PLATFORM_SPECS",
-           "build_manager", "execute_scenario", "execute_dynamic_scenario",
-           "FleetNodeTask", "execute_fleet_node", "sample_fleet_requests"]
+           "build_manager", "resolve_predictor", "execute_scenario",
+           "execute_dynamic_scenario", "FleetNodeTask", "execute_fleet_node",
+           "sample_fleet_requests"]
 
 PLATFORM_SPECS: dict[str, Callable[[], Platform]] = {
     "orange_pi_5": orange_pi_5,
     "jetson_class": jetson_class,
 }
+
+#: Per-process memo of loaded estimator artifacts, keyed by
+#: (path, mtime_ns, size, platform fingerprint) so every scenario a pool
+#: worker executes against the same artifact file shares one rebuilt
+#: estimator instead of unpickling per scenario.  Safe for determinism:
+#: the loaded weights are a pure function of the key.
+_ARTIFACT_MEMO: dict[tuple, object] = {}
+
+
+def resolve_predictor(scenario, platform: Platform,
+                      cache: EvaluationCache) -> RatePredictor:
+    """Build the candidate-scoring predictor a scenario's spec names.
+
+    ``"oracle"`` (and any spec without a ``predictor`` field, e.g. the
+    static :class:`~repro.runner.Scenario`) measures candidates on the
+    simulated board through the shared evaluation ``cache``.
+    ``"estimator"`` loads the trained artifact at
+    ``scenario.estimator_path`` and scores through the learned path.
+
+    Mirroring the ``cache_path`` rules, an artifact trained for a
+    *different platform* downgrades to the oracle with a warning — a
+    heterogeneous fleet sharing one artifact path legitimately warms only
+    the matching nodes — while a corrupt or missing artifact raises: the
+    predictor choice changes reports, so a broken file must fail loudly
+    rather than silently serve the wrong study.
+    """
+    kind = getattr(scenario, "predictor", "oracle")
+    if kind == "oracle":
+        return OraclePredictor(platform, cache=cache)
+    path = Path(scenario.estimator_path)
+    stat = path.stat()          # missing artifact: FileNotFoundError
+    key = (str(path), stat.st_mtime_ns, stat.st_size,
+           platform_fingerprint(platform))
+    artifact = _ARTIFACT_MEMO.get(key)
+    if artifact is None:
+        try:
+            artifact = load_estimator_artifact(path, platform)
+        except ArtifactPlatformMismatch as exc:
+            # Negative-memoise the mismatch too: the verdict is a pure
+            # function of the key, and a heterogeneous fleet re-resolves
+            # the same (artifact, platform) pair once per node slice —
+            # no point re-unpickling the full weight payload each time.
+            # Memoise a *fresh* exception carrying only the message: the
+            # raised one's traceback frames would pin the unpickled
+            # weight arrays in the memo for the process lifetime.
+            artifact = ArtifactPlatformMismatch(str(exc))
+        _ARTIFACT_MEMO[key] = artifact
+    if isinstance(artifact, ArtifactPlatformMismatch):
+        # Force emission per call: fleet sweeps reuse node names across
+        # cells, and the default warnings filter would dedupe the
+        # byte-identical message after the first downgrade — silencing
+        # exactly the substitution this warning exists to surface.
+        with warnings.catch_warnings():
+            warnings.simplefilter("always")
+            warnings.warn(
+                f"scenario {scenario.name!r}: {artifact}; downgrading to "
+                "the oracle predictor", stacklevel=2)
+        return OraclePredictor(platform, cache=cache)
+    if artifact.config.num_components != platform.num_components:
+        # The fingerprint covers the platform only, not the estimator's
+        # shapes — a Q tensor laid out for a different component count
+        # would crash (or silently mis-place) deep inside the scatter.
+        raise ValueError(
+            f"estimator artifact {path} featurizes "
+            f"{artifact.config.num_components} components but platform "
+            f"{platform.name!r} has {platform.num_components}")
+    capacity = getattr(scenario, "capacity", None)
+    if capacity is not None:
+        # Overcommitting preemption policies (renegotiation) admit past
+        # capacity, so the live set can exceed it by the policy's
+        # headroom — ask the policy itself rather than duplicating it.
+        from ..serve.preempt import build_preemption_policy
+
+        policy = build_preemption_policy(
+            getattr(scenario, "preemption", "none"))
+        peak = capacity + policy.max_overcommit
+        if peak > artifact.config.max_dnns:
+            raise ValueError(
+                f"scenario {scenario.name!r} can reach {peak} concurrent "
+                f"DNNs but the estimator artifact caps at "
+                f"max_dnns={artifact.config.max_dnns}")
+    return EstimatorPredictor(artifact.estimator, artifact.embedder)
 
 
 def _mcts(scenario: Scenario) -> MCTSConfig:
@@ -61,7 +147,7 @@ def _mcts(scenario: Scenario) -> MCTSConfig:
 def _rankmap(mode: str):
     def build(platform: Platform, scenario: Scenario,
               cache: EvaluationCache) -> Manager:
-        return RankMap(platform, OraclePredictor(platform, cache=cache),
+        return RankMap(platform, resolve_predictor(scenario, platform, cache),
                        RankMapConfig(mode=mode, mcts=_mcts(scenario)))
     return build
 
@@ -74,7 +160,8 @@ MANAGER_SPECS: dict[str, Callable[..., Manager]] = {
     "ga": lambda platform, scenario, cache: GeneticManager(
         platform, GAConfig(seed=scenario.seed)),
     "omniboost": lambda platform, scenario, cache: OmniBoost(
-        platform, OraclePredictor(platform, cache=cache), _mcts(scenario)),
+        platform, resolve_predictor(scenario, platform, cache),
+        _mcts(scenario)),
     "rankmap_s": _rankmap("static"),
     "rankmap_d": _rankmap("dynamic"),
 }

@@ -146,6 +146,21 @@ class DynamicScenario:
     :class:`~repro.sim.EvaluationCache` for the worker to load on start;
     a file built for a different platform is ignored (cold start) since
     the cache only affects wall clock, never the report.
+
+    ``predictor`` selects how the node's search managers score candidate
+    mappings: ``"oracle"`` measures on the simulated board (one cached
+    batched solve per candidate set), ``"estimator"`` loads the trained
+    artifact named by ``estimator_path``
+    (:func:`repro.estimator.save_estimator_artifact`) and scores through
+    the learned path — the paper's 0.04 s/eval decision latency instead
+    of a full measurement window per candidate.  An artifact trained for
+    a *different* platform downgrades the node to the oracle with a
+    warning (the heterogeneous-fleet analogue of ``cache_path``); a
+    corrupt artifact, or a missing file, fails the scenario loudly.
+    Unlike ``cache_path`` this choice changes the report — different
+    predictions, different plans — but it stays a pure function of the
+    spec plus the artifact bytes, so 1-vs-N-worker runs remain
+    bit-identical.
     """
 
     name: str
@@ -165,6 +180,8 @@ class DynamicScenario:
     search_iterations: int = 40         # MCTS budget for search managers
     search_rollouts: int = 2
     cache_path: str | None = None       # persisted EvaluationCache to load
+    predictor: str = "oracle"           # "oracle" | "estimator"
+    estimator_path: str | None = None   # trained-estimator artifact to load
 
     def __post_init__(self):
         if self.horizon_s <= 0:
@@ -179,6 +196,19 @@ class DynamicScenario:
             raise ValueError(
                 f"unknown preemption policy {self.preemption!r}; "
                 f"choose from {sorted(PREEMPTION_POLICIES)}")
+        if self.predictor not in ("oracle", "estimator"):
+            raise ValueError(
+                f"unknown predictor {self.predictor!r}; "
+                f"choose from ['estimator', 'oracle']")
+        if self.predictor == "estimator" and self.estimator_path is None:
+            raise ValueError(
+                "predictor 'estimator' requires estimator_path (a "
+                "repro.estimator.save_estimator_artifact file)")
+        if self.predictor != "estimator" and self.estimator_path is not None:
+            raise ValueError(
+                "estimator_path is set but predictor is "
+                f"{self.predictor!r}; the artifact would be silently "
+                "ignored — set predictor='estimator' (or drop the path)")
 
     @classmethod
     def from_dict(cls, spec: dict) -> "DynamicScenario":
@@ -331,6 +361,8 @@ def dynamic_sweep_scenarios(policies: tuple[str, ...] = ("full", "warm",
                             search_iterations: int = 24,
                             search_rollouts: int = 2,
                             cache_path: str | None = None,
+                            predictor: str = "oracle",
+                            estimator_path: str | None = None,
                             ) -> list[DynamicScenario]:
     """A (policy x manager x trace) grid of dynamic-traffic studies.
 
@@ -338,7 +370,9 @@ def dynamic_sweep_scenarios(policies: tuple[str, ...] = ("full", "warm",
     seed depends only on the trace index), so per-policy aggregates stay
     comparable — the dynamic analogue of :func:`mix_scenarios`.
     ``preemption`` keys the node-side preemption policy
-    (:data:`repro.serve.PREEMPTION_POLICIES`) applied in every cell.
+    (:data:`repro.serve.PREEMPTION_POLICIES`) applied in every cell;
+    ``predictor``/``estimator_path`` select the candidate-scoring path
+    (oracle measurement vs the trained estimator artifact) in every cell.
     """
     scenarios: list[DynamicScenario] = []
     for trace_index in range(traces_per_cell):
@@ -356,6 +390,7 @@ def dynamic_sweep_scenarios(policies: tuple[str, ...] = ("full", "warm",
                     search_iterations=search_iterations,
                     search_rollouts=search_rollouts,
                     cache_path=cache_path,
+                    predictor=predictor, estimator_path=estimator_path,
                 ))
     return scenarios
 
@@ -380,6 +415,8 @@ def fleet_sweep_scenarios(routings: tuple[str, ...] = ("round_robin",
                           search_iterations: int = 24,
                           search_rollouts: int = 2,
                           cache_path: str | None = None,
+                          predictor: str = "oracle",
+                          estimator_path: str | None = None,
                           fail_at: tuple[tuple[int, float], ...] = (),
                           ) -> list[FleetScenario]:
     """A (routing x trace) grid of fleet studies over heterogeneous nodes.
@@ -393,7 +430,11 @@ def fleet_sweep_scenarios(routings: tuple[str, ...] = ("round_robin",
     trace index), so per-routing aggregates stay comparable — the
     cluster analogue of :func:`dynamic_sweep_scenarios`.  ``preemption``
     applies the keyed :data:`repro.serve.PREEMPTION_POLICIES` policy on
-    every node's admission controller.
+    every node's admission controller.  ``predictor``/``estimator_path``
+    select every node's candidate-scoring path; like a shared
+    ``cache_path``, a shared estimator artifact only matches the nodes
+    whose platform it was trained for — the others downgrade to the
+    oracle with a warning.
     """
     if num_nodes < 1:
         raise ValueError("num_nodes must be at least 1")
@@ -404,7 +445,8 @@ def fleet_sweep_scenarios(routings: tuple[str, ...] = ("round_robin",
             seed=seed + i, pool=pool, capacity=capacity,
             preemption=preemption,
             search_iterations=search_iterations,
-            search_rollouts=search_rollouts, cache_path=cache_path)
+            search_rollouts=search_rollouts, cache_path=cache_path,
+            predictor=predictor, estimator_path=estimator_path)
         for i in range(num_nodes))
     scenarios: list[FleetScenario] = []
     for trace_index in range(traces_per_cell):

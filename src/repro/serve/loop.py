@@ -19,6 +19,15 @@ pick pool model names at admission, and segment rates come from the
 deterministic steady-state solver (via an :class:`EvaluationCache`, so a
 persistent warm cache makes repeated runs cheap without changing a bit of
 the output).
+
+Note the decision/measurement split when the replan policy's manager
+scores candidates with the *learned* estimator
+(:class:`~repro.core.EstimatorPredictor`, wired in via
+``DynamicScenario.predictor = "estimator"``): the estimator only picks
+mappings — and prices each candidate evaluation at the paper's 0.04 s
+instead of a full on-board measurement window, shrinking the re-mapping
+gaps — while the *realized* segment rates here always come from the
+simulated board, the stand-in for what actually runs on the hardware.
 """
 
 from __future__ import annotations

@@ -45,7 +45,7 @@ def test_artifact_cache_roundtrip(tmp_path):
     ctx1 = ExperimentContext(preset="tiny", results_dir=tmp_path,
                              use_artifact_cache=True)
     a1 = ctx1.artifacts
-    assert (tmp_path / "artifacts_tiny.npz").exists()
+    assert (tmp_path / "artifacts_tiny_orange_pi_5.npz").exists()
 
     ctx2 = ExperimentContext(preset="tiny", results_dir=tmp_path,
                              use_artifact_cache=True)

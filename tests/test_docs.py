@@ -5,10 +5,11 @@ Two cheap tier-1 checks keep the new ``docs/`` subsystem honest:
 * every relative link in the repo's markdown (README, ROADMAP, docs/*)
   must resolve to a real file — the same check ``make docs-check`` runs
   via ``tools/check_links.py``;
-* every public symbol of ``repro.serve``, ``repro.serve.fleet`` and
-  ``repro.runner`` (modules, classes, functions, public methods and
-  properties) must carry a real docstring — a pydocstyle-lite gate for
-  the subsystems the docs describe.
+* every public symbol of ``repro.serve``, ``repro.serve.fleet``,
+  ``repro.runner``, ``repro.estimator`` and ``repro.core`` (modules,
+  classes, functions, public methods and properties) must carry a real
+  docstring — a pydocstyle-lite gate for the subsystems the docs
+  describe.
 """
 
 import importlib
@@ -35,6 +36,17 @@ API_MODULES = (
     "repro.runner",
     "repro.runner.runner",
     "repro.runner.scenario",
+    "repro.estimator",
+    "repro.estimator.artifact",
+    "repro.estimator.dataset",
+    "repro.estimator.metrics",
+    "repro.estimator.model",
+    "repro.estimator.train",
+    "repro.core",
+    "repro.core.manager",
+    "repro.core.power",
+    "repro.core.predictor",
+    "repro.core.priorities",
 )
 
 

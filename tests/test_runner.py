@@ -560,3 +560,120 @@ class TestPreemptionScenarios:
                                         **PREEMPT_FAST) for i in range(2)),
             fail_at=((1, 120.0),))
         assert FleetScenario.from_dict(dataclasses.asdict(fleet)) == fleet
+
+
+class TestEstimatorScenarios:
+    """PR 5: the learned predictor through specs, pool and from_dict."""
+
+    @pytest.fixture(scope="class")
+    def artifact_path(self, tmp_path_factory):
+        """A small trained-shape estimator artifact for the Orange Pi 5."""
+        from repro.estimator import (
+            EstimatorConfig,
+            ThroughputEstimator,
+            save_estimator_artifact,
+        )
+        from repro.hw import orange_pi_5
+        from repro.vqvae import LayerVQVAE
+
+        cfg = EstimatorConfig(max_dnns=4, max_layers=32, stem_channels=8,
+                              block_channels=(8, 12, 16), attn_dim=8,
+                              decoder_dim=12)
+        path = tmp_path_factory.mktemp("artifact") / "estimator.pkl"
+        save_estimator_artifact(
+            path, ThroughputEstimator(np.random.default_rng(1), cfg),
+            LayerVQVAE(np.random.default_rng(0)), orange_pi_5())
+        return str(path)
+
+    def test_predictor_spec_validated(self):
+        with pytest.raises(ValueError, match="unknown predictor"):
+            DynamicScenario(name="x", predictor="psychic")
+        with pytest.raises(ValueError, match="requires estimator_path"):
+            DynamicScenario(name="x", predictor="estimator")
+
+    def test_parallel_equals_serial_with_estimator(self, artifact_path):
+        """Determinism regression: 1-vs-N-worker bit-identical reports on
+        the learned path (workers rebuild the predictor from the
+        artifact), and the predictor genuinely changes the study — lower
+        modeled decision latency than the oracle on the same traces."""
+        est = [DynamicScenario(name=f"e_{policy}", manager="rankmap_d",
+                               policy=policy, predictor="estimator",
+                               estimator_path=artifact_path, **DYNAMIC_FAST)
+               for policy in ("full", "warm")]
+        serial = ScenarioRunner(max_workers=1).run_dynamic(est)
+        parallel = ScenarioRunner(max_workers=2).run_dynamic(est)
+        assert [r.report for r in serial] == [r.report for r in parallel]
+
+        oracle = ScenarioRunner(max_workers=1).run_dynamic(
+            [DynamicScenario(name=f"o_{policy}", manager="rankmap_d",
+                             policy=policy, **DYNAMIC_FAST)
+             for policy in ("full", "warm")])
+        for e, o in zip(serial, oracle):
+            assert e.report.replans > 0
+            assert e.report.total_decision_seconds \
+                < o.report.total_decision_seconds
+
+    def test_sweeps_pass_predictor_through(self, artifact_path):
+        specs = dynamic_sweep_scenarios(
+            policies=("full",), managers=("rankmap_d",), traces_per_cell=1,
+            predictor="estimator", estimator_path=artifact_path)
+        assert all(s.predictor == "estimator"
+                   and s.estimator_path == artifact_path for s in specs)
+        fleets = fleet_sweep_scenarios(
+            routings=("round_robin",), traces_per_cell=1, num_nodes=2,
+            predictor="estimator", estimator_path=artifact_path)
+        assert all(n.predictor == "estimator"
+                   and n.estimator_path == artifact_path
+                   for f in fleets for n in f.nodes)
+
+    def test_dynamic_from_dict_predictor_roundtrip(self, artifact_path):
+        import dataclasses
+
+        spec = DynamicScenario(name="d", manager="rankmap_d",
+                               predictor="estimator",
+                               estimator_path=artifact_path, **DYNAMIC_FAST)
+        assert DynamicScenario.from_dict(dataclasses.asdict(spec)) == spec
+
+    def test_dynamic_from_dict_rejects_predictor_typo(self):
+        with pytest.raises(ValueError,
+                           match="unexpected DynamicScenario field"):
+            DynamicScenario.from_dict({"name": "d", "predictr": "oracle"})
+
+    def test_dynamic_from_dict_rejects_unknown_predictor_value(self):
+        with pytest.raises(ValueError, match="unknown predictor"):
+            DynamicScenario.from_dict({"name": "d", "predictor": "nope"})
+
+    def test_experiment_context_trains_artifact_once(self, tmp_path):
+        from repro.experiments import ExperimentContext
+
+        ctx = ExperimentContext(preset="tiny", results_dir=tmp_path,
+                                use_artifact_cache=False)
+        path = ctx.estimator_artifact_path()
+        assert path.exists()
+        stamp = path.stat().st_mtime_ns
+        assert ctx.estimator_artifact_path() == path
+        assert path.stat().st_mtime_ns == stamp   # no retraining
+
+    def test_experiment_context_estimator_serve_sweep(self, tmp_path):
+        """Acceptance: a serve sweep on the learned path produces
+        ServeReports whose per-decision latency sits far below the
+        oracle's measurement-window pricing."""
+        from repro.experiments import ExperimentContext
+
+        ctx = ExperimentContext(preset="tiny", results_dir=tmp_path,
+                                use_artifact_cache=False)
+        results, summary = ctx.serve_sweep(
+            policies=("warm",), managers=("rankmap_d",), traces_per_cell=1,
+            horizon_s=180.0, pool=SMALL_POOL, max_workers=1,
+            predictor="estimator")
+        assert results[0].report.replans > 0
+        # Warm replans price candidates at 0.04 s/eval; the oracle prices
+        # the same rosters at 2 s/eval windows.
+        assert 0.0 < summary[0]["mean_decision_seconds"] < 1.0
+
+    def test_orphan_estimator_path_rejected(self, artifact_path):
+        """estimator_path with the default oracle predictor would be
+        silently ignored — a config slip that must fail loudly."""
+        with pytest.raises(ValueError, match="silently ignored"):
+            DynamicScenario(name="x", estimator_path=artifact_path,
+                            **DYNAMIC_FAST)
