@@ -11,7 +11,8 @@ comparison (``test_bench_serve_replan[*]``) are the rows to watch.
 
 Before appending, the serve-path rows are compared against the previous
 history entry: any ``test_bench_serve_replan[*]``,
-``test_bench_serve_preempt[*]`` or ``test_bench_estimator_predict[*]``
+``test_bench_serve_preempt[*]``, ``test_bench_serve_scale[*]`` or
+``test_bench_estimator_predict[*]``
 mean that got more than 25% slower is
 flagged loudly (the hot serving path must not regress silently behind an
 unrelated PR).  Flags are warnings, not
@@ -33,6 +34,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Benchmark-name prefixes guarded against silent slowdowns.
 GUARDED_PREFIXES = ("test_bench_serve_replan[", "test_bench_serve_preempt[",
+                    "test_bench_serve_scale[",
                     "test_bench_estimator_predict[")
 
 #: Relative mean-time growth beyond which a guarded row is flagged.

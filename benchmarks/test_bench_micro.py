@@ -319,3 +319,78 @@ def test_bench_serve_replan(benchmark, policy_key):
     else:
         assert outcome.kind == "cache_hit"
         assert outcome.decision_seconds == 0.0
+
+
+_SCALE_WALL: dict[int, float] = {}  # n -> (wall seconds, arrivals)
+
+
+@pytest.mark.parametrize("n", [1_000, 100_000, 1_000_000],
+                         ids=["1e3", "1e5", "1e6"])
+def test_bench_serve_scale(benchmark, n):
+    """Streaming serving loop at trace scale: ~n sessions end to end.
+
+    Feeds an ``iter_session_requests`` generator straight into
+    ``serve_trace`` — the trace is never materialised — over a horizon
+    sized so the expected arrival count is ``n`` (rate 1/4 s against
+    capacity 4, preemption on, ``record_timeline=False`` so the output
+    ledger is the only O(arrivals) term).  The three rows pin the
+    near-linear scaling of the keyed waiting room + scheduled-timeout
+    event core: per-arrival cost must stay flat from 1e3 to 1e5 (asserted
+    below), with 1e6 as the headline row.  The 1e6 row runs only under
+    ``make bench`` — at ~1 min it is too heavy for tier-1 smoke mode.
+    """
+    import time
+
+    from repro.baselines import GpuBaseline
+    from repro.serve import AdmissionConfig, FullReplan, ServeConfig, serve_trace
+    from repro.workloads import TraceConfig, iter_session_requests
+
+    if n >= 1_000_000 and not benchmark.enabled:
+        pytest.skip("1e6 row is bench-only; smoke mode covers 1e3/1e5")
+
+    pool = ("alexnet", "squeezenet", "mobilenet_v2", "shufflenet")
+    horizon = n * 4.0
+    trace = TraceConfig(horizon_s=horizon, arrival_rate_per_s=1 / 4,
+                        mean_session_s=90.0, pool=pool)
+    config = ServeConfig(
+        horizon_s=horizon,
+        admission=AdmissionConfig(capacity=4, queue_limit=8,
+                                  max_queue_wait_s=120.0,
+                                  preemption="evict_lowest_tier"),
+        pool=pool, seed=0, record_timeline=False)
+    cache = EvaluationCache(PLATFORM)
+    policy = FullReplan(GpuBaseline())
+    # Warm the solver cache so the rows time the event core, not the
+    # first-touch contention solves.
+    serve_trace(iter_session_requests(np.random.default_rng(7),
+                                      TraceConfig(horizon_s=400.0,
+                                                  arrival_rate_per_s=1 / 4,
+                                                  mean_session_s=90.0,
+                                                  pool=pool),
+                                      tier_shift_prob=0.2),
+                policy, PLATFORM,
+                ServeConfig(horizon_s=400.0, admission=config.admission,
+                            pool=pool, seed=0, record_timeline=False),
+                cache=cache)
+
+    def run():
+        stream = iter_session_requests(np.random.default_rng(7), trace,
+                                       tier_shift_prob=0.2)
+        t0 = time.perf_counter()
+        report = serve_trace(stream, policy, PLATFORM, config, cache=cache)
+        _SCALE_WALL[n] = (time.perf_counter() - t0, report.arrivals)
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.timeline.segments == []
+    assert 0.9 * n <= report.arrivals <= 1.1 * n
+    assert report.admitted > 0 and report.abandoned > 0
+    if n == 100_000 and 1_000 in _SCALE_WALL:
+        # Near-linearity acceptance: per-arrival cost at 1e5 within 8x
+        # of the 1e3 row (generous bound — measured ~1.1-1.5x — so CI
+        # noise cannot flake it while super-linear regressions still
+        # fail fast).
+        small_wall, small_n = _SCALE_WALL[1_000]
+        big_wall, big_n = _SCALE_WALL[100_000]
+        assert big_wall / big_n <= 8.0 * (small_wall / small_n), \
+            "serving loop no longer scales near-linearly in trace length"

@@ -19,7 +19,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -34,7 +34,8 @@ from ..serve import AdmissionConfig, ServeConfig, build_replan_policy, serve_tra
 from ..serve.fleet import NodeSpec, build_fleet_report, node_speed, plan_dispatch
 from ..sim import EvaluationCache, simulate
 from ..sim.cache import platform_fingerprint
-from ..workloads import SessionRequest, TraceConfig, sample_session_requests
+from ..workloads import (SessionRequest, TraceConfig, iter_session_requests,
+                         sample_session_requests)
 from ..zoo import MODEL_POOL, get_model
 from .scenario import (
     DynamicResult,
@@ -216,7 +217,8 @@ def execute_scenario(scenario: Scenario) -> ScenarioResult:
     )
 
 
-def _serve_requests(spec: DynamicScenario, requests: list[SessionRequest],
+def _serve_requests(spec: DynamicScenario,
+                    requests: Iterable[SessionRequest],
                     horizon_s: float) -> DynamicResult:
     """Serve ``requests`` on the node ``spec`` describes.
 
@@ -294,8 +296,10 @@ def execute_dynamic_scenario(spec: DynamicScenario) -> DynamicResult:
         max_concurrent=spec.capacity, pool=pool,
     )
     # Trace seed is decoupled from the search seed so policy/manager cells
-    # of a sweep sharing `seed` see the same arrival process.
-    requests = sample_session_requests(
+    # of a sweep sharing `seed` see the same arrival process.  The demand
+    # streams straight into the serving loop — a multi-day scenario never
+    # holds its full trace in worker memory.
+    requests = iter_session_requests(
         np.random.default_rng(spec.seed + 17), trace_config,
         tier_shift_prob=spec.tier_shift_prob)
     return _serve_requests(spec, requests, spec.horizon_s)

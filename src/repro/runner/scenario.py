@@ -142,7 +142,12 @@ class DynamicScenario:
     Everything is registry keys and scalars, so the spec ships to a worker
     process as a few bytes and the run is a pure function of the spec —
     the determinism regression compares 1-worker and N-worker reports
-    bit for bit.  ``cache_path`` optionally names a persisted
+    bit for bit.  The worker regenerates the trace from
+    ``(seed, horizon_s, arrival_rate_per_s, ...)`` as a *stream*
+    (:func:`repro.workloads.iter_session_requests` feeding the serving
+    loop one arrival at a time), so a multi-day horizon costs memory
+    proportional to the live set, not the arrival count.
+    ``cache_path`` optionally names a persisted
     :class:`~repro.sim.EvaluationCache` for the worker to load on start;
     a file built for a different platform is ignored (cold start) since
     the cache only affects wall clock, never the report.

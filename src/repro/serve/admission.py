@@ -171,3 +171,13 @@ class AdmissionController:
                         session_id: int) -> tuple:
         """Drain order: highest tier first, FIFO within a tier."""
         return (-self.tier(tier_name).priority, enqueue_s, session_id)
+
+    def queue_deadline(self, enqueue_s: float) -> float:
+        """When a session enqueued at ``enqueue_s`` abandons the queue.
+
+        The serving loop schedules an explicit timeout event at this
+        instant (instead of lazily scanning the waiting room on whatever
+        event happens next), so abandonments carry their true time even
+        through quiet stretches of the trace.
+        """
+        return enqueue_s + self.config.max_queue_wait_s

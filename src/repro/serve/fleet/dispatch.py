@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, replace
+from typing import Iterable
 
 import numpy as np
 
@@ -180,7 +181,7 @@ def _shift_forward(request: SessionRequest, now: float,
                           duration_s=remaining, tier=tier, tier_shift=shift)
 
 
-def plan_dispatch(requests: list[SessionRequest],
+def plan_dispatch(requests: Iterable[SessionRequest],
                   nodes: list[NodeSpec] | tuple[NodeSpec, ...],
                   routing: RoutingPolicy | str,
                   horizon_s: float) -> DispatchPlan:
@@ -192,7 +193,9 @@ def plan_dispatch(requests: list[SessionRequest],
     an alive node.  Failure events drain the dead node's estimated live
     set back through the router at the failure instant, oldest arrival
     first.  The plan is a pure function of ``(requests, node specs,
-    routing key, horizon_s)``.
+    routing key, horizon_s)``; any iterable of requests works (the
+    dispatcher must see the whole demand to fix the routing, so it
+    materialises the sorted arrival order here).
     """
     if not nodes:
         raise ValueError("fleet must have at least one node")
@@ -267,16 +270,17 @@ def plan_dispatch(requests: list[SessionRequest],
     )
 
 
-def serve_fleet(requests: list[SessionRequest],
+def serve_fleet(requests: Iterable[SessionRequest],
                 nodes: list[FleetNode] | tuple[FleetNode, ...],
                 routing: RoutingPolicy | str = "round_robin",
                 horizon_s: float | None = None) -> FleetReport:
     """Dispatch ``requests`` across ``nodes`` and serve every slice inline.
 
     The single-process reference implementation of the fleet: routing via
-    :func:`plan_dispatch`, then one :func:`repro.serve.serve_trace` call
-    per node (a failed node serves up to ``fail_at_s`` only), rolled up
-    into a :class:`FleetReport`.  ``horizon_s`` defaults to the largest
+    :func:`plan_dispatch` (which materialises the demand — routing needs
+    it all), then one :func:`repro.serve.serve_trace` call per node (a
+    failed node serves up to ``fail_at_s`` only), rolled up into a
+    :class:`FleetReport`.  ``horizon_s`` defaults to the largest
     node-config horizon.  :meth:`repro.runner.ScenarioRunner.run_fleet`
     produces bit-identical reports with the nodes fanned across a process
     pool.
@@ -297,7 +301,7 @@ def serve_fleet(requests: list[SessionRequest],
         node_horizon = horizon_s if fail is None else min(fail, horizon_s)
         if config.horizon_s != node_horizon:
             config = replace(config, horizon_s=node_horizon)
-        reports.append(serve_trace(list(slice_requests), node.policy,
+        reports.append(serve_trace(slice_requests, node.policy,
                                    node.platform, config, cache=node.cache))
     platforms = [node.platform.name for node in nodes]
     return build_fleet_report(horizon_s, policy.name, specs, platforms,

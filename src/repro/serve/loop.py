@@ -1,7 +1,7 @@
-"""Event-driven online serving loop.
+"""Event-driven online serving loop, built to stream million-session traces.
 
 This is the online layer over the planning stack: raw session requests
-(:func:`repro.workloads.sample_session_requests`) flow through an
+(:func:`repro.workloads.iter_session_requests`) flow through an
 SLA-tier-aware :class:`~repro.serve.admission.AdmissionController`
 (whose configured :mod:`~repro.serve.preempt` policy may evict or
 demote a running lower-tier session for a blocked arrival), every
@@ -12,6 +12,32 @@ restricted incumbent mapping while the change's subject makes no progress
 — the same gap semantics as :func:`repro.sim.run_dynamic_scenario`, but
 with live accept/queue/reject decisions instead of a replayed fixed
 timeline.
+
+The loop is architected for traces far longer than memory:
+
+* **Streaming arrivals** — ``requests`` may be any iterable ordered by
+  ``(arrival_s, session_id)``; exactly one not-yet-due arrival is held in
+  the event heap, so a generator-fed multi-day trace is never
+  materialised.  Lists and tuples are sorted (and tier-validated) up
+  front, exactly as before.
+* **Keyed waiting room** — a lazy-deletion heap on
+  :meth:`~repro.serve.admission.AdmissionController.queue_order_key`
+  makes every drain admission O(log n) instead of a full re-sort.
+* **Scheduled queue timeouts** — each enqueue schedules an explicit
+  timeout event at
+  :meth:`~repro.serve.admission.AdmissionController.queue_deadline`, so
+  abandonments fire (and are stamped) at their true time even through
+  quiet stretches, instead of whenever the next unrelated event happened
+  to scan the queue.
+* **Vectorized accounting** — served/delivered/gap/violation accumulate
+  in shared numpy arrays with a per-state precomputed index, one
+  fancy-indexed add per segment instead of a python loop over residents;
+  ``ServeConfig.record_timeline=False`` additionally drops the O(events)
+  segment list for scale runs.
+
+:func:`repro.serve.reference.serve_trace_reference` is the seed
+architecture kept as an oracle; the property suite pins the two loops
+bit-identical on randomized traces.
 
 Everything is deterministic in ``(requests, policy manager seed,
 ServeConfig.seed)``: the event order is a total order, the only rng draws
@@ -34,15 +60,14 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
 from ..hw.platform import Platform
-from ..mapping.mapping import Mapping
 from ..sim.cache import EvaluationCache
 from ..sim.dynamic import Segment, Timeline, restrict_mapping
 from ..workloads.traces import SessionRequest
-from ..zoo.layers import ModelSpec
 from ..zoo.registry import MODEL_POOL, get_model
 from .admission import ADMIT, PREEMPT, QUEUE, AdmissionConfig, AdmissionController
 from .preempt import EVICT, LiveView
@@ -61,26 +86,68 @@ from .report import (
 
 __all__ = ["ServeConfig", "serve_trace"]
 
-# Same-timestamp processing order: free capacity before admitting into it.
+# Same-timestamp processing order: free capacity before admitting into
+# it; queue timeouts after everything else, so a session admitted (or
+# counted by an arrival's queue-length check) at exactly its deadline is
+# not abandoned — the strict `waited > max_wait` test of the original
+# lazy purge, now encoded in event rank.
 _RANK_DEPARTURE = 0
 _RANK_SHIFT = 1
 _RANK_ARRIVAL = 2
+_RANK_TIMEOUT = 3
 
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """One serving node's configuration."""
+    """One serving node's configuration.
+
+    ``record_timeline`` keeps the per-segment :class:`Timeline` on the
+    report; scale runs over millions of events switch it off, which
+    drops the only per-event allocation that outlives the event —
+    per-session outcomes and aggregates are unaffected.
+    """
 
     horizon_s: float = 600.0
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     pool: tuple[str, ...] = MODEL_POOL
     seed: int = 0                  # drives pool-model choice at admission
+    record_timeline: bool = True
 
     def __post_init__(self):
         if self.horizon_s <= 0:
             raise ValueError("horizon_s must be positive")
         if not self.pool:
             raise ValueError("pool must not be empty")
+
+
+class _Accumulators:
+    """Growable numpy columns of per-session service accounting.
+
+    One row per admitted session (``_Live.acc`` is the row index); a
+    segment update is a single fancy-indexed add per column over the
+    resident rows.  Kept float64 elementwise so every accumulated value
+    is bit-identical to the seed loop's per-record python-float adds.
+    """
+
+    __slots__ = ("served", "delivered", "gap", "violation", "rows")
+
+    def __init__(self, capacity: int = 64):
+        self.rows = 0
+        self.served = np.zeros(capacity)
+        self.delivered = np.zeros(capacity)
+        self.gap = np.zeros(capacity)
+        self.violation = np.zeros(capacity)
+
+    def add_row(self) -> int:
+        """Claim the next row, doubling the columns when full."""
+        if self.rows == self.served.shape[0]:
+            grown = self.rows * 2
+            for name in self.__slots__[:4]:
+                column = np.zeros(grown)
+                column[:self.rows] = getattr(self, name)
+                setattr(self, name, column)
+        self.rows += 1
+        return self.rows - 1
 
 
 class _Live:
@@ -94,25 +161,22 @@ class _Live:
     for an earlier service interval.  ``pending_shift`` is the not-yet-
     fired tier shift, as an offset relative to ``last_admit_s`` —
     suspended time does not advance it, mirroring how the remaining
-    duration freezes while evicted.
+    duration freezes while evicted.  ``acc`` is the session's row in the
+    loop's :class:`_Accumulators` columns, where the served/delivered/
+    gap/violation totals live.
     """
 
     __slots__ = ("request", "model", "tier", "admitted_s", "queue_wait_s",
-                 "served", "delivered", "gap", "violation",
                  "last_admit_s", "depart_s", "epoch", "pending_shift",
-                 "evictions", "demotions", "resumptions")
+                 "evictions", "demotions", "resumptions", "acc")
 
-    def __init__(self, request: SessionRequest, model: ModelSpec,
-                 admitted_s: float, queue_wait_s: float):
+    def __init__(self, request: SessionRequest, model, admitted_s: float,
+                 queue_wait_s: float, acc: int):
         self.request = request
         self.model = model
         self.tier = request.tier
         self.admitted_s = admitted_s
         self.queue_wait_s = queue_wait_s
-        self.served = 0.0
-        self.delivered = 0.0
-        self.gap = 0.0
-        self.violation = 0.0
         self.last_admit_s = admitted_s
         self.depart_s = admitted_s + request.duration_s
         self.epoch = 0
@@ -120,18 +184,45 @@ class _Live:
         self.evictions = 0
         self.demotions = 0
         self.resumptions = 0
+        self.acc = acc
 
-    def outcome(self, state: str, departed_s: float | None) -> SessionOutcome:
+    def outcome(self, state: str, departed_s: float | None,
+                acc: _Accumulators,
+                abandoned_s: float | None = None) -> SessionOutcome:
+        """Freeze this record (plus its accumulator row) as an outcome."""
+        row = self.acc
         return SessionOutcome(
             session_id=self.request.session_id, tier=self.tier,
             arrival_s=self.request.arrival_s, outcome=state,
             model=self.model.name, admitted_s=self.admitted_s,
             departed_s=departed_s, queue_wait_s=self.queue_wait_s,
-            served_seconds=self.served, delivered_inferences=self.delivered,
-            gap_seconds=self.gap, violation_seconds=self.violation,
+            served_seconds=float(acc.served[row]),
+            delivered_inferences=float(acc.delivered[row]),
+            gap_seconds=float(acc.gap[row]),
+            violation_seconds=float(acc.violation[row]),
             evictions=self.evictions, demotions=self.demotions,
-            resumptions=self.resumptions,
+            resumptions=self.resumptions, abandoned_s=abandoned_s,
         )
+
+
+class _WaitEntry:
+    """One stay in the waiting room (fresh arrival or parked eviction).
+
+    Lazy heap deletion: draining or timing out flips ``active`` instead
+    of searching the heap; stale heap items and stale timeout events
+    recognise the flag and miss.  A re-parked session gets a fresh entry,
+    so the timeout of an earlier stay can never touch it.
+    """
+
+    __slots__ = ("request", "enqueue_s", "record", "remaining", "active")
+
+    def __init__(self, request: SessionRequest, enqueue_s: float,
+                 record: _Live | None, remaining: float):
+        self.request = request
+        self.enqueue_s = enqueue_s
+        self.record = record
+        self.remaining = remaining
+        self.active = True
 
 
 def _manager_name(policy: ReplanPolicy) -> str:
@@ -142,10 +233,17 @@ def _manager_name(policy: ReplanPolicy) -> str:
     return getattr(manager, "name", "unknown")
 
 
-def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
+def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
                 platform: Platform, config: ServeConfig | None = None,
                 cache: EvaluationCache | None = None) -> ServeReport:
     """Serve a raw session-request trace and report what happened.
+
+    ``requests`` is any iterable of :class:`SessionRequest`.  A list or
+    tuple is tier-validated and sorted up front, exactly as before.  Any
+    other iterable — e.g. :func:`repro.workloads.iter_session_requests`
+    — is consumed lazily, one arrival ahead of the event clock, and must
+    already be ordered by ``(arrival_s, session_id)``; a disordered
+    stream raises :class:`ValueError` at the offending request.
 
     ``cache`` is the evaluation cache segment rates are solved through;
     pass a shared (possibly disk-loaded) instance to start warm — the
@@ -156,12 +254,28 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
         cache = EvaluationCache(platform)
     controller = AdmissionController(config.admission)
     preempting = config.admission.preemption != "none"
-    for request in requests:                   # validate tiers up front
+    rng = np.random.default_rng(config.seed)
+    horizon = config.horizon_s
+    max_wait = controller.config.max_queue_wait_s
+    capacity = controller.config.capacity
+    pool = config.pool
+
+    def validate(request: SessionRequest) -> None:
         controller.tier(request.tier)
         if request.tier_shift is not None:
             controller.tier(request.tier_shift[1])
-    rng = np.random.default_rng(config.seed)
-    horizon = config.horizon_s
+
+    results: dict[int, SessionOutcome] = {}
+    if isinstance(requests, (list, tuple)):
+        for request in requests:               # validate tiers up front
+            validate(request)
+        stream = iter(sorted(requests,
+                             key=lambda r: (r.arrival_s, r.session_id)))
+        presorted = True
+    else:
+        stream = iter(requests)
+        presorted = False
+    last_key = None
 
     heap: list[tuple] = []
     seq = 0
@@ -171,37 +285,64 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
         heapq.heappush(heap, (time, rank, seq, kind, payload))
         seq += 1
 
-    live: dict[str, _Live] = {}                # name -> record, in order
-    # Waiting room: (request, enqueue_s, suspended record | None,
-    # remaining duration).  Fresh arrivals carry no record; evicted
-    # sessions park their accounting record + unserved remainder here.
-    queue: list[tuple[SessionRequest, float, _Live | None, float]] = []
-    results: dict[int, SessionOutcome] = {}
-    epoch_seq = 0                              # admission epochs, see _Live
+    def pull_arrival() -> None:
+        """Advance the stream until one in-horizon arrival is on the heap.
 
-    for request in sorted(requests,
-                          key=lambda r: (r.arrival_s, r.session_id)):
-        if request.arrival_s < horizon:
-            push(request.arrival_s, _RANK_ARRIVAL, "arrival", request)
-        else:
+        Out-of-horizon requests get their ledger outcome immediately; an
+        ordered stream only yields those from the first one on, so this
+        drains the tail in one go and the stream ends.
+        """
+        nonlocal last_key
+        for request in stream:
+            if not presorted:
+                validate(request)
+                key = (request.arrival_s, request.session_id)
+                if last_key is not None and key < last_key:
+                    raise ValueError(
+                        "streamed session requests must be ordered by "
+                        f"(arrival_s, session_id); got {key} after "
+                        f"{last_key}")
+                last_key = key
+            if request.arrival_s < horizon:
+                push(request.arrival_s, _RANK_ARRIVAL, "arrival", request)
+                return
             # A trace sampled for a longer horizon: account for the demand
             # this run never observes instead of silently dropping it.
             results[request.session_id] = SessionOutcome(
                 session_id=request.session_id, tier=request.tier,
                 arrival_s=request.arrival_s, outcome=OUT_OF_HORIZON)
+
+    live: dict[str, _Live] = {}                # name -> record, in order
+    acc = _Accumulators()
+    # Waiting room: keyed min-heap over queue_order_key with lazy
+    # deletion; counters track the active (and active-fresh) entries so
+    # admission decisions never scan it.
+    wait_heap: list[tuple[tuple, int, _WaitEntry]] = []
+    wait_seq = 0
+    queued_total = 0
+    queued_fresh = 0
+    epoch_seq = 0                              # admission epochs, see _Live
+
+    pull_arrival()
+
     timeline = Timeline()
-    current: tuple[list[ModelSpec], Mapping] | None = None
-    incumbent: tuple[tuple[str, ...], Mapping] | None = None
+    record_timeline = config.record_timeline
+    current = None
+    incumbent = None
     clock = 0.0
     replans = 0
     kinds: dict[str, int] = {}
     decision_total = 0.0
 
-    # ------------------------------------------------------------------
-    def emit(t0: float, t1: float) -> None:
-        duration = t1 - t0
-        if duration <= 0:
-            return
+    # --------------------------------------------------------- accounting
+    # Per-segment state is a pure function of (live set, tiers, current
+    # mapping); it is rebuilt only when one of those changes, so a burst
+    # of rejected arrivals re-uses the same rates, index vector and
+    # violation mask across all its segments.
+    seg_state = None
+    seg_dirty = True
+
+    def rebuild_segment_state():
         names = tuple(live.keys())
         if current is None:
             rates = {n: 0.0 for n in names}
@@ -216,45 +357,97 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
             for n in names:                    # admitted but not yet mapped
                 rates.setdefault(n, 0.0)
                 pots.setdefault(n, 0.0)
-        timeline.segments.append(Segment(t0, t1, names, rates, pots))
-        for n, record in live.items():
-            rate = rates[n]
-            record.served += duration
-            record.delivered += rate * duration
-            if rate <= 0.0:
-                record.gap += duration
-            if pots[n] < controller.tier(record.tier).min_potential:
-                record.violation += duration
+        count = len(names)
+        idx = np.fromiter((r.acc for r in live.values()),
+                          dtype=np.intp, count=count)
+        rate_vec = np.fromiter((rates[n] for n in names),
+                               dtype=np.float64, count=count)
+        gap_rows = idx[rate_vec <= 0.0]
+        violating = np.fromiter(
+            (pots[n] < controller.tier(r.tier).min_potential
+             for n, r in live.items()), dtype=bool, count=count)
+        viol_rows = idx[violating]
+        return names, rates, pots, idx, rate_vec, gap_rows, viol_rows
 
-    # ------------------------------------------------------------------
-    def purge_queue(t: float) -> None:
-        max_wait = controller.config.max_queue_wait_s
-        kept = []
-        for request, enqueued, record, remaining in queue:
-            if t - enqueued > max_wait:
-                if record is None:
-                    results[request.session_id] = SessionOutcome(
-                        session_id=request.session_id, tier=request.tier,
-                        arrival_s=request.arrival_s, outcome=ABANDONED,
-                        queue_wait_s=max_wait)
-                else:
-                    # A suspended session that waited out the timeout is
-                    # eviction collateral, not a plain abandonment.
-                    record.queue_wait_s += max_wait
-                    results[request.session_id] = record.outcome(
-                        EVICTED, departed_s=None)
-            else:
-                kept.append((request, enqueued, record, remaining))
-        queue[:] = kept
+    def emit(t0: float, t1: float) -> None:
+        nonlocal seg_state, seg_dirty
+        duration = t1 - t0
+        if duration <= 0:
+            return
+        if seg_dirty:
+            seg_state = rebuild_segment_state()
+            seg_dirty = False
+        names, rates, pots, idx, rate_vec, gap_rows, viol_rows = seg_state
+        if record_timeline:
+            timeline.segments.append(Segment(t0, t1, names, rates, pots))
+        if idx.size:
+            acc.served[idx] += duration
+            acc.delivered[idx] += rate_vec * duration
+            if gap_rows.size:
+                acc.gap[gap_rows] += duration
+            if viol_rows.size:
+                acc.violation[viol_rows] += duration
+
+    # ------------------------------------------------------- waiting room
+    def enqueue(request: SessionRequest, t: float, record: _Live | None,
+                remaining: float) -> None:
+        nonlocal wait_seq, queued_total, queued_fresh
+        entry = _WaitEntry(request, t, record, remaining)
+        tier = record.tier if record is not None else request.tier
+        heapq.heappush(wait_heap, (
+            controller.queue_order_key(tier, t, request.session_id),
+            wait_seq, entry))
+        wait_seq += 1
+        queued_total += 1
+        if record is None:
+            queued_fresh += 1
+        deadline = controller.queue_deadline(t)
+        if deadline < horizon:
+            push(deadline, _RANK_TIMEOUT, "timeout", entry)
+
+    def deactivate(entry: _WaitEntry) -> None:
+        nonlocal queued_total, queued_fresh
+        entry.active = False
+        queued_total -= 1
+        if entry.record is None:
+            queued_fresh -= 1
+
+    def compact_wait_heap() -> None:
+        """Drop lazily deleted entries once they dominate the heap, so
+        its footprint tracks the live waiting room, not total churn."""
+        if len(wait_heap) > 64 and len(wait_heap) > 2 * queued_total:
+            wait_heap[:] = [item for item in wait_heap if item[2].active]
+            heapq.heapify(wait_heap)
+
+    def timeout(entry: _WaitEntry, t: float) -> None:
+        """Abandon a waited-out stay at its true deadline ``t``."""
+        if not entry.active:
+            return                 # drained into a slot before the bell
+        deactivate(entry)
+        compact_wait_heap()
+        record = entry.record
+        if record is None:
+            results[entry.request.session_id] = SessionOutcome(
+                session_id=entry.request.session_id,
+                tier=entry.request.tier,
+                arrival_s=entry.request.arrival_s, outcome=ABANDONED,
+                queue_wait_s=max_wait, abandoned_s=t)
+        else:
+            # A suspended session that waited out the timeout is
+            # eviction collateral, not a plain abandonment.
+            record.queue_wait_s += max_wait
+            results[entry.request.session_id] = record.outcome(
+                EVICTED, departed_s=None, acc=acc, abandoned_s=t)
 
     def admit(request: SessionRequest, t: float, queue_wait: float,
               record: _Live | None = None,
               remaining_s: float | None = None) -> None:
-        nonlocal epoch_seq
-        free = [n for n in config.pool if n not in live]
+        nonlocal epoch_seq, seg_dirty
+        free = [n for n in pool if n not in live]
         name = str(rng.choice(free))
         if record is None:
-            record = _Live(request, get_model(name), t, queue_wait)
+            record = _Live(request, get_model(name), t, queue_wait,
+                           acc.add_row())
             duration = request.duration_s
         else:
             # Resumption: the suspended record re-admits with its
@@ -268,6 +461,7 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
         record.last_admit_s = t
         record.depart_s = t + duration
         live[name] = record
+        seg_dirty = True
         if record.depart_s < horizon:
             push(record.depart_s, _RANK_DEPARTURE, "departure",
                  (name, request.session_id, record.epoch))
@@ -278,32 +472,32 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
                 push(shift_t, _RANK_SHIFT, "shift",
                      (name, request.session_id, record.epoch, new_tier))
 
-    def queue_tier(item: tuple) -> str:
-        """Drain priority follows the *current* tier of a suspended
-        record (shifts and demotions included), the request tier else."""
-        request, _, record, _ = item
-        return record.tier if record is not None else request.tier
-
     def drain(t: float) -> bool:
+        """Admit waiting sessions into freed capacity, best key first.
+
+        Keys are frozen at enqueue time — a parked record's tier cannot
+        change while suspended — so each admission is one (amortised)
+        heap pop, not a re-sort of the room.
+        """
         admitted_any = False
-        while True:
-            purge_queue(t)
-            if not queue or len(live) >= controller.config.capacity:
+        while queued_total and len(live) < capacity:
+            if all(n in live for n in pool):
                 break
-            if all(n in live for n in config.pool):
-                break
-            queue.sort(key=lambda item: controller.queue_order_key(
-                queue_tier(item), item[1], item[0].session_id))
-            request, enqueued, record, remaining = queue.pop(0)
-            admit(request, t, queue_wait=t - enqueued, record=record,
-                  remaining_s=remaining)
+            while not wait_heap[0][2].active:
+                heapq.heappop(wait_heap)
+            _, _, entry = heapq.heappop(wait_heap)
+            deactivate(entry)
+            admit(entry.request, t, queue_wait=t - entry.enqueue_s,
+                  record=entry.record, remaining_s=entry.remaining)
             admitted_any = True
         return admitted_any
 
     def evict(name: str, t: float) -> None:
         """Suspend the named session: park its record (and remainder) in
         the waiting room and free its slot + pool name."""
+        nonlocal seg_dirty
         victim = live.pop(name)
+        seg_dirty = True
         remaining = victim.depart_s - t
         if remaining <= 0:
             # A decision gap delayed the victim's own departure past this
@@ -311,45 +505,44 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
             # completes here instead of parking an empty remainder (and
             # being misreported as eviction collateral).
             results[victim.request.session_id] = victim.outcome(
-                SERVED, departed_s=t)
+                SERVED, departed_s=t, acc=acc)
             return
         victim.evictions += 1
         if victim.pending_shift is not None:
             offset, new_tier = victim.pending_shift
             victim.pending_shift = (offset - (t - victim.last_admit_s),
                                     new_tier)
-        queue.append((victim.request, t, victim, remaining))
+        enqueue(victim.request, t, victim, remaining)
 
     # ------------------------------------------------------------------
     def handle(kind: str, payload, t: float) -> bool:
         """Apply one event; returns True when a replan is needed."""
+        nonlocal seg_dirty
         if kind == "arrival":
             request = payload
-            purge_queue(t)
-            free = any(n not in live for n in config.pool)
+            free = any(n not in live for n in pool)
             if preempting and not controller.can_admit(len(live), free):
                 views = tuple(
                     LiveView(name=n, session_id=r.request.session_id,
                              tier=r.tier,
                              priority=controller.tier(r.tier).priority,
                              admitted_s=r.last_admit_s,
-                             served_s=r.served)
+                             served_s=float(acc.served[r.acc]))
                     for n, r in live.items())
                 # Suspended (evicted) sessions park in the waiting room
                 # but do not consume its bounded slots — only fresh
                 # arrivals count against queue_limit, else evictions
                 # would crowd out the very tier they were made for.
-                fresh_queued = sum(1 for item in queue
-                                   if item[2] is None)
+                queue_len = queued_fresh
             else:
-                # No policy can preempt (every queue entry is fresh, so
-                # len(queue) is exact) — or the arrival admits outright
-                # and the verdict reads neither value: skip the
+                # No policy can preempt (every queued entry is fresh, so
+                # the total count is exact) — or the arrival admits
+                # outright and the verdict reads neither value: skip the
                 # per-arrival view build either way.
                 views = None
-                fresh_queued = len(queue)
+                queue_len = queued_total
             decision, plan = controller.decide_with_plan(
-                request.tier, len(live), fresh_queued, free, views)
+                request.tier, len(live), queue_len, free, views)
             if decision == ADMIT:
                 admit(request, t, queue_wait=0.0)
                 return True
@@ -364,10 +557,11 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
                     # mid-session promotion is void with it (its heap
                     # event is ignored by the None guard below).
                     victim.pending_shift = None
+                    seg_dirty = True
                 admit(request, t, queue_wait=0.0)
                 return True
             if decision == QUEUE:
-                queue.append((request, t, None, request.duration_s))
+                enqueue(request, t, None, request.duration_s)
                 return False
             results[request.session_id] = SessionOutcome(
                 session_id=request.session_id, tier=request.tier,
@@ -380,7 +574,9 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
                     or record.epoch != epoch:
                 return False       # stale: slot reused or session resumed
             del live[name]
-            results[session_id] = record.outcome(SERVED, departed_s=t)
+            seg_dirty = True
+            results[session_id] = record.outcome(SERVED, departed_s=t,
+                                                 acc=acc)
             drain(t)
             return True
         # kind == "shift"
@@ -393,14 +589,16 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
             return False     # cancelled — e.g. voided by a renegotiation
         record.tier = new_tier
         record.pending_shift = None
+        seg_dirty = True
         return True
 
     # ------------------------------------------------------------------
     def replan(t: float) -> float:
-        nonlocal current, incumbent, replans, decision_total
+        nonlocal current, incumbent, replans, decision_total, seg_dirty
         if not live:
             current = None
             incumbent = None
+            seg_dirty = True
             return t
         workload = [record.model for record in live.values()]
         vector = np.array([controller.tier(record.tier).priority
@@ -417,18 +615,27 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
                 prev_models, prev_mapping = current
                 current = restrict_mapping(
                     prev_mapping, [m.name for m in prev_models], workload)
+            seg_dirty = True
             gap_end = min(t + gap, horizon)
             emit(t, gap_end)
             t = gap_end
         current = (workload, outcome.mapping)
         incumbent = (tuple(m.name for m in workload), outcome.mapping)
+        seg_dirty = True
         return t
 
     # ------------------------------------------------------------------
     while heap:
-        t_event = heap[0][0]
+        t_event, _, _, kind, payload = heap[0]
         if t_event >= horizon:
             break
+        if kind == "timeout":
+            # Out of band: an abandonment changes no live session, emits
+            # no segment and does not advance the clock — it only stamps
+            # the true (gap-adjusted) abandonment time on the outcome.
+            heapq.heappop(heap)
+            timeout(payload, max(clock, t_event))
+            continue
         # Events landing inside a decision gap take effect when it closes.
         effective = max(clock, t_event)
         emit(clock, effective)
@@ -436,7 +643,12 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
         needs_replan = False
         while heap and heap[0][0] == t_event:
             _, _, _, kind, payload = heapq.heappop(heap)
-            needs_replan |= handle(kind, payload, clock)
+            if kind == "timeout":
+                timeout(payload, clock)
+            else:
+                needs_replan |= handle(kind, payload, clock)
+                if kind == "arrival":
+                    pull_arrival()
         if needs_replan:
             clock = replan(clock)
 
@@ -445,20 +657,23 @@ def serve_trace(requests: list[SessionRequest], policy: ReplanPolicy,
     # ------------------------------------------------------- finalize
     for record in live.values():
         results[record.request.session_id] = record.outcome(
-            SERVING, departed_s=None)
-    max_wait = controller.config.max_queue_wait_s
-    for request, enqueued, record, _ in queue:
-        wait = horizon - enqueued
-        if record is not None:
-            record.queue_wait_s += min(wait, max_wait)
-            results[request.session_id] = record.outcome(
-                EVICTED, departed_s=None)
+            SERVING, departed_s=None, acc=acc)
+    for _, _, entry in wait_heap:
+        if not entry.active:
             continue
-        state = ABANDONED if wait > max_wait else QUEUED
-        results[request.session_id] = SessionOutcome(
-            session_id=request.session_id, tier=request.tier,
-            arrival_s=request.arrival_s, outcome=state,
-            queue_wait_s=min(wait, max_wait))
+        # Still waiting at the horizon: the timeout event would have
+        # fired inside the horizon, so the stay is shorter than max_wait.
+        wait = min(horizon - entry.enqueue_s, max_wait)
+        record = entry.record
+        if record is not None:
+            record.queue_wait_s += wait
+            results[entry.request.session_id] = record.outcome(
+                EVICTED, departed_s=None, acc=acc)
+            continue
+        results[entry.request.session_id] = SessionOutcome(
+            session_id=entry.request.session_id, tier=entry.request.tier,
+            arrival_s=entry.request.arrival_s, outcome=QUEUED,
+            queue_wait_s=wait)
 
     sessions = tuple(results[sid] for sid in sorted(results))
     return ServeReport(

@@ -88,6 +88,9 @@ class SessionOutcome:
     evictions: int = 0             # times this session was suspended
     demotions: int = 0             # times its tier was renegotiated down
     resumptions: int = 0           # times it re-admitted after eviction
+    abandoned_s: float | None = None   # when the queue timeout fired —
+    #                                set iff the session (fresh or parked)
+    #                                waited out max_queue_wait_s
 
     @property
     def mean_rate(self) -> float:

@@ -53,6 +53,7 @@ from .traces import (
     TraceConfig,
     TraceStats,
     fleet_demand_config,
+    iter_session_requests,
     poisson_trace,
     poisson_trace_with_stats,
     sample_session_requests,
@@ -82,6 +83,7 @@ __all__ = [
     "SessionRequest",
     "poisson_trace",
     "poisson_trace_with_stats",
+    "iter_session_requests",
     "sample_session_requests",
     "trace_peak_concurrency",
     "fleet_demand_config",

@@ -18,6 +18,10 @@ Two consumers read these traces:
   would-be session with its arrival time, duration and SLA tier — for the
   online serving loop (:mod:`repro.serve`), whose admission controller
   makes its own accept/queue/reject decision per request.
+  :func:`iter_session_requests` is the same sampler as a generator: one
+  request at a time, identical rng consumption, so million-session traces
+  stream straight into :func:`repro.serve.serve_trace` without ever being
+  materialised.
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ __all__ = [
     "SessionRequest",
     "poisson_trace",
     "poisson_trace_with_stats",
+    "iter_session_requests",
     "sample_session_requests",
     "trace_peak_concurrency",
     "fleet_demand_config",
@@ -176,6 +181,66 @@ def poisson_trace_with_stats(
     return sorted(events, key=lambda e: e.time), stats
 
 
+def iter_session_requests(
+        rng: np.random.Generator,
+        config: TraceConfig | None = None,
+        tiers: tuple[str, ...] = DEFAULT_TIER_CYCLE,
+        tier_shift_prob: float = 0.0,
+        shift_tier: str = "gold",
+):
+    """Stream the raw Poisson session demand, one request at a time.
+
+    The generator form of :func:`sample_session_requests`: requests are
+    yielded in arrival order as they are drawn, so a multi-day trace with
+    millions of sessions never exists in memory — the serving loop pulls
+    the next arrival only when the event clock reaches it.  Rng
+    consumption is identical to the list sampler (which is literally
+    ``list(iter_session_requests(...))``), so the two forms produce the
+    same trace for the same ``(rng state, config)``.
+
+    Tiers rotate through ``tiers`` in arrival order (deterministic and
+    balanced, like :func:`repro.workloads.sla.assign_tiers`).  Tier-shift
+    semantics: whenever ``tier_shift_prob > 0`` every session consumes
+    one uniform draw, but only a session whose tier *differs* from
+    ``shift_tier`` can carry a shift — with probability
+    ``tier_shift_prob`` it shifts to ``shift_tier`` at a uniform point of
+    its duration, while a session already in ``shift_tier`` never shifts
+    (there is nothing to shift to).  The draw-then-check order means the
+    no-op draw of a ``shift_tier`` session still advances the rng — part
+    of the determinism contract, pinned by the trace tests.
+
+    Arguments are validated eagerly (before the first request is drawn),
+    so a bad config raises at call time, not at first iteration.
+    """
+    config = config if config is not None else TraceConfig()
+    if not tiers:
+        raise ValueError("tiers must not be empty")
+    if not 0.0 <= tier_shift_prob <= 1.0:
+        raise ValueError("tier_shift_prob must be within [0, 1]")
+
+    def generate():
+        t = 0.0
+        index = 0
+        while True:
+            t += rng.exponential(1.0 / config.arrival_rate_per_s)
+            if t >= config.horizon_s:
+                return
+            duration = rng.exponential(config.mean_session_s)
+            tier = tiers[index % len(tiers)]
+            shift = None
+            if tier_shift_prob > 0.0 and rng.random() < tier_shift_prob \
+                    and tier != shift_tier:
+                shift = (float(rng.uniform(0.2, 0.8) * duration),
+                         shift_tier)
+            yield SessionRequest(
+                session_id=index, arrival_s=float(t),
+                duration_s=float(duration), tier=tier, tier_shift=shift,
+            )
+            index += 1
+
+    return generate()
+
+
 def sample_session_requests(
         rng: np.random.Generator,
         config: TraceConfig | None = None,
@@ -186,34 +251,14 @@ def sample_session_requests(
     """Sample the raw Poisson session demand, with no admission applied.
 
     Every would-be session is returned — the serving loop's admission
-    controller decides accept/queue/reject per request.  Tiers rotate
-    through ``tiers`` in arrival order (deterministic and balanced, like
-    :func:`repro.workloads.sla.assign_tiers`); with probability
-    ``tier_shift_prob`` a session carries a mid-session shift to
-    ``shift_tier`` at a uniform point of its duration.
+    controller decides accept/queue/reject per request.  The materialised
+    form of :func:`iter_session_requests` (see there for the tier
+    rotation and the exact tier-shift/rng-consumption semantics); prefer
+    the generator for long traces.
     """
-    config = config if config is not None else TraceConfig()
-    if not tiers:
-        raise ValueError("tiers must not be empty")
-    if not 0.0 <= tier_shift_prob <= 1.0:
-        raise ValueError("tier_shift_prob must be within [0, 1]")
-    requests: list[SessionRequest] = []
-    t = 0.0
-    while True:
-        t += rng.exponential(1.0 / config.arrival_rate_per_s)
-        if t >= config.horizon_s:
-            break
-        duration = rng.exponential(config.mean_session_s)
-        tier = tiers[len(requests) % len(tiers)]
-        shift = None
-        if tier_shift_prob > 0.0 and rng.random() < tier_shift_prob \
-                and tier != shift_tier:
-            shift = (float(rng.uniform(0.2, 0.8) * duration), shift_tier)
-        requests.append(SessionRequest(
-            session_id=len(requests), arrival_s=float(t),
-            duration_s=float(duration), tier=tier, tier_shift=shift,
-        ))
-    return requests
+    return list(iter_session_requests(rng, config, tiers=tiers,
+                                      tier_shift_prob=tier_shift_prob,
+                                      shift_tier=shift_tier))
 
 
 def fleet_demand_config(config: TraceConfig, num_nodes: int) -> TraceConfig:

@@ -31,9 +31,11 @@ from hypothesis import strategies as st
 from repro.baselines import GpuBaseline
 from repro.hw import orange_pi_5
 from repro.runner import DynamicScenario, FleetScenario, ScenarioRunner
-from repro.serve import AdmissionConfig, FullReplan, ServeConfig, serve_trace
+from repro.serve import (AdmissionConfig, FullReplan, ServeConfig,
+                         serve_trace, serve_trace_reference)
 from repro.sim import EvaluationCache
-from repro.workloads import TraceConfig, sample_session_requests
+from repro.workloads import (TraceConfig, iter_session_requests,
+                             sample_session_requests)
 
 PLATFORM = orange_pi_5()
 POOL = ("alexnet", "squeezenet", "mobilenet_v2", "shufflenet",
@@ -253,3 +255,85 @@ def test_renegotiation_spares_bronze_sessions():
     assert renegotiated.demotions > 0
     assert renegotiated.evicted == 0
     assert renegotiated.eviction_fairness == 1.0
+
+
+# ------------------------------------------------------------ bit identity
+# The streaming rewrite of the serving loop (generator arrivals, keyed
+# waiting room, scheduled queue timeouts, vectorized accounting) must be
+# observationally *identical* to the pre-streaming loop kept in
+# :mod:`repro.serve.reference` — same event total order, same rng
+# consumption, last-ulp-equal float accounting.  These properties pin
+# that equivalence across randomized traces and every preemption policy.
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       rate=st.sampled_from([1 / 6, 1 / 10, 1 / 20]),
+       capacity=st.integers(1, 3),
+       tiers=st.sampled_from(TIER_MIXES),
+       preemption=st.sampled_from(["none", "evict_lowest_tier",
+                                   "renegotiate"]),
+       shift_prob=st.sampled_from([0.0, 0.3]),
+       max_wait=st.sampled_from([30.0, 120.0]))
+def test_streaming_loop_bit_identical_to_reference(seed, rate, capacity,
+                                                   tiers, preemption,
+                                                   shift_prob, max_wait):
+    """Streaming loop fed by a generator == reference loop fed the list,
+    compared as whole reports (sessions, timeline, counters — dataclass
+    equality is exact float equality, no tolerance)."""
+    requests = sample_trace(seed, rate, tiers, shift_prob=shift_prob)
+    config = ServeConfig(
+        horizon_s=360.0,
+        admission=AdmissionConfig(capacity=capacity, queue_limit=6,
+                                  max_queue_wait_s=max_wait,
+                                  preemption=preemption),
+        pool=POOL, seed=0)
+    streamed = serve_trace((r for r in requests), FullReplan(GpuBaseline()),
+                           PLATFORM, config, cache=CACHE)
+    reference = serve_trace_reference(requests, FullReplan(GpuBaseline()),
+                                      PLATFORM, config, cache=CACHE)
+    assert streamed == reference
+
+
+def test_streamed_sampler_end_to_end_matches_reference():
+    """The full streaming pipeline — ``iter_session_requests`` generator
+    straight into ``serve_trace``, trace never materialised — equals the
+    materialise-everything reference pipeline."""
+    trace = TraceConfig(horizon_s=360.0, arrival_rate_per_s=1 / 8,
+                        mean_session_s=120.0, pool=POOL)
+    config = ServeConfig(
+        horizon_s=360.0,
+        admission=AdmissionConfig(capacity=2, queue_limit=6,
+                                  max_queue_wait_s=60.0,
+                                  preemption="evict_lowest_tier"),
+        pool=POOL, seed=0)
+    stream = iter_session_requests(np.random.default_rng(1234), trace,
+                                   tier_shift_prob=0.3)
+    requests = sample_session_requests(np.random.default_rng(1234), trace,
+                                       tier_shift_prob=0.3)
+    streamed = serve_trace(stream, FullReplan(GpuBaseline()), PLATFORM,
+                           config, cache=CACHE)
+    reference = serve_trace_reference(requests, FullReplan(GpuBaseline()),
+                                      PLATFORM, config, cache=CACHE)
+    assert streamed == reference
+
+
+@settings(max_examples=4, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       preemption=st.sampled_from(["none", "evict_lowest_tier"]),
+       fail=st.booleans())
+def test_fleet_report_invariant_to_worker_count(seed, preemption, fail):
+    """The fleet path stays bit-identical whether nodes run inline in one
+    worker or fan across a process pool — the streaming loop introduces
+    no cross-process nondeterminism."""
+    nodes = tuple(DynamicScenario(
+        name=f"node{i}", manager="baseline", policy="full",
+        platform=("orange_pi_5" if i == 0 else "jetson_class"),
+        seed=i, pool=POOL, capacity=2, queue_limit=6,
+        max_queue_wait_s=120.0, preemption=preemption) for i in range(2))
+    fleet = FleetScenario(
+        name="prop-workers", nodes=nodes, routing="round_robin", seed=seed,
+        horizon_s=240.0, arrival_rate_per_s=1 / 6, mean_session_s=100.0,
+        fail_at=(((0, 120.0),) if fail else ()))
+    solo = ScenarioRunner(max_workers=1).run_fleet([fleet])[0].report
+    pooled = ScenarioRunner(max_workers=2).run_fleet([fleet])[0].report
+    assert solo == pooled

@@ -56,6 +56,17 @@ class TestFlagRegressions:
             {"test_bench_serve_replan[brand_new]": row(5.0e-6)})
         assert flags == []
 
+    def test_scale_rows_guarded(self):
+        """The streaming-scale sweep is a guarded hot path: a silent
+        super-linear slip in the million-session rows must flag."""
+        rb = _load_record_bench()
+        assert "test_bench_serve_scale[" in rb.GUARDED_PREFIXES
+        flags = rb.flag_regressions(
+            {"test_bench_serve_scale[1e5]": row(6.0)},
+            {"test_bench_serve_scale[1e5]": row(9.0)})
+        assert len(flags) == 1
+        assert "test_bench_serve_scale[1e5]" in flags[0]
+
     def test_speedups_never_flagged(self):
         rb = _load_record_bench()
         flags = rb.flag_regressions(

@@ -26,6 +26,7 @@ API_MODULES = (
     "repro.serve",
     "repro.serve.admission",
     "repro.serve.loop",
+    "repro.serve.reference",
     "repro.serve.preempt",
     "repro.serve.replan",
     "repro.serve.report",

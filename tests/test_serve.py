@@ -631,3 +631,213 @@ class TestCustomLadderRenegotiation:
         # A victim already at the custom floor is still not demotable.
         assert c.plan_preemption("plat", 1, True,
                                  (live_view("a", 0, "basic", 0.1),)) is None
+
+
+# ------------------------------------------------------------ streaming
+class TestStreamingLoop:
+    """The streaming rearchitecture: generator-fed arrivals, keyed
+    waiting room, scheduled queue timeouts, vectorized accounting."""
+
+    @staticmethod
+    def _fast_policy():
+        from repro.baselines import GpuBaseline
+
+        return FullReplan(GpuBaseline())
+
+    def _sampled(self, seed=9, shift_prob=0.3):
+        return sample_session_requests(
+            np.random.default_rng(seed),
+            TraceConfig(horizon_s=360.0, arrival_rate_per_s=1 / 8,
+                        mean_session_s=120.0, pool=POOL),
+            tier_shift_prob=shift_prob)
+
+    def test_generator_input_matches_list_input(self):
+        requests = self._sampled()
+        config = serve_config(capacity=2, queue_limit=4, max_wait=60.0,
+                              horizon=360.0, preemption="evict_lowest_tier")
+        cache = EvaluationCache(PLATFORM)
+        from_list = serve_trace(requests, self._fast_policy(), PLATFORM,
+                                config, cache=cache)
+        from_stream = serve_trace((r for r in requests),
+                                  self._fast_policy(), PLATFORM, config,
+                                  cache=cache)
+        assert from_list == from_stream
+
+    def test_streaming_matches_reference_loop(self):
+        from repro.serve import serve_trace_reference
+
+        requests = self._sampled(seed=21)
+        config = serve_config(capacity=2, queue_limit=4, max_wait=60.0,
+                              horizon=360.0, preemption="renegotiate")
+        cache = EvaluationCache(PLATFORM)
+        streamed = serve_trace((r for r in requests), self._fast_policy(),
+                               PLATFORM, config, cache=cache)
+        reference = serve_trace_reference(requests, self._fast_policy(),
+                                          PLATFORM, config, cache=cache)
+        assert streamed == reference
+
+    def test_disordered_stream_rejected(self):
+        disordered = iter([request(1, 50.0, 10.0), request(0, 10.0, 10.0)])
+        with pytest.raises(ValueError, match="ordered"):
+            serve_trace(disordered, self._fast_policy(), PLATFORM,
+                        serve_config())
+
+    def test_stream_tier_validated_at_pull(self):
+        bad = iter([request(0, 1.0, 10.0, tier="platinum")])
+        with pytest.raises(ValueError, match="unknown SLA tier"):
+            serve_trace(bad, self._fast_policy(), PLATFORM, serve_config())
+
+    def test_record_timeline_off_drops_segments_only(self):
+        requests = self._sampled(seed=2)
+        base = serve_config(capacity=2, queue_limit=4, max_wait=60.0,
+                            horizon=360.0)
+        from dataclasses import replace as dc_replace
+
+        with_tl = serve_trace(requests, self._fast_policy(), PLATFORM,
+                              base)
+        without_tl = serve_trace(requests, self._fast_policy(), PLATFORM,
+                                 dc_replace(base, record_timeline=False))
+        assert without_tl.timeline.segments == []
+        assert with_tl.timeline.segments != []
+        assert without_tl.sessions == with_tl.sessions
+        assert without_tl.replans == with_tl.replans
+        assert without_tl.total_decision_seconds \
+            == with_tl.total_decision_seconds
+
+    def test_out_of_horizon_stream_tail_accounted(self):
+        stream = iter([request(0, 10.0, 20.0), request(1, 150.0, 20.0),
+                       request(2, 160.0, 20.0)])
+        report = serve_trace(stream, self._fast_policy(), PLATFORM,
+                             serve_config(horizon=100.0))
+        assert report.arrivals == 3
+        assert report.out_of_horizon == 2
+        assert report.sessions[0].outcome == "served"
+
+
+class TestQueueTimeoutEvents:
+    """Regression lock on the scheduled-timeout bugfix: abandonment
+    happens (and is stamped) at ``enqueue + max_queue_wait_s``, not at
+    whatever later event used to scan the queue — or never."""
+
+    @staticmethod
+    def _fast_policy():
+        from repro.baselines import GpuBaseline
+
+        return FullReplan(GpuBaseline())
+
+    def test_quiet_tail_abandons_at_true_deadline(self):
+        """The seed-loop bug: with no event after the deadline, the
+        queued session used to surface as 'queued' at finalize.  The
+        timeout event fires in the quiet stretch and stamps the time."""
+        requests = [request(0, 10.0, 1000.0), request(1, 20.0, 50.0)]
+        report = serve_trace(requests, self._fast_policy(), PLATFORM,
+                             serve_config(capacity=1, max_wait=60.0,
+                                          horizon=400.0))
+        waiter = report.sessions[1]
+        assert waiter.outcome == "abandoned"
+        assert waiter.queue_wait_s == pytest.approx(60.0)
+        assert waiter.abandoned_s == pytest.approx(80.0)
+
+    def test_abandonment_not_delayed_by_late_events(self):
+        """With a distant next event (first departure at t=310), the
+        abandonment is still stamped at its deadline, not detection."""
+        requests = [request(0, 10.0, 300.0), request(1, 20.0, 50.0),
+                    request(2, 330.0, 10.0)]
+        report = serve_trace(requests, self._fast_policy(), PLATFORM,
+                             serve_config(capacity=1, max_wait=60.0,
+                                          horizon=400.0))
+        waiter = report.sessions[1]
+        assert waiter.outcome == "abandoned"
+        assert waiter.abandoned_s == pytest.approx(80.0)
+
+    def test_parked_eviction_timeout_stamps_abandonment(self):
+        """A suspended (evicted) session that waits out the timeout is
+        eviction collateral — and now carries its abandonment time."""
+        requests = [request(0, 0.0, 200.0, tier="bronze"),
+                    request(1, 10.0, 500.0, tier="gold")]
+        report = serve_trace(requests, self._fast_policy(), PLATFORM,
+                             serve_config(capacity=1, max_wait=50.0,
+                                          horizon=400.0,
+                                          preemption="evict_lowest_tier"))
+        bronze = report.sessions[0]
+        assert bronze.outcome == "evicted"
+        assert bronze.evictions == 1 and bronze.resumptions == 0
+        assert bronze.queue_wait_s == pytest.approx(50.0)
+        assert bronze.abandoned_s == pytest.approx(60.0)
+
+    def test_still_queued_at_horizon_not_abandoned(self):
+        """A deadline at or past the horizon never fires: the session
+        ends 'queued' with its observed wait, no abandonment stamp."""
+        requests = [request(0, 10.0, 1000.0), request(1, 20.0, 50.0)]
+        report = serve_trace(requests, self._fast_policy(), PLATFORM,
+                             serve_config(capacity=1, max_wait=500.0,
+                                          horizon=400.0))
+        waiter = report.sessions[1]
+        assert waiter.outcome == "queued"
+        assert waiter.abandoned_s is None
+        assert waiter.queue_wait_s == pytest.approx(380.0)
+
+
+class TestKeyedWaitingRoom:
+    """Regression lock on the drain-order bugfix: the keyed heap drains
+    exactly the (tier desc, enqueue time, session id) order the seed
+    loop's per-admission re-sort produced."""
+
+    @staticmethod
+    def _fast_policy():
+        from repro.baselines import GpuBaseline
+
+        return FullReplan(GpuBaseline())
+
+    def test_drain_order_tier_then_fifo(self):
+        requests = [request(0, 0.0, 100.0, tier="gold"),
+                    request(4, 5.0, 30.0, tier="silver"),
+                    request(1, 10.0, 30.0, tier="silver"),
+                    request(3, 15.0, 30.0, tier="gold"),
+                    request(2, 20.0, 30.0, tier="gold")]
+        report = serve_trace(requests, self._fast_policy(), PLATFORM,
+                             serve_config(capacity=1, queue_limit=6,
+                                          max_wait=300.0, horizon=400.0))
+        admitted = sorted(
+            (s for s in report.sessions if s.admitted_s is not None),
+            key=lambda s: s.admitted_s)
+        # Gold before silver, FIFO within each tier.
+        assert [s.session_id for s in admitted] == [0, 3, 2, 4, 1]
+        assert all(s.outcome == "served" for s in report.sessions)
+
+    def test_drain_order_matches_reference_resort(self):
+        from repro.serve import serve_trace_reference
+
+        requests = [request(0, 0.0, 100.0, tier="gold"),
+                    request(4, 5.0, 30.0, tier="silver"),
+                    request(1, 10.0, 30.0, tier="silver"),
+                    request(3, 15.0, 30.0, tier="gold"),
+                    request(2, 20.0, 30.0, tier="gold")]
+        config = serve_config(capacity=1, queue_limit=6, max_wait=300.0,
+                              horizon=400.0)
+        heap_report = serve_trace(requests, self._fast_policy(), PLATFORM,
+                                  config)
+        sort_report = serve_trace_reference(requests, self._fast_policy(),
+                                            PLATFORM, config)
+        assert heap_report == sort_report
+
+    def test_resumed_session_drains_by_parking_time(self):
+        """A parked eviction re-enters the drain order keyed by its
+        eviction (re-enqueue) time, not its original arrival — so the
+        session suspended at t=10 resumes before the fresh same-tier
+        arrival queued at t=20."""
+        requests = [request(0, 0.0, 300.0, tier="silver"),
+                    request(1, 10.0, 40.0, tier="gold"),
+                    request(2, 20.0, 40.0, tier="silver")]
+        report = serve_trace(requests, self._fast_policy(), PLATFORM,
+                             serve_config(capacity=1, queue_limit=6,
+                                          max_wait=350.0, horizon=400.0,
+                                          preemption="evict_lowest_tier"))
+        first, gold, second = report.sessions
+        assert first.evictions == 1 and first.resumptions == 1
+        assert gold.outcome == "served"
+        # The suspended session resumes when gold departs (~t=50) and
+        # holds the node for its remaining ~290 s; the fresh silver is
+        # only admitted after that, not at the gold departure.
+        assert second.admitted_s is not None
+        assert second.admitted_s > 300.0

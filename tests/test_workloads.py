@@ -257,6 +257,73 @@ class TestSessionRequests:
         with pytest.raises(ValueError):
             sample_session_requests(rng, tier_shift_prob=1.5)
 
+    def test_iter_form_matches_list_form(self):
+        from repro.workloads import (iter_session_requests,
+                                     sample_session_requests)
+
+        config = TraceConfig(horizon_s=1500.0, arrival_rate_per_s=1 / 12)
+        streamed = list(iter_session_requests(np.random.default_rng(7),
+                                              config, tier_shift_prob=0.4))
+        sampled = sample_session_requests(np.random.default_rng(7),
+                                          config, tier_shift_prob=0.4)
+        assert streamed == sampled
+
+    def test_iter_is_lazy_but_validates_eagerly(self):
+        from repro.workloads import iter_session_requests
+
+        rng = np.random.default_rng(3)
+        state_before = rng.bit_generator.state
+        stream = iter_session_requests(rng, TraceConfig(horizon_s=800.0))
+        # No draw happened yet: the generator body has not started.
+        assert rng.bit_generator.state == state_before
+        first = next(stream)
+        assert first.session_id == 0
+        assert rng.bit_generator.state != state_before
+        # ...but argument validation is eager, before any draw.
+        with pytest.raises(ValueError):
+            iter_session_requests(np.random.default_rng(3), tiers=())
+
+    def test_shift_tier_sessions_consume_draw_but_never_shift(self):
+        """Rng-consumption contract of the tier-shift draw.
+
+        Whenever ``tier_shift_prob > 0`` *every* session consumes one
+        uniform draw — including sessions already in ``shift_tier``,
+        which can never shift.  The no-op draw advances the rng, so
+        traces with and without shifts diverge after the first session;
+        a mirrored manual replay pins the exact draw order.
+        """
+        from repro.workloads import sample_session_requests
+
+        config = TraceConfig(horizon_s=1200.0, arrival_rate_per_s=1 / 15)
+        requests = sample_session_requests(
+            np.random.default_rng(11), config, tiers=("gold",),
+            tier_shift_prob=0.9, shift_tier="gold")
+        assert len(requests) > 10
+        assert all(r.tier_shift is None for r in requests)
+
+        # Mirror the sampler draw by draw: inter-arrival exponential,
+        # duration exponential, then exactly one uniform (consumed and
+        # discarded because tier == shift_tier).
+        mirror = np.random.default_rng(11)
+        t = 0.0
+        replayed = []
+        while True:
+            t += mirror.exponential(1.0 / config.arrival_rate_per_s)
+            if t >= config.horizon_s:
+                break
+            duration = mirror.exponential(config.mean_session_s)
+            mirror.random()                  # the no-op shift draw
+            replayed.append((float(t), float(duration)))
+        assert [(r.arrival_s, r.duration_s) for r in requests] == replayed
+
+        # Dropping the probability removes the draw, so the second
+        # arrival onward sees a different rng stream.
+        without = sample_session_requests(
+            np.random.default_rng(11), config, tiers=("gold",),
+            tier_shift_prob=0.0)
+        assert without[0] == requests[0]
+        assert without[1].arrival_s != requests[1].arrival_s
+
 
 # ------------------------------------------------------------------ SLA
 class TestSla:
