@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-prop bench serve-demo docs-check
+.PHONY: test test-prop bench serve-demo obs-demo docs-check
 
 ## Tier-1 verification: the full test suite in benchmark smoke mode.
 test:
@@ -24,6 +24,11 @@ bench:
 ## policies, with evaluation-cache persistence between runs.
 serve-demo:
 	$(PY) examples/serve_trace.py
+
+## Telemetry demo: one observed trace, recorder on/off report identity,
+## JSONL export summarized through tools/trace_summary.py.
+obs-demo:
+	$(PY) examples/observe_serve.py
 
 ## Validate every intra-repo link in README.md, ROADMAP.md and docs/*.md
 ## (tests/test_docs.py runs the same check under tier-1).

@@ -3,7 +3,8 @@
 
 ``make bench`` runs this: it invokes ``benchmarks/emit_bench_json.py``
 (which refreshes ``BENCH_micro.json``) and then appends the distilled
-record, stamped with the run date, as one JSON line to
+record, stamped with the run date and the checkout's short git SHA
+(omitted outside a git checkout), as one JSON line to
 ``BENCH_history.jsonl``.  Committing the history file accumulates a
 machine-readable perf trajectory across PRs — the batch-vs-scalar sweep
 (``test_bench_simulator_solve_batch[*]``) and the serve replan-policy
@@ -34,7 +35,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Benchmark-name prefixes guarded against silent slowdowns.
 GUARDED_PREFIXES = ("test_bench_serve_replan[", "test_bench_serve_preempt[",
-                    "test_bench_serve_scale[",
+                    "test_bench_serve_scale[", "test_bench_serve_obs[",
                     "test_bench_estimator_predict[")
 
 #: Relative mean-time growth beyond which a guarded row is flagged.
@@ -72,6 +73,28 @@ def flag_regressions(previous: dict, current: dict,
     return flags
 
 
+def git_sha(repo_root: Path = REPO_ROOT) -> str | None:
+    """Short commit SHA of ``repo_root``'s checkout, or ``None``.
+
+    History entries stamped with the SHA tie each perf row to the exact
+    tree that produced it — ``git log`` alone cannot, because the entry is
+    committed one revision *after* the code it measured.  Returns ``None``
+    (and stamps nothing) when the checkout is not a git repository, git is
+    not installed, or the repo has no commits yet: a perf record from a
+    tarball export is still a perf record.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root, capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    sha = proc.stdout.strip()
+    return sha or None
+
+
 def last_history_entry(history_path: Path) -> dict | None:
     """The most recent history entry, or ``None`` for a fresh file."""
     if not history_path.exists():
@@ -99,6 +122,9 @@ def main() -> None:
         "meta": record.get("meta", {}),
         "benchmarks": record.get("benchmarks", {}),
     }
+    sha = git_sha()
+    if sha is not None:
+        entry["git_sha"] = sha
     previous = last_history_entry(history_path)
     if previous is not None:
         flags = flag_regressions(previous.get("benchmarks", {}),

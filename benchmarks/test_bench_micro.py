@@ -394,3 +394,83 @@ def test_bench_serve_scale(benchmark, n):
         big_wall, big_n = _SCALE_WALL[100_000]
         assert big_wall / big_n <= 8.0 * (small_wall / small_n), \
             "serving loop no longer scales near-linearly in trace length"
+
+
+_OBS_WALL: dict[str, float] = {}   # mode -> wall seconds
+_OBS_REPORTS: dict[str, object] = {}
+
+
+@pytest.mark.parametrize("mode", ["off", "on"])
+def test_bench_serve_obs(benchmark, mode):
+    """Telemetry-recorder overhead on the streaming serving loop.
+
+    Serves the same ~1e3-session scale trace (rate 1/4, capacity 4,
+    preemption on, ``record_timeline=False``) with the recorder off and
+    with a :class:`repro.obs.TelemetryRecorder` attached, and pins both
+    contracts of the subsystem: the reports are **bit-identical** (the
+    recorder is a pure side channel) and the on-path wall clock stays
+    within 10% of the off-path (plus a 20 ms absolute floor so a
+    sub-second off row cannot flake the ratio on scheduler noise).  Both
+    rows land in ``BENCH_history.jsonl`` and are guarded against silent
+    regression by ``benchmarks/record_bench.py``.
+    """
+    import time
+
+    from repro.baselines import GpuBaseline
+    from repro.obs import NULL_RECORDER, TelemetryRecorder
+    from repro.serve import AdmissionConfig, FullReplan, ServeConfig, serve_trace
+    from repro.workloads import TraceConfig, iter_session_requests
+
+    n = 1_000
+    pool = ("alexnet", "squeezenet", "mobilenet_v2", "shufflenet")
+    horizon = n * 4.0
+    trace = TraceConfig(horizon_s=horizon, arrival_rate_per_s=1 / 4,
+                        mean_session_s=90.0, pool=pool)
+    config = ServeConfig(
+        horizon_s=horizon,
+        admission=AdmissionConfig(capacity=4, queue_limit=8,
+                                  max_queue_wait_s=120.0,
+                                  preemption="evict_lowest_tier"),
+        pool=pool, seed=0, record_timeline=False)
+    cache = EvaluationCache(PLATFORM)
+    policy = FullReplan(GpuBaseline())
+    # Warm the solver cache so both rows time the event core + recorder,
+    # not first-touch contention solves.
+    serve_trace(iter_session_requests(np.random.default_rng(7),
+                                      TraceConfig(horizon_s=400.0,
+                                                  arrival_rate_per_s=1 / 4,
+                                                  mean_session_s=90.0,
+                                                  pool=pool),
+                                      tier_shift_prob=0.2),
+                policy, PLATFORM,
+                ServeConfig(horizon_s=400.0, admission=config.admission,
+                            pool=pool, seed=0, record_timeline=False),
+                cache=cache)
+
+    recorder = (TelemetryRecorder(where="bench") if mode == "on"
+                else NULL_RECORDER)
+
+    def run():
+        stream = iter_session_requests(np.random.default_rng(7), trace,
+                                       tier_shift_prob=0.2)
+        t0 = time.perf_counter()
+        report = serve_trace(stream, policy, PLATFORM, config, cache=cache,
+                             recorder=recorder)
+        _OBS_WALL[mode] = time.perf_counter() - t0
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    _OBS_REPORTS[mode] = report
+    assert 0.9 * n <= report.arrivals <= 1.1 * n
+    if mode == "on":
+        snap = recorder.snapshot()
+        assert snap.counter_total("serve.admission.verdict") \
+            == report.arrivals
+        assert len(snap.segments) > 0
+        if "off" in _OBS_REPORTS:
+            assert report == _OBS_REPORTS["off"], \
+                "recorder changed the report — the side channel leaked"
+        if "off" in _OBS_WALL:
+            assert _OBS_WALL["on"] <= 1.10 * _OBS_WALL["off"] + 0.02, \
+                (f"recorder overhead {_OBS_WALL['on'] / _OBS_WALL['off'] - 1:.0%} "
+                 "exceeds the 10% budget")

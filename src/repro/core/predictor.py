@@ -14,6 +14,12 @@ from ..estimator.model import ThroughputEstimator
 from ..hw.platform import Platform
 from ..mapping.mapping import Mapping
 from ..mapping.qtensor import build_q_tensor_batch
+from ..obs import NULL_RECORDER, Recorder
+from ..obs.registry import (
+    PREDICT_BATCH_SIZE,
+    PREDICT_CALLS,
+    PREDICT_MODELED_S,
+)
 from ..sim.cache import EvaluationCache
 from ..vqvae.train import EmbeddingCache
 from ..zoo.layers import ModelSpec
@@ -22,7 +28,17 @@ __all__ = ["RatePredictor", "EstimatorPredictor", "OraclePredictor"]
 
 
 class RatePredictor:
-    """Interface: per-DNN rate predictions for a batch of mappings."""
+    """Interface: per-DNN rate predictions for a batch of mappings.
+
+    ``recorder`` is the telemetry sink scoring metrics flow to
+    (:mod:`repro.obs`); it defaults to the no-op
+    :data:`~repro.obs.NULL_RECORDER` and is replaced per run by
+    :func:`repro.runner.resolve_predictor` when a scenario observes.
+    Predictions never depend on it.
+    """
+
+    #: Telemetry sink for scoring metrics; no-op unless a run observes.
+    recorder: Recorder = NULL_RECORDER
 
     def predict(self, workload: list[ModelSpec],
                 mappings: list[Mapping]) -> np.ndarray:  # pragma: no cover
@@ -86,6 +102,12 @@ class EstimatorPredictor(RatePredictor):
             )
         if not mappings:
             return np.zeros((0, len(workload)), dtype=np.float32)
+        if self.recorder.enabled:
+            self.recorder.count(PREDICT_CALLS)
+            self.recorder.observe(PREDICT_BATCH_SIZE, len(mappings))
+            self.recorder.count(
+                PREDICT_MODELED_S,
+                len(mappings) * self.board_latency_per_eval)
         embeddings = self.embedder.for_workload(workload)
         q = build_q_tensor_batch(workload, mappings, embeddings,
                                  cfg.num_components, cfg.max_dnns,

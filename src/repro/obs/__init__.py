@@ -1,0 +1,55 @@
+"""Deterministic telemetry & tracing for the serving stack.
+
+``repro.obs`` is the observability layer: a zero-overhead-when-off
+:class:`Recorder` the serving loop, admission controller, preemption and
+replan policies, fleet dispatcher and estimator predictor all accept.
+With the default :data:`NULL_RECORDER` nothing is collected and reports
+are untouched; with a :class:`TelemetryRecorder` the same run
+additionally produces a :class:`TelemetrySnapshot` — counters, gauges,
+streaming histograms, a top-K decision-span trace stamped in *simulated*
+time, and realized ``(workload, mapping, rates)`` segment usage — all
+bounded-memory, all bit-reproducible, and mergeable across process-pool
+workers (:func:`merge_snapshots`) without changing a single bit relative
+to a 1-worker run.
+
+Traces persist as versioned JSONL (:func:`write_trace` /
+:func:`read_trace`); :func:`export_segments` emits the realized plan
+usage the estimator fine-tuning loop will train on.  The metric and
+span names live in :mod:`repro.obs.registry`.  See
+``docs/observability.md`` for the full contract.
+"""
+
+from .recorder import (
+    HISTOGRAM_EDGES,
+    NULL_RECORDER,
+    SCHEMA_VERSION,
+    HistogramState,
+    Recorder,
+    SegmentUsage,
+    Span,
+    TelemetryRecorder,
+    TelemetrySnapshot,
+    merge_snapshots,
+)
+from .export import TRACE_SCHEMA, export_segments, read_trace, write_trace
+from .registry import METRICS, SPANS, Metric
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "HISTOGRAM_EDGES",
+    "TRACE_SCHEMA",
+    "Metric",
+    "METRICS",
+    "SPANS",
+    "Recorder",
+    "NULL_RECORDER",
+    "TelemetryRecorder",
+    "Span",
+    "HistogramState",
+    "SegmentUsage",
+    "TelemetrySnapshot",
+    "merge_snapshots",
+    "write_trace",
+    "read_trace",
+    "export_segments",
+]

@@ -1,0 +1,483 @@
+"""Deterministic, bounded-memory telemetry recorders.
+
+The serving stack takes a :class:`Recorder` everywhere it makes a
+decision.  The default is :data:`NULL_RECORDER` — an instance of the
+no-op base class, so the off path costs one attribute check per
+instrumentation site and reports stay bit-identical with recording on or
+off (the recorder is a passive side channel: it never draws randomness,
+never reorders events, never feeds anything back into a decision).
+
+:class:`TelemetryRecorder` is the recording implementation.  Everything
+it keeps is bounded and deterministic:
+
+* **Counters** and **gauges** are dictionaries keyed on the stable
+  :mod:`~repro.obs.registry` names (plus one free-form label for
+  counters); gauges remember the latest ``(simulated time, value)``.
+* **Histograms** are streaming: each observation lands in one of the
+  fixed log-spaced :data:`HISTOGRAM_EDGES` buckets, so a million
+  observations cost the same memory as ten.
+* **Spans** — the decision-path trace — are stamped in *simulated*
+  seconds with modeled decision durations (never wall clock, so traces
+  are bit-reproducible).  Retention is top-K by duration
+  (``max_spans``), compacted amortised; exact per-name totals survive in
+  the span stats regardless of which spans are retained.
+* **Segments** — realized ``(workload, mapping, rates)`` intervals —
+  aggregate duration by identical plan, so memory is bounded by plan
+  diversity, not event count (the ``record_timeline=False`` contract of
+  the streaming serving core).
+
+:meth:`TelemetryRecorder.snapshot` freezes the state into a
+:class:`TelemetrySnapshot` of plain sorted tuples — picklable across the
+process pool, comparable with ``==`` — and :func:`merge_snapshots` folds
+per-worker snapshots deterministically: the runner merges node snapshots
+in node order, so an N-worker fleet run merges to the bit-identical
+telemetry of the 1-worker run.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterable, Mapping, NamedTuple, Sequence
+
+from .registry import COUNTER, GAUGE, HISTOGRAM, METRICS, SPANS
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "HISTOGRAM_EDGES",
+    "Recorder",
+    "NULL_RECORDER",
+    "TelemetryRecorder",
+    "Span",
+    "HistogramState",
+    "SegmentUsage",
+    "TelemetrySnapshot",
+    "merge_snapshots",
+]
+
+#: Version of the snapshot/trace contract (metric registry semantics,
+#: span fields, JSONL record layout).  Bump on any incompatible change.
+SCHEMA_VERSION = 1
+
+#: Fixed histogram bucket ladder: quarter-decade log spacing over
+#: ``[1e-4, 1e4]`` seconds/counts.  Bucket ``i`` holds observations in
+#: ``(edges[i-1], edges[i]]``; bucket 0 everything at or below the first
+#: edge, the last bucket everything above the final edge — 34 buckets
+#: total, the same for every histogram, forever (part of the schema).
+HISTOGRAM_EDGES: tuple[float, ...] = tuple(
+    10.0 ** (-4.0 + k / 4.0) for k in range(33))
+
+
+class Span(NamedTuple):
+    """One traced decision, stamped in simulated time.
+
+    ``duration_s`` is the *modeled* decision cost (a replan's decision
+    seconds; 0.0 for instantaneous verdicts).  ``attrs`` is a sorted
+    tuple of ``(key, value)`` pairs with JSON-scalar values; ``seq`` is
+    the recorder-local emission index, the final tie-break that keeps
+    top-K retention a total order.
+    """
+
+    name: str
+    where: str
+    t_s: float
+    duration_s: float
+    attrs: tuple[tuple[str, object], ...]
+    seq: int
+
+
+class HistogramState(NamedTuple):
+    """Frozen streaming-histogram summary over :data:`HISTOGRAM_EDGES`."""
+
+    count: int
+    total: float
+    min_value: float
+    max_value: float
+    buckets: tuple[int, ...]       # len(HISTOGRAM_EDGES) + 1 entries
+
+
+class SegmentUsage(NamedTuple):
+    """Accumulated service time of one realized ``(workload, mapping)``.
+
+    ``workload`` is the model-name roster in mapping order,
+    ``assignments`` the mapping's per-block component rows, ``rates`` the
+    solver's realized per-DNN rates for that plan — exactly the triple
+    the estimator fine-tuning loop trains on — and ``duration_s`` the
+    total simulated seconds the plan was live.
+    """
+
+    workload: tuple[str, ...]
+    assignments: tuple[tuple[int, ...], ...]
+    rates: tuple[float, ...]
+    duration_s: float
+
+
+#: Span retention order: longest decision first, then earliest, then the
+#: stable name/where/seq tie-breaks — a total order, so top-K is unique.
+#: Index access so it ranks both :class:`Span` instances and the plain
+#: field-ordered tuples the recorder buffers internally.
+def _span_rank(span: Sequence) -> tuple:
+    return (-span[3], span[2], span[0], span[1], span[5])
+
+
+class Recorder:
+    """No-op telemetry interface — also the zero-overhead default.
+
+    Instrumentation sites call these methods unconditionally (they cost
+    one method dispatch when recording is off) and guard any *argument
+    construction* with :attr:`enabled`, so the off path allocates
+    nothing.  :data:`NULL_RECORDER` is the shared default instance;
+    :class:`TelemetryRecorder` overrides everything.
+    """
+
+    #: False on the null recorder; call sites skip attr-building work.
+    enabled: bool = False
+
+    def count(self, name: str, value: float = 1.0, label: str = "") -> None:
+        """Accumulate ``value`` onto counter ``name`` (no-op here)."""
+
+    def gauge(self, name: str, t_s: float, value: float) -> None:
+        """Record gauge ``name`` = ``value`` at simulated ``t_s`` (no-op)."""
+
+    def observe(self, name: str, value: float, label: str = "") -> None:
+        """Add one observation to histogram ``name`` (no-op here)."""
+
+    def span(self, name: str, t_s: float, duration_s: float,
+             attrs: Mapping[str, object] | Iterable = ()) -> None:
+        """Trace one decision span (no-op here)."""
+
+    def span_batch(self, name: str, items: Iterable) -> None:
+        """Bulk-ingest ``(t_s, duration_s, attrs)`` spans (no-op here)."""
+
+    def segment(self, key: tuple | None, duration_s: float) -> None:
+        """Accumulate a realized plan segment (no-op here)."""
+
+    def snapshot(self) -> "TelemetrySnapshot | None":
+        """Freeze recorded state; ``None`` from the null recorder."""
+        return None
+
+
+#: The shared zero-overhead default recorder.
+NULL_RECORDER = Recorder()
+
+
+def _check(name: str, kind: str) -> None:
+    metric = METRICS.get(name)
+    if metric is None:
+        raise KeyError(
+            f"unregistered metric {name!r}; declare it in "
+            "repro.obs.registry first")
+    if metric.kind != kind:
+        raise TypeError(
+            f"metric {name!r} is a {metric.kind}, recorded as a {kind}")
+
+
+#: Per-kind name sets: one frozenset membership test on the hot path
+#: replaces the dict-lookup-plus-compare of :func:`_check`, which only
+#: runs (for its precise error message) once a name fails the set.
+_COUNTER_NAMES = frozenset(n for n, m in METRICS.items()
+                           if m.kind == COUNTER)
+_GAUGE_NAMES = frozenset(n for n, m in METRICS.items() if m.kind == GAUGE)
+_HISTOGRAM_NAMES = frozenset(n for n, m in METRICS.items()
+                             if m.kind == HISTOGRAM)
+
+
+class TelemetryRecorder(Recorder):
+    """The recording implementation (see the module docstring).
+
+    ``where`` stamps every span with its origin (a scenario or node
+    name), which keeps merged fleet traces attributable and makes span
+    retention a total order across workers.  ``max_spans`` bounds the
+    retained trace; the top-``max_spans`` longest decisions survive,
+    per-name count/total stats stay exact regardless.
+    """
+
+    enabled = True
+
+    def __init__(self, where: str = "", max_spans: int = 64):
+        if max_spans < 1:
+            raise ValueError("max_spans must be positive")
+        self.where = where
+        self.max_spans = max_spans
+        self._counters: dict[tuple[str, str], float] = {}
+        self._gauges: dict[str, tuple[float, float]] = {}
+        # name -> [count, total, min, max, bucket-count list]
+        self._hists: dict[tuple[str, str], list] = {}
+        self._spans: list[tuple] = []      # Span fields, unwrapped
+        self._span_seq = 0
+        self._span_stats: dict[str, list] = {}     # name -> [count, total]
+        self._segments: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------- metrics
+    def count(self, name: str, value: float = 1.0, label: str = "") -> None:
+        """Accumulate ``value`` onto counter ``(name, label)``."""
+        try:
+            self._counters[name, label] += value
+        except KeyError:
+            # First tick of this key: validate the name, then seed it
+            # (an unregistered name raises before anything is stored).
+            if name not in _COUNTER_NAMES:
+                _check(name, COUNTER)
+            self._counters[name, label] = value
+
+    def gauge(self, name: str, t_s: float, value: float) -> None:
+        """Set gauge ``name`` to ``value`` at simulated ``t_s``
+        (last write wins)."""
+        if name not in _GAUGE_NAMES:
+            _check(name, GAUGE)
+        self._gauges[name] = (t_s, value)
+
+    def observe(self, name: str, value: float, label: str = "") -> None:
+        """Stream ``value`` into histogram ``(name, label)``."""
+        if name not in _HISTOGRAM_NAMES:
+            _check(name, HISTOGRAM)
+        key = (name, label)
+        state = self._hists.get(key)
+        if state is None:
+            state = [0, 0.0, value, value,
+                     [0] * (len(HISTOGRAM_EDGES) + 1)]
+            self._hists[key] = state
+        state[0] += 1
+        state[1] += value
+        if value < state[2]:
+            state[2] = value
+        if value > state[3]:
+            state[3] = value
+        state[4][bisect_left(HISTOGRAM_EDGES, value)] += 1
+
+    # --------------------------------------------------------------- spans
+    def span(self, name: str, t_s: float, duration_s: float,
+             attrs: Mapping[str, object] | Iterable = ()) -> None:
+        """Trace one decision span at simulated ``t_s``.
+
+        ``attrs`` is a mapping (or pair iterable) of JSON-scalar
+        attributes; it is canonicalised to a sorted pair tuple so equal
+        spans compare equal regardless of construction order.  A plain
+        ``tuple`` argument is trusted to be key-sorted pairs already —
+        the hot instrumentation sites build them that way to skip the
+        per-span sort.
+        """
+        if name not in SPANS:
+            raise KeyError(
+                f"unregistered span name {name!r}; declare it in "
+                "repro.obs.registry first")
+        try:
+            stats = self._span_stats[name]
+            stats[0] += 1
+            stats[1] += duration_s
+        except KeyError:
+            self._span_stats[name] = [1, duration_s]
+        if type(attrs) is not tuple:
+            attrs = tuple(sorted(
+                attrs.items() if isinstance(attrs, Mapping) else attrs))
+        seq = self._span_seq
+        self._span_seq = seq + 1
+        spans = self._spans
+        # Buffered as a plain Span-field-ordered tuple; snapshot() wraps
+        # the few retained ones in the Span type.
+        spans.append((name, self.where, t_s, duration_s, attrs, seq))
+        if len(spans) >= 2 * self.max_spans:
+            # Amortised top-K compaction: any span in the final top-K is
+            # in the top-K of every prefix containing it, so compacting
+            # early never evicts a span the full trace would retain.
+            spans.sort(key=_span_rank)
+            del spans[self.max_spans:]
+
+    def span_batch(self, name: str, items: Iterable) -> None:
+        """Bulk-ingest spans of one ``name``.
+
+        ``items`` yields ``(t_s, duration_s, attrs)`` triples in
+        emission order.  Equivalent to calling :meth:`span` per triple —
+        same retention, same stats — at a fraction of the per-span cost
+        (one validation, one stats update, hoisted locals); the serving
+        loop buffers its per-arrival admission spans and feeds them
+        through here.
+        """
+        if name not in SPANS:
+            raise KeyError(
+                f"unregistered span name {name!r}; declare it in "
+                "repro.obs.registry first")
+        spans = self._spans
+        where = self.where
+        seq = self._span_seq
+        count = 0
+        total = 0.0
+        limit = 2 * self.max_spans
+        keep = self.max_spans
+        for t_s, duration_s, attrs in items:
+            if type(attrs) is not tuple:
+                attrs = tuple(sorted(
+                    attrs.items() if isinstance(attrs, Mapping)
+                    else attrs))
+            spans.append((name, where, t_s, duration_s, attrs, seq))
+            seq += 1
+            count += 1
+            total += duration_s
+            if len(spans) >= limit:
+                spans.sort(key=_span_rank)
+                del spans[keep:]
+        self._span_seq = seq
+        if count:
+            try:
+                stats = self._span_stats[name]
+                stats[0] += count
+                stats[1] += total
+            except KeyError:
+                self._span_stats[name] = [count, total]
+
+    # ------------------------------------------------------------ segments
+    def segment(self, key: tuple | None, duration_s: float) -> None:
+        """Accumulate ``duration_s`` onto the realized plan ``key``.
+
+        ``key`` is ``(workload names, mapping assignments, rates)`` as
+        built by the serving loop's segment state; ``None`` (no deployed
+        mapping — an idle or pre-plan interval) is skipped.
+        """
+        if key is None or duration_s <= 0.0:
+            return
+        self._segments[key] = self._segments.get(key, 0.0) + duration_s
+
+    # ------------------------------------------------------------ snapshot
+    def snapshot(self) -> "TelemetrySnapshot":
+        """Freeze the recorded state into a plain-data snapshot."""
+        spans = [Span._make(s) for s in
+                 sorted(self._spans, key=_span_rank)[:self.max_spans]]
+        return TelemetrySnapshot(
+            where=self.where,
+            max_spans=self.max_spans,
+            counters=tuple(sorted(
+                (name, label, value)
+                for (name, label), value in self._counters.items())),
+            gauges=tuple(sorted(
+                (name, t_s, value)
+                for name, (t_s, value) in self._gauges.items())),
+            histograms=tuple(sorted(
+                (name, label, HistogramState(c, total, lo, hi,
+                                             tuple(buckets)))
+                for (name, label), (c, total, lo, hi, buckets)
+                in self._hists.items())),
+            spans=tuple(spans),
+            span_stats=tuple(sorted(
+                (name, count, total)
+                for name, (count, total) in self._span_stats.items())),
+            segments=tuple(
+                SegmentUsage(workload, assignments, rates, duration)
+                for (workload, assignments, rates), duration
+                in sorted(self._segments.items())),
+        )
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Frozen, order-canonical telemetry of one run (or a merged fleet).
+
+    Every field is a sorted tuple of plain values, so snapshots pickle
+    across the process pool, compare with ``==``, and round-trip through
+    the JSONL trace format (:mod:`repro.obs.export`) bit-exactly.
+    """
+
+    where: str
+    max_spans: int
+    counters: tuple[tuple[str, str, float], ...]
+    gauges: tuple[tuple[str, float, float], ...]
+    histograms: tuple[tuple[str, str, HistogramState], ...]
+    spans: tuple[Span, ...]
+    span_stats: tuple[tuple[str, int, float], ...]
+    segments: tuple[SegmentUsage, ...]
+
+    def counter(self, name: str, label: str = "") -> float:
+        """The accumulated value of counter ``(name, label)`` (0.0 if
+        never recorded)."""
+        for c_name, c_label, value in self.counters:
+            if c_name == name and c_label == label:
+                return value
+        return 0.0
+
+    def counter_total(self, name: str) -> float:
+        """The value of counter ``name`` summed across all labels."""
+        return sum(value for c_name, _, value in self.counters
+                   if c_name == name)
+
+    def gauge_value(self, name: str) -> float | None:
+        """The last written value of gauge ``name`` (``None`` if never
+        written)."""
+        for g_name, _, value in self.gauges:
+            if g_name == name:
+                return value
+        return None
+
+
+def merge_snapshots(snapshots: Sequence[TelemetrySnapshot],
+                    where: str = "merged") -> TelemetrySnapshot:
+    """Fold per-worker snapshots into one, deterministically.
+
+    Counters, histograms, span stats and segments sum; gauges keep the
+    latest simulated-time write (later snapshots win ties); spans
+    re-compact to the largest ``max_spans`` of the inputs.  The fold
+    runs in the order given — callers pass worker snapshots in task
+    order (process pools return results in input order), so the merge of
+    an N-worker run is bit-identical to the 1-worker run's.
+    """
+    counters: dict[tuple[str, str], float] = {}
+    gauges: dict[str, tuple[float, float]] = {}
+    hists: dict[tuple[str, str], list] = {}
+    spans: list[Span] = []
+    span_stats: dict[str, list] = {}
+    segments: dict[tuple, float] = {}
+    max_spans = 1
+    for snap in snapshots:
+        max_spans = max(max_spans, snap.max_spans)
+        for name, label, value in snap.counters:
+            key = (name, label)
+            counters[key] = counters.get(key, 0.0) + value
+        for name, t_s, value in snap.gauges:
+            held = gauges.get(name)
+            if held is None or t_s >= held[0]:
+                gauges[name] = (t_s, value)
+        for name, label, state in snap.histograms:
+            key = (name, label)
+            held = hists.get(key)
+            if held is None:
+                hists[key] = [state.count, state.total, state.min_value,
+                              state.max_value, list(state.buckets)]
+            else:
+                held[0] += state.count
+                held[1] += state.total
+                held[2] = min(held[2], state.min_value)
+                held[3] = max(held[3], state.max_value)
+                for i, n in enumerate(state.buckets):
+                    held[4][i] += n
+        spans.extend(snap.spans)
+        for name, count, total in snap.span_stats:
+            held = span_stats.get(name)
+            if held is None:
+                span_stats[name] = [count, total]
+            else:
+                held[0] += count
+                held[1] += total
+        for usage in snap.segments:
+            key = (usage.workload, usage.assignments, usage.rates)
+            segments[key] = segments.get(key, 0.0) + usage.duration_s
+    spans.sort(key=_span_rank)
+    return TelemetrySnapshot(
+        where=where,
+        max_spans=max_spans,
+        counters=tuple(sorted(
+            (name, label, value)
+            for (name, label), value in counters.items())),
+        gauges=tuple(sorted(
+            (name, t_s, value)
+            for name, (t_s, value) in gauges.items())),
+        histograms=tuple(sorted(
+            (name, label, HistogramState(c, total, lo, hi, tuple(buckets)))
+            for (name, label), (c, total, lo, hi, buckets)
+            in hists.items())),
+        spans=tuple(spans[:max_spans]),
+        span_stats=tuple(sorted(
+            (name, count, total)
+            for name, (count, total) in span_stats.items())),
+        segments=tuple(
+            SegmentUsage(workload, assignments, rates, duration)
+            for (workload, assignments, rates), duration
+            in sorted(segments.items())),
+    )

@@ -1,0 +1,169 @@
+"""Stable metric + span registry for the telemetry subsystem.
+
+Every metric a :class:`~repro.obs.recorder.TelemetryRecorder` will accept
+is declared here, once, with a kind and a description — instrumentation
+sites reference the module-level name constants instead of spelling raw
+strings, so a typo'd metric name fails loudly at record time instead of
+silently splitting a counter into two series.  The registry is part of
+the exported trace contract: ``tools/trace_summary.py`` and the future
+estimator fine-tuning loop key on these names, so renaming an entry is a
+schema change (bump :data:`repro.obs.recorder.SCHEMA_VERSION`).
+
+Kinds:
+
+* ``counter`` — monotonically accumulated value (events, modeled
+  seconds).  Merging sums.
+* ``gauge`` — last-written value stamped with its *simulated* time;
+  merging keeps the latest ``(t_s, value)``.
+* ``histogram`` — streaming distribution over the fixed log-spaced
+  :data:`~repro.obs.recorder.HISTOGRAM_EDGES` bucket ladder (bounded
+  memory regardless of observation count).  Merging sums buckets.
+
+Counters and histograms take an optional ``label`` — one free-form
+dimension (SLA tier, verdict, node name) under the registered base name,
+the Prometheus idiom.  The *names* are the stable registry; labels are
+data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Metric", "METRICS", "SPANS",
+           "COUNTER", "GAUGE", "HISTOGRAM"]
+
+#: Metric kinds (see module docstring for the merge semantics of each).
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One registered metric: its stable name, kind and meaning."""
+
+    name: str
+    kind: str                      # COUNTER | GAUGE | HISTOGRAM
+    unit: str                      # "1" for dimensionless counts
+    description: str
+
+
+# --------------------------------------------------------------- serve
+#: Admission verdicts, labelled ``"<tier>/<verdict>"`` — the per-tier
+#: admission funnel ``tools/trace_summary.py`` tabulates.
+ADMISSION_VERDICT = "serve.admission.verdict"
+#: Sessions entering the waiting room (fresh arrivals and parked
+#: eviction victims alike).
+QUEUE_ENQUEUED = "serve.queue.enqueued"
+#: Queue-timeout abandonments (fresh stays and parked victims).
+QUEUE_ABANDONED = "serve.queue.abandoned"
+#: Waiting-room occupancy after the latest enqueue/dequeue.
+QUEUE_DEPTH = "serve.queue.depth"
+#: Waiting-room seconds of each drained (admitted-from-queue) stay.
+QUEUE_WAIT_S = "serve.queue.wait_s"
+#: Live resident sessions after the latest admission/departure.
+LIVE_SESSIONS = "serve.sessions.live"
+#: Preemption-policy decisions, labelled by action
+#: (``evict`` / ``demote`` / ``none``).
+PREEMPT_PLAN = "serve.preempt.plan"
+#: Executed eviction (suspension) events.
+PREEMPT_EVICTIONS = "serve.preempt.evictions"
+#: Executed tier-demotion (renegotiation) events.
+PREEMPT_DEMOTIONS = "serve.preempt.demotions"
+#: Evicted sessions re-admitted from the waiting room.
+PREEMPT_RESUMPTIONS = "serve.preempt.resumptions"
+#: Replan invocations, labelled by outcome kind
+#: (``full`` / ``warm`` / ``warm_fallback`` / ``cache_hit`` / ...).
+REPLAN_INVOCATIONS = "serve.replan.invocations"
+#: Modeled decision seconds of each replan outcome.
+REPLAN_DECISION_S = "serve.replan.decision_s"
+#: Evaluation-cache hits accumulated during one serving run.
+EVAL_CACHE_HITS = "serve.eval_cache.hits"
+#: Evaluation-cache misses accumulated during one serving run.
+EVAL_CACHE_MISSES = "serve.eval_cache.misses"
+
+# --------------------------------------------------------------- fleet
+#: Sessions the dispatcher routed, labelled by target node name.
+DISPATCH_ROUTED = "fleet.dispatch.routed"
+#: Failure-drained session continuations re-routed to survivors.
+DISPATCH_REDISPATCHED = "fleet.dispatch.re_dispatched"
+#: Arrivals no alive node could take.
+DISPATCH_LOST = "fleet.dispatch.lost"
+#: Routing-policy choices, labelled ``"<policy>/<node>"``.
+ROUTING_CHOICE = "fleet.routing.choice"
+
+# ----------------------------------------------------------- estimator
+#: Learned-path candidate-scoring batches (one fused forward each).
+PREDICT_CALLS = "estimator.predict.calls"
+#: Candidate-roster size of each learned-path scoring batch.
+PREDICT_BATCH_SIZE = "estimator.predict.batch_size"
+#: Modeled on-board decision seconds accumulated by the learned path
+#: (batch size x 0.04 s/eval).
+PREDICT_MODELED_S = "estimator.predict.modeled_s"
+
+# -------------------------------------------------------------- runner
+#: Estimator-artifact platform mismatches downgraded to the oracle.
+PREDICTOR_DOWNGRADES = "runner.predictor.downgrades"
+#: cache_path files that failed to load (wrong platform / corrupt),
+#: downgraded to a cold start.
+EVAL_CACHE_DOWNGRADES = "runner.eval_cache.downgrades"
+
+
+def _m(name: str, kind: str, unit: str, description: str) -> Metric:
+    return Metric(name, kind, unit, description)
+
+
+#: The stable metric registry: every recordable name, keyed by itself.
+METRICS: dict[str, Metric] = {m.name: m for m in (
+    _m(ADMISSION_VERDICT, COUNTER, "1",
+       "admission verdicts, labelled '<tier>/<verdict>'"),
+    _m(QUEUE_ENQUEUED, COUNTER, "1", "waiting-room enqueues"),
+    _m(QUEUE_ABANDONED, COUNTER, "1", "queue-timeout abandonments"),
+    _m(QUEUE_DEPTH, GAUGE, "1", "waiting-room occupancy"),
+    _m(QUEUE_WAIT_S, HISTOGRAM, "s", "waiting-room time of drained stays"),
+    _m(LIVE_SESSIONS, GAUGE, "1", "live resident sessions"),
+    _m(PREEMPT_PLAN, COUNTER, "1",
+       "preemption-policy decisions, labelled by action"),
+    _m(PREEMPT_EVICTIONS, COUNTER, "1", "executed evictions"),
+    _m(PREEMPT_DEMOTIONS, COUNTER, "1", "executed tier demotions"),
+    _m(PREEMPT_RESUMPTIONS, COUNTER, "1", "eviction resumptions"),
+    _m(REPLAN_INVOCATIONS, COUNTER, "1",
+       "replan invocations, labelled by outcome kind"),
+    _m(REPLAN_DECISION_S, HISTOGRAM, "s",
+       "modeled decision seconds per replan"),
+    _m(EVAL_CACHE_HITS, COUNTER, "1", "evaluation-cache hits in-run"),
+    _m(EVAL_CACHE_MISSES, COUNTER, "1", "evaluation-cache misses in-run"),
+    _m(DISPATCH_ROUTED, COUNTER, "1",
+       "dispatched sessions, labelled by node"),
+    _m(DISPATCH_REDISPATCHED, COUNTER, "1",
+       "failure-drained re-dispatches"),
+    _m(DISPATCH_LOST, COUNTER, "1", "arrivals with no alive node"),
+    _m(ROUTING_CHOICE, COUNTER, "1",
+       "routing choices, labelled '<policy>/<node>'"),
+    _m(PREDICT_CALLS, COUNTER, "1", "learned-path scoring batches"),
+    _m(PREDICT_BATCH_SIZE, HISTOGRAM, "1",
+       "candidate-roster size per scoring batch"),
+    _m(PREDICT_MODELED_S, COUNTER, "s",
+       "modeled learned-path decision seconds"),
+    _m(PREDICTOR_DOWNGRADES, COUNTER, "1",
+       "estimator-artifact downgrades to the oracle"),
+    _m(EVAL_CACHE_DOWNGRADES, COUNTER, "1",
+       "cache_path files downgraded to a cold start"),
+)}
+
+
+# ---------------------------------------------------------------- spans
+#: One admission decision (duration 0; the verdict is an attribute).
+SPAN_ADMISSION = "serve.admission.decide"
+#: One executed preemption (eviction or demotion) on an arrival's behalf.
+SPAN_PREEMPT = "serve.preempt.apply"
+#: One replan decision; the span duration is the modeled decision
+#: seconds the serving loop turns into re-mapping gap time.
+SPAN_REPLAN = "serve.replan"
+#: One fleet routing decision (duration 0; the chosen node is an
+#: attribute).
+SPAN_DISPATCH = "fleet.dispatch.route"
+
+#: The stable span-name registry; recorders refuse unknown span names.
+SPANS: frozenset[str] = frozenset(
+    {SPAN_ADMISSION, SPAN_PREEMPT, SPAN_REPLAN, SPAN_DISPATCH})

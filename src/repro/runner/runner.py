@@ -29,6 +29,8 @@ from ..core.predictor import EstimatorPredictor, OraclePredictor, RatePredictor
 from ..estimator import ArtifactPlatformMismatch, load_estimator_artifact
 from ..hw import jetson_class, orange_pi_5
 from ..hw.platform import Platform
+from ..obs import NULL_RECORDER, Recorder, TelemetryRecorder, merge_snapshots
+from ..obs.registry import EVAL_CACHE_DOWNGRADES, PREDICTOR_DOWNGRADES
 from ..search import MCTSConfig
 from ..serve import AdmissionConfig, ServeConfig, build_replan_policy, serve_trace
 from ..serve.fleet import NodeSpec, build_fleet_report, node_speed, plan_dispatch
@@ -65,7 +67,8 @@ _ARTIFACT_MEMO: dict[tuple, object] = {}
 
 
 def resolve_predictor(scenario, platform: Platform,
-                      cache: EvaluationCache) -> RatePredictor:
+                      cache: EvaluationCache,
+                      recorder: Recorder = NULL_RECORDER) -> RatePredictor:
     """Build the candidate-scoring predictor a scenario's spec names.
 
     ``"oracle"`` (and any spec without a ``predictor`` field, e.g. the
@@ -75,15 +78,21 @@ def resolve_predictor(scenario, platform: Platform,
     ``scenario.estimator_path`` and scores through the learned path.
 
     Mirroring the ``cache_path`` rules, an artifact trained for a
-    *different platform* downgrades to the oracle with a warning — a
-    heterogeneous fleet sharing one artifact path legitimately warms only
-    the matching nodes — while a corrupt or missing artifact raises: the
-    predictor choice changes reports, so a broken file must fail loudly
-    rather than silently serve the wrong study.
+    *different platform* downgrades to the oracle with a warning (whose
+    message carries the artifact path and both platform fingerprints)
+    plus a :data:`~repro.obs.registry.PREDICTOR_DOWNGRADES` counter tick
+    on ``recorder`` — a heterogeneous fleet sharing one artifact path
+    legitimately warms only the matching nodes — while a corrupt or
+    missing artifact raises: the predictor choice changes reports, so a
+    broken file must fail loudly rather than silently serve the wrong
+    study.  The returned predictor reports its scoring metrics to
+    ``recorder``.
     """
     kind = getattr(scenario, "predictor", "oracle")
     if kind == "oracle":
-        return OraclePredictor(platform, cache=cache)
+        predictor = OraclePredictor(platform, cache=cache)
+        predictor.recorder = recorder
+        return predictor
     path = Path(scenario.estimator_path)
     stat = path.stat()          # missing artifact: FileNotFoundError
     key = (str(path), stat.st_mtime_ns, stat.st_size,
@@ -106,13 +115,20 @@ def resolve_predictor(scenario, platform: Platform,
         # Force emission per call: fleet sweeps reuse node names across
         # cells, and the default warnings filter would dedupe the
         # byte-identical message after the first downgrade — silencing
-        # exactly the substitution this warning exists to surface.
+        # exactly the substitution this warning exists to surface.  The
+        # mismatch message carries the artifact path and both platform
+        # fingerprints, so the warning pinpoints which file lost to
+        # which board.
         with warnings.catch_warnings():
             warnings.simplefilter("always")
             warnings.warn(
                 f"scenario {scenario.name!r}: {artifact}; downgrading to "
                 "the oracle predictor", stacklevel=2)
-        return OraclePredictor(platform, cache=cache)
+        if recorder.enabled:
+            recorder.count(PREDICTOR_DOWNGRADES)
+        predictor = OraclePredictor(platform, cache=cache)
+        predictor.recorder = recorder
+        return predictor
     if artifact.config.num_components != platform.num_components:
         # The fingerprint covers the platform only, not the estimator's
         # shapes — a Q tensor laid out for a different component count
@@ -136,7 +152,9 @@ def resolve_predictor(scenario, platform: Platform,
                 f"scenario {scenario.name!r} can reach {peak} concurrent "
                 f"DNNs but the estimator artifact caps at "
                 f"max_dnns={artifact.config.max_dnns}")
-    return EstimatorPredictor(artifact.estimator, artifact.embedder)
+    predictor = EstimatorPredictor(artifact.estimator, artifact.embedder)
+    predictor.recorder = recorder
+    return predictor
 
 
 def _mcts(scenario: Scenario) -> MCTSConfig:
@@ -147,34 +165,43 @@ def _mcts(scenario: Scenario) -> MCTSConfig:
 
 def _rankmap(mode: str):
     def build(platform: Platform, scenario: Scenario,
-              cache: EvaluationCache) -> Manager:
-        return RankMap(platform, resolve_predictor(scenario, platform, cache),
+              cache: EvaluationCache,
+              recorder: Recorder = NULL_RECORDER) -> Manager:
+        return RankMap(platform,
+                       resolve_predictor(scenario, platform, cache,
+                                         recorder=recorder),
                        RankMapConfig(mode=mode, mcts=_mcts(scenario)))
     return build
 
 
 MANAGER_SPECS: dict[str, Callable[..., Manager]] = {
-    "baseline": lambda platform, scenario, cache: GpuBaseline(),
-    "mosaic": lambda platform, scenario, cache: Mosaic(platform),
-    "odmdef": lambda platform, scenario, cache: Odmdef(
-        platform, seed=scenario.seed),
-    "ga": lambda platform, scenario, cache: GeneticManager(
-        platform, GAConfig(seed=scenario.seed)),
-    "omniboost": lambda platform, scenario, cache: OmniBoost(
-        platform, resolve_predictor(scenario, platform, cache),
-        _mcts(scenario)),
+    "baseline": lambda platform, scenario, cache, recorder=NULL_RECORDER:
+        GpuBaseline(),
+    "mosaic": lambda platform, scenario, cache, recorder=NULL_RECORDER:
+        Mosaic(platform),
+    "odmdef": lambda platform, scenario, cache, recorder=NULL_RECORDER:
+        Odmdef(platform, seed=scenario.seed),
+    "ga": lambda platform, scenario, cache, recorder=NULL_RECORDER:
+        GeneticManager(platform, GAConfig(seed=scenario.seed)),
+    "omniboost": lambda platform, scenario, cache, recorder=NULL_RECORDER:
+        OmniBoost(platform,
+                  resolve_predictor(scenario, platform, cache,
+                                    recorder=recorder),
+                  _mcts(scenario)),
     "rankmap_s": _rankmap("static"),
     "rankmap_d": _rankmap("dynamic"),
 }
 
 
 def build_manager(scenario: Scenario, platform: Platform,
-                  cache: EvaluationCache) -> Manager:
+                  cache: EvaluationCache,
+                  recorder: Recorder = NULL_RECORDER) -> Manager:
     """Build the scenario's planning manager from its roster key.
 
     Every worker constructs its manager fresh from the spec (seeded by
     the scenario), which is what makes pool results order- and
-    worker-count-independent.
+    worker-count-independent.  ``recorder`` reaches the manager's rate
+    predictor (:mod:`repro.obs`); planning decisions never depend on it.
     """
     try:
         spec = MANAGER_SPECS[scenario.manager]
@@ -182,7 +209,7 @@ def build_manager(scenario: Scenario, platform: Platform,
         raise ValueError(
             f"unknown manager {scenario.manager!r}; "
             f"choose from {sorted(MANAGER_SPECS)}") from None
-    return spec(platform, scenario, cache)
+    return spec(platform, scenario, cache, recorder)
 
 
 def execute_scenario(scenario: Scenario) -> ScenarioResult:
@@ -244,6 +271,8 @@ def _serve_requests(spec: DynamicScenario,
         raise ValueError(
             f"unknown platform {spec.platform!r}; "
             f"choose from {sorted(PLATFORM_SPECS)}") from None
+    recorder: Recorder = (TelemetryRecorder(where=spec.name)
+                          if spec.observe else NULL_RECORDER)
     preloaded = 0
     cache = None
     if spec.cache_path is not None and Path(spec.cache_path).exists():
@@ -251,12 +280,24 @@ def _serve_requests(spec: DynamicScenario,
             cache = EvaluationCache.load(spec.cache_path, platform)
             preloaded = len(cache)
         except (ValueError, KeyError, AttributeError, EOFError,
-                pickle.UnpicklingError):
+                pickle.UnpicklingError) as exc:
             cache = None   # wrong platform / unknown or corrupt format:
             #                start cold instead of aborting the sweep
+            # `exc` carries the artifact path and, for fingerprint
+            # mismatches, both platform fingerprints (EvaluationCache.load
+            # builds that message) — surface it so a silently-cold sweep
+            # node is diagnosable from the warning alone.
+            with warnings.catch_warnings():
+                warnings.simplefilter("always")
+                warnings.warn(
+                    f"scenario {spec.name!r}: failed to load evaluation "
+                    f"cache {spec.cache_path}: {exc}; starting cold",
+                    stacklevel=2)
+            if recorder.enabled:
+                recorder.count(EVAL_CACHE_DOWNGRADES)
     if cache is None:
         cache = EvaluationCache(platform)
-    manager = build_manager(spec, platform, cache)
+    manager = build_manager(spec, platform, cache, recorder=recorder)
     policy = build_replan_policy(spec.policy, manager)
 
     pool = spec.pool if spec.pool else MODEL_POOL
@@ -271,13 +312,14 @@ def _serve_requests(spec: DynamicScenario,
 
     t0 = time.perf_counter()
     report = serve_trace(requests, policy, platform, serve_config,
-                         cache=cache)
+                         cache=cache, recorder=recorder)
     wall = time.perf_counter() - t0
     return DynamicResult(
         name=spec.name, manager=spec.manager, platform=spec.platform,
         policy=spec.policy, report=report, wall_seconds=wall,
         eval_cache_hit_rate=cache.hit_rate,
         eval_cache_preloaded=preloaded,
+        telemetry=recorder.snapshot(),
     )
 
 
@@ -404,15 +446,21 @@ class ScenarioRunner:
         fleets = list(fleets)
         if not fleets:
             return []
-        prepared = []          # (fleet, specs, platforms, plan)
+        prepared = []          # (fleet, specs, platforms, plan, dispatch_snap)
         tasks: list[FleetNodeTask] = []
         for fleet in fleets:
             requests = sample_fleet_requests(fleet)
             specs = _fleet_node_specs(fleet)
+            observing = any(node.observe for node in fleet.nodes)
+            dispatch_recorder: Recorder = (
+                TelemetryRecorder(where=f"{fleet.name}/dispatch")
+                if observing else NULL_RECORDER)
             plan = plan_dispatch(requests, specs, fleet.routing,
-                                 fleet.horizon_s)
+                                 fleet.horizon_s,
+                                 recorder=dispatch_recorder)
             platforms = [node.platform for node in fleet.nodes]
-            prepared.append((fleet, specs, platforms, plan))
+            prepared.append((fleet, specs, platforms, plan,
+                             dispatch_recorder.snapshot()))
             for node, spec, slice_requests in zip(fleet.nodes, specs,
                                                   plan.node_requests):
                 horizon = (fleet.horizon_s if spec.fail_at_s is None
@@ -424,16 +472,25 @@ class ScenarioRunner:
 
         results: list[FleetResult] = []
         cursor = 0
-        for fleet, specs, platforms, plan in prepared:
+        for fleet, specs, platforms, plan, dispatch_snap in prepared:
             count = len(fleet.nodes)
             slice_results = node_results[cursor:cursor + count]
             cursor += count
             report = build_fleet_report(
                 fleet.horizon_s, fleet.routing, specs, platforms, plan,
                 [r.report for r in slice_results])
+            # Snapshots fold in a fixed order — dispatch phase first, then
+            # nodes in fleet order — so telemetry is bit-identical for any
+            # pool size, exactly like the reports themselves.
+            snaps = ([dispatch_snap] if dispatch_snap is not None else [])
+            snaps += [r.telemetry for r in slice_results
+                      if r.telemetry is not None]
+            telemetry = (merge_snapshots(snaps, where=fleet.name)
+                         if snaps else None)
             results.append(FleetResult(
                 name=fleet.name, routing=fleet.routing, report=report,
-                wall_seconds=sum(r.wall_seconds for r in slice_results)))
+                wall_seconds=sum(r.wall_seconds for r in slice_results),
+                telemetry=telemetry))
         return results
 
     def _map(self, worker: Callable, scenarios: list) -> list:

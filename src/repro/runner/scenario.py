@@ -26,6 +26,7 @@ from dataclasses import dataclass, fields
 import numpy as np
 
 from ..mapping.mapping import Mapping
+from ..obs import TelemetrySnapshot
 from ..serve.fleet.report import FleetReport
 from ..serve.preempt import PREEMPTION_POLICIES
 from ..serve.report import ServeReport
@@ -166,6 +167,13 @@ class DynamicScenario:
     predictions, different plans — but it stays a pure function of the
     spec plus the artifact bytes, so 1-vs-N-worker runs remain
     bit-identical.
+
+    ``observe`` switches on the :mod:`repro.obs` telemetry recorder for
+    the run: the worker collects admission/preemption/replan decision
+    traces, queue and cache metrics and realized plan segments into the
+    :class:`~repro.obs.TelemetrySnapshot` on ``DynamicResult.telemetry``.
+    Telemetry is a pure side channel — the report is bit-identical with
+    ``observe`` on or off.
     """
 
     name: str
@@ -187,6 +195,7 @@ class DynamicScenario:
     cache_path: str | None = None       # persisted EvaluationCache to load
     predictor: str = "oracle"           # "oracle" | "estimator"
     estimator_path: str | None = None   # trained-estimator artifact to load
+    observe: bool = False               # collect repro.obs telemetry
 
     def __post_init__(self):
         if self.horizon_s <= 0:
@@ -229,6 +238,9 @@ class DynamicResult:
     ``report`` is deterministic per spec; ``wall_seconds`` and
     ``eval_cache_hit_rate`` depend on the worker (machine load, whether a
     persisted cache was found), which is why they live outside the report.
+    ``telemetry`` is the run's :class:`~repro.obs.TelemetrySnapshot` when
+    the spec set ``observe`` (deterministic per spec, like the report);
+    ``None`` otherwise.
     """
 
     name: str
@@ -239,6 +251,7 @@ class DynamicResult:
     wall_seconds: float
     eval_cache_hit_rate: float = 0.0
     eval_cache_preloaded: int = 0       # entries loaded from cache_path
+    telemetry: TelemetrySnapshot | None = None
 
 
 @dataclass(frozen=True)
@@ -312,13 +325,17 @@ class FleetResult:
 
     ``report`` is deterministic per spec; ``wall_seconds`` (the summed
     node serving walls) depends on the machine, which is why it lives
-    outside the report.
+    outside the report.  ``telemetry`` is the deterministic merge of the
+    dispatch-phase and per-node snapshots when any node spec set
+    ``observe`` — bit-identical for any worker count — and ``None``
+    otherwise.
     """
 
     name: str
     routing: str
     report: FleetReport
     wall_seconds: float
+    telemetry: TelemetrySnapshot | None = None
 
 
 def mix_scenarios(managers: tuple[str, ...],

@@ -29,6 +29,10 @@ problem.  This subsystem closes that gap:
 ``repro.runner.DynamicScenario`` wraps a single node into a declarative
 spec for dynamic-traffic sweeps; ``repro.runner.FleetScenario`` does the
 same for whole fleets, fanning nodes across the process pool.
+
+Every decision point accepts a :class:`repro.obs.Recorder` (default: the
+zero-overhead null recorder) — see :mod:`repro.obs` for the deterministic
+telemetry subsystem and its bit-identical-reports contract.
 """
 
 from .admission import (

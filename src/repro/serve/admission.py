@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..obs import NULL_RECORDER, Recorder
+from ..obs.registry import ADMISSION_VERDICT, PREEMPT_PLAN
 from ..workloads.sla import SLA_TIERS, SlaClass
 from .preempt import (
     EVICT,
@@ -70,13 +72,31 @@ class AdmissionConfig:
 
 
 class AdmissionController:
-    """Accept / preempt / queue / reject decisions over the tier ladder."""
+    """Accept / preempt / queue / reject decisions over the tier ladder.
+
+    ``recorder`` (default: the no-op :data:`~repro.obs.NULL_RECORDER`)
+    receives one :data:`~repro.obs.registry.ADMISSION_VERDICT` counter
+    tick per decision, labelled ``"<tier>/<verdict>"`` — the per-tier
+    admission funnel.  Ticks batch locally and reach the recorder on
+    :meth:`flush_verdicts` (the serving loop flushes at end of run).
+    Recording never changes a verdict.
+    """
 
     def __init__(self, config: AdmissionConfig | None = None,
-                 tiers: tuple[SlaClass, ...] = SLA_TIERS):
+                 tiers: tuple[SlaClass, ...] = SLA_TIERS,
+                 recorder: Recorder = NULL_RECORDER):
         self.config = config if config is not None else AdmissionConfig()
         self.preemption = build_preemption_policy(self.config.preemption)
+        self.recorder = recorder
         self._tiers = {t.name: t for t in tiers}
+        # Batched admission-funnel ticks keyed ``(tier, verdict)`` and
+        # preemption-plan ticks keyed by action.  decide_with_plan runs
+        # once per arrival, so both counters accumulate locally and land
+        # on the recorder in one :meth:`flush_verdicts` call — same
+        # totals, a dict add per event instead of a labelled recorder
+        # call.
+        self._verdict_acc: dict[tuple[str, str], float] = {}
+        self._plan_acc: dict[str, float] = {}
 
     def tier(self, name: str) -> SlaClass:
         """Resolve a tier name to its :class:`SlaClass` (or raise)."""
@@ -130,17 +150,44 @@ class AdmissionController:
         cannot diverge between deciding and executing.
         """
         tier = self.tier(tier_name)
+        verdict: tuple[str, PreemptionDecision | None]
         if self.can_admit(active_count, can_place):
-            return ADMIT, None
-        if live is not None:
-            plan = self.plan_preemption(tier_name, active_count,
-                                        can_place, live)
+            verdict = (ADMIT, None)
+        else:
+            plan = (self.plan_preemption(tier_name, active_count,
+                                         can_place, live)
+                    if live is not None else None)
             if plan is not None:
-                return PREEMPT, plan
-        if queue_len < self.config.queue_limit \
-                and tier.priority >= self.config.min_queue_priority:
-            return QUEUE, None
-        return REJECT, None
+                verdict = (PREEMPT, plan)
+            elif queue_len < self.config.queue_limit \
+                    and tier.priority >= self.config.min_queue_priority:
+                verdict = (QUEUE, None)
+            else:
+                verdict = (REJECT, None)
+        if self.recorder.enabled:
+            pair = (tier_name, verdict[0])
+            acc = self._verdict_acc
+            try:
+                acc[pair] += 1.0
+            except KeyError:
+                acc[pair] = 1.0
+        return verdict
+
+    def flush_verdicts(self) -> None:
+        """Flush the batched funnel and preemption-plan ticks.
+
+        The serving loop calls this once when the run finishes; anyone
+        driving the controller directly with a recording recorder should
+        flush before snapshotting.  Idempotent: flushed ticks are
+        cleared.
+        """
+        for (tier_name, decision), value in self._verdict_acc.items():
+            self.recorder.count(ADMISSION_VERDICT, value,
+                                label=f"{tier_name}/{decision}")
+        self._verdict_acc.clear()
+        for action, value in self._plan_acc.items():
+            self.recorder.count(PREEMPT_PLAN, value, label=action)
+        self._plan_acc.clear()
 
     def plan_preemption(self, tier_name: str, active_count: int,
                         can_place: bool, live: Sequence[LiveView],
@@ -154,6 +201,15 @@ class AdmissionController:
         overcommit headroom (``capacity + max_overcommit``).
         """
         decision = self.preemption.consider(tier_name, live, self)
+        if self.recorder.enabled:
+            # The same PREEMPT_PLAN tick PreemptionPolicy.decide would
+            # emit, batched with the funnel (see flush_verdicts).
+            label = decision.action if decision is not None else "none"
+            acc = self._plan_acc
+            try:
+                acc[label] += 1.0
+            except KeyError:
+                acc[label] = 1.0
         if decision is None:
             return None
         if decision.action == EVICT:

@@ -39,6 +39,13 @@ from typing import Iterable
 import numpy as np
 
 from ...hw.platform import Platform
+from ...obs import NULL_RECORDER, Recorder
+from ...obs.registry import (
+    DISPATCH_LOST,
+    DISPATCH_REDISPATCHED,
+    DISPATCH_ROUTED,
+    SPAN_DISPATCH,
+)
 from ...sim.cache import EvaluationCache
 from ...workloads.traces import SessionRequest
 from ...zoo.registry import get_model
@@ -184,7 +191,8 @@ def _shift_forward(request: SessionRequest, now: float,
 def plan_dispatch(requests: Iterable[SessionRequest],
                   nodes: list[NodeSpec] | tuple[NodeSpec, ...],
                   routing: RoutingPolicy | str,
-                  horizon_s: float) -> DispatchPlan:
+                  horizon_s: float,
+                  recorder: Recorder = NULL_RECORDER) -> DispatchPlan:
     """Fix the complete routing of ``requests`` across ``nodes``.
 
     Walks arrivals and node failures in one deterministic event order,
@@ -196,6 +204,11 @@ def plan_dispatch(requests: Iterable[SessionRequest],
     routing key, horizon_s)``; any iterable of requests works (the
     dispatcher must see the whole demand to fix the routing, so it
     materialises the sorted arrival order here).
+
+    ``recorder`` (:mod:`repro.obs`) counts routed / re-dispatched / lost
+    sessions, the per-node routing choices, and traces one dispatch span
+    per routed arrival — as a pure side channel; the plan is
+    bit-identical with recording on or off.
     """
     if not nodes:
         raise ValueError("fleet must have at least one node")
@@ -228,21 +241,31 @@ def plan_dispatch(requests: Iterable[SessionRequest],
     lost: list[SessionRequest] = []
     re_dispatched = 0
 
+    recording = recorder.enabled
+
     def route(request: SessionRequest, t: float) -> None:
         alive = [s for s in states if s.alive]
         if not alive:
             lost.append(request)
+            if recording:
+                recorder.count(DISPATCH_LOST)
             return
         for state in alive:
             state.expire(t)
         views = [s.view() for s in alive]
-        index = policy.choose(request.tier, views)
+        index = policy.choose_observed(request.tier, views, recorder)
         target = states[index]
         if not target.alive:
             raise RuntimeError(
                 f"routing policy {policy.name!r} chose dead node {index}")
         target.assigned.append(request)
         target.live.append((t + request.duration_s, request))
+        if recording:
+            recorder.count(DISPATCH_ROUTED, label=target.spec.name)
+            recorder.span(SPAN_DISPATCH, t, 0.0,
+                          (("node", target.spec.name),
+                           ("session", request.session_id),
+                           ("tier", request.tier)))
 
     while heap:
         t, rank, _, payload = heapq.heappop(heap)
@@ -259,6 +282,8 @@ def plan_dispatch(requests: Iterable[SessionRequest],
         state.live = []
         for est_depart, request in survivors:
             re_dispatched += 1
+            if recording:
+                recorder.count(DISPATCH_REDISPATCHED)
             route(_shift_forward(request, t, est_depart - t), t)
 
     return DispatchPlan(
@@ -273,7 +298,8 @@ def plan_dispatch(requests: Iterable[SessionRequest],
 def serve_fleet(requests: Iterable[SessionRequest],
                 nodes: list[FleetNode] | tuple[FleetNode, ...],
                 routing: RoutingPolicy | str = "round_robin",
-                horizon_s: float | None = None) -> FleetReport:
+                horizon_s: float | None = None,
+                recorder: Recorder = NULL_RECORDER) -> FleetReport:
     """Dispatch ``requests`` across ``nodes`` and serve every slice inline.
 
     The single-process reference implementation of the fleet: routing via
@@ -283,7 +309,9 @@ def serve_fleet(requests: Iterable[SessionRequest],
     :class:`FleetReport`.  ``horizon_s`` defaults to the largest
     node-config horizon.  :meth:`repro.runner.ScenarioRunner.run_fleet`
     produces bit-identical reports with the nodes fanned across a process
-    pool.
+    pool.  ``recorder`` observes both the dispatch phase and every node's
+    serving loop (one shared sink on this inline path; the pool path
+    keeps per-node recorders and merges their snapshots).
     """
     if not nodes:
         raise ValueError("fleet must have at least one node")
@@ -292,7 +320,8 @@ def serve_fleet(requests: Iterable[SessionRequest],
     if horizon_s is None:
         horizon_s = max(node.config.horizon_s for node in nodes)
     specs = [node.spec for node in nodes]
-    plan = plan_dispatch(requests, specs, policy, horizon_s)
+    plan = plan_dispatch(requests, specs, policy, horizon_s,
+                         recorder=recorder)
 
     reports = []
     for node, slice_requests in zip(nodes, plan.node_requests):
@@ -302,7 +331,8 @@ def serve_fleet(requests: Iterable[SessionRequest],
         if config.horizon_s != node_horizon:
             config = replace(config, horizon_s=node_horizon)
         reports.append(serve_trace(slice_requests, node.policy,
-                                   node.platform, config, cache=node.cache))
+                                   node.platform, config, cache=node.cache,
+                                   recorder=recorder))
     platforms = [node.platform.name for node in nodes]
     return build_fleet_report(horizon_s, policy.name, specs, platforms,
                               plan, reports)

@@ -35,6 +35,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ...obs import NULL_RECORDER, Recorder
+from ...obs.registry import ROUTING_CHOICE
+
 __all__ = [
     "NodeView",
     "RoutingPolicy",
@@ -88,6 +91,22 @@ class RoutingPolicy:
     def choose(self, tier: str, nodes: Sequence[NodeView]) -> int:
         """Return the ``index`` of the node the session is routed to."""
         raise NotImplementedError  # pragma: no cover
+
+    def choose_observed(self, tier: str, nodes: Sequence[NodeView],
+                        recorder: Recorder = NULL_RECORDER) -> int:
+        """:meth:`choose`, with the pick counted on ``recorder``.
+
+        The telemetry entry point the dispatcher calls: one
+        :data:`~repro.obs.registry.ROUTING_CHOICE` counter tick per
+        routed session, labelled ``"<policy>/<node>"``.  The choice is
+        exactly ``choose``'s — recording never changes a route.
+        """
+        index = self.choose(tier, nodes)
+        if recorder.enabled:
+            chosen = next(v for v in nodes if v.index == index)
+            recorder.count(ROUTING_CHOICE,
+                           label=f"{self.name}/{chosen.name}")
+        return index
 
 
 def _drain_score(view: NodeView) -> float:

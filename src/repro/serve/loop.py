@@ -65,6 +65,24 @@ from typing import Iterable
 import numpy as np
 
 from ..hw.platform import Platform
+from ..obs import NULL_RECORDER, Recorder
+from ..obs.registry import (
+    EVAL_CACHE_HITS,
+    EVAL_CACHE_MISSES,
+    LIVE_SESSIONS,
+    PREEMPT_DEMOTIONS,
+    PREEMPT_EVICTIONS,
+    PREEMPT_RESUMPTIONS,
+    QUEUE_ABANDONED,
+    QUEUE_DEPTH,
+    QUEUE_ENQUEUED,
+    QUEUE_WAIT_S,
+    REPLAN_DECISION_S,
+    REPLAN_INVOCATIONS,
+    SPAN_ADMISSION,
+    SPAN_PREEMPT,
+    SPAN_REPLAN,
+)
 from ..sim.cache import EvaluationCache
 from ..sim.dynamic import Segment, Timeline, restrict_mapping
 from ..workloads.traces import SessionRequest
@@ -95,6 +113,11 @@ _RANK_DEPARTURE = 0
 _RANK_SHIFT = 1
 _RANK_ARRIVAL = 2
 _RANK_TIMEOUT = 3
+
+#: Buffered telemetry spans flush to the recorder in chunks of this
+#: size, so loop-side buffering stays O(chunk) on million-session
+#: traces (the recorder itself retains top-K spans only).
+_SPAN_CHUNK = 4096
 
 
 @dataclass(frozen=True)
@@ -235,7 +258,8 @@ def _manager_name(policy: ReplanPolicy) -> str:
 
 def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
                 platform: Platform, config: ServeConfig | None = None,
-                cache: EvaluationCache | None = None) -> ServeReport:
+                cache: EvaluationCache | None = None,
+                recorder: Recorder = NULL_RECORDER) -> ServeReport:
     """Serve a raw session-request trace and report what happened.
 
     ``requests`` is any iterable of :class:`SessionRequest`.  A list or
@@ -248,11 +272,77 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
     ``cache`` is the evaluation cache segment rates are solved through;
     pass a shared (possibly disk-loaded) instance to start warm — the
     report is bit-identical either way, only the wall clock changes.
+
+    ``recorder`` is the telemetry sink (:mod:`repro.obs`).  The default
+    null recorder collects nothing; a
+    :class:`~repro.obs.TelemetryRecorder` additionally captures the
+    decision path (admission verdicts, preemptions, replans), queue and
+    live-set metrics, realized plan segments and the in-run evaluation
+    cache hit/miss deltas — all as a pure side channel: the report is
+    bit-identical with recording on or off.
     """
     config = config if config is not None else ServeConfig()
     if cache is None:
         cache = EvaluationCache(platform)
-    controller = AdmissionController(config.admission)
+    recording = recorder.enabled
+    # Hot-path telemetry is accumulated locally and flushed to the
+    # recorder once at the end: gauges keep only their last write and
+    # segments sum per plan key, so the flushed snapshot is bit-identical
+    # to per-event recording at a fraction of the per-event cost.
+    live_gauge: tuple[float, float] | None = None
+    depth_gauge: tuple[float, float] | None = None
+    count_acc: dict[tuple[str, str], float] = {}
+    adm_spans: list[tuple] = []       # (t, tier, verdict, session_id)
+    replan_spans: list[tuple] = []    # (t, decision_seconds, kind, dnns)
+    tier_pairs: dict[str, tuple] = {}     # interned low-cardinality
+    verdict_pairs: dict[str, tuple] = {}  # span attr pairs
+    kind_pairs: dict[str, tuple] = {}
+
+    def tick(name: str, label: str = "") -> None:
+        """Accumulate one locally batched counter tick (recording only)."""
+        try:
+            count_acc[name, label] += 1.0
+        except KeyError:
+            count_acc[name, label] = 1.0
+
+    def flush_spans() -> None:
+        """Bulk-feed the buffered span streams to the recorder.
+
+        Runs at every :data:`_SPAN_CHUNK` boundary and once at end of
+        run; identical retained spans and stats to per-event emission
+        (only the recorder-local seq numbering shifts, which no
+        contract observes).
+        """
+        if adm_spans:
+            def admission_items():
+                for t, tier, verdict, session in adm_spans:
+                    tp = tier_pairs.get(tier)
+                    if tp is None:
+                        tp = tier_pairs[tier] = ("tier", tier)
+                    vp = verdict_pairs.get(verdict)
+                    if vp is None:
+                        vp = verdict_pairs[verdict] = ("verdict", verdict)
+                    yield t, 0.0, (("session", session), tp, vp)
+
+            recorder.span_batch(SPAN_ADMISSION, admission_items())
+            adm_spans.clear()
+        if replan_spans:
+            policy_pair = ("policy", policy.name)
+
+            def replan_items():
+                for t, duration, kind, dnns in replan_spans:
+                    kp = kind_pairs.get(kind)
+                    if kp is None:
+                        kp = kind_pairs[kind] = ("kind", kind)
+                    yield t, duration, (("dnns", dnns), kp, policy_pair)
+
+            recorder.span_batch(SPAN_REPLAN, replan_items())
+            for _, duration, _, _ in replan_spans:
+                recorder.observe(REPLAN_DECISION_S, duration)
+            replan_spans.clear()
+
+    cache_hits0, cache_misses0 = cache.hits, cache.misses
+    controller = AdmissionController(config.admission, recorder=recorder)
     preempting = config.admission.preemption != "none"
     rng = np.random.default_rng(config.seed)
     horizon = config.horizon_s
@@ -341,9 +431,19 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
     # violation mask across all its segments.
     seg_state = None
     seg_dirty = True
+    # Realized-plan accumulator cells ``[result, key, duration]``,
+    # memoised on the cache's SimResult identity: the cache returns the
+    # *same* result object for a repeated (workload, mapping), and
+    # holding the result in the cell keeps its id from being reused.  A
+    # rebuild for a plan already seen skips re-deriving the (names,
+    # assignments, rates) triple, and emit adds onto the cell — never
+    # hashing the nested key on the hot path.  Memory is O(distinct
+    # plans), the recorder-segment contract.
+    seg_cells: dict[int, list] = {}
 
     def rebuild_segment_state():
         names = tuple(live.keys())
+        seg_cell = None
         if current is None:
             rates = {n: 0.0 for n in names}
             pots = dict(rates)
@@ -357,6 +457,16 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
             for n in names:                    # admitted but not yet mapped
                 rates.setdefault(n, 0.0)
                 pots.setdefault(n, 0.0)
+            if recording:
+                # The realized (workload, mapping, rates) identity of
+                # this plan — service time aggregates by it, so
+                # telemetry stays O(distinct plans), not O(events).
+                seg_cell = seg_cells.get(id(result))
+                if seg_cell is None:
+                    key = (tuple(m.name for m in models),
+                           mapping.assignments,
+                           tuple(float(r) for r in result.rates))
+                    seg_cell = seg_cells[id(result)] = [result, key, 0.0]
         count = len(names)
         idx = np.fromiter((r.acc for r in live.values()),
                           dtype=np.intp, count=count)
@@ -367,7 +477,7 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
             (pots[n] < controller.tier(r.tier).min_potential
              for n, r in live.items()), dtype=bool, count=count)
         viol_rows = idx[violating]
-        return names, rates, pots, idx, rate_vec, gap_rows, viol_rows
+        return names, rates, pots, idx, rate_vec, gap_rows, viol_rows, seg_cell
 
     def emit(t0: float, t1: float) -> None:
         nonlocal seg_state, seg_dirty
@@ -377,9 +487,12 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
         if seg_dirty:
             seg_state = rebuild_segment_state()
             seg_dirty = False
-        names, rates, pots, idx, rate_vec, gap_rows, viol_rows = seg_state
+        (names, rates, pots, idx, rate_vec, gap_rows, viol_rows,
+         seg_cell) = seg_state
         if record_timeline:
             timeline.segments.append(Segment(t0, t1, names, rates, pots))
+        if seg_cell is not None:          # set only when recording
+            seg_cell[2] += duration
         if idx.size:
             acc.served[idx] += duration
             acc.delivered[idx] += rate_vec * duration
@@ -391,7 +504,7 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
     # ------------------------------------------------------- waiting room
     def enqueue(request: SessionRequest, t: float, record: _Live | None,
                 remaining: float) -> None:
-        nonlocal wait_seq, queued_total, queued_fresh
+        nonlocal wait_seq, queued_total, queued_fresh, depth_gauge
         entry = _WaitEntry(request, t, record, remaining)
         tier = record.tier if record is not None else request.tier
         heapq.heappush(wait_heap, (
@@ -401,6 +514,9 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
         queued_total += 1
         if record is None:
             queued_fresh += 1
+        if recording:
+            tick(QUEUE_ENQUEUED, tier)
+            depth_gauge = (t, queued_total)
         deadline = controller.queue_deadline(t)
         if deadline < horizon:
             push(deadline, _RANK_TIMEOUT, "timeout", entry)
@@ -421,11 +537,16 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
 
     def timeout(entry: _WaitEntry, t: float) -> None:
         """Abandon a waited-out stay at its true deadline ``t``."""
+        nonlocal depth_gauge
         if not entry.active:
             return                 # drained into a slot before the bell
         deactivate(entry)
         compact_wait_heap()
         record = entry.record
+        if recording:
+            tick(QUEUE_ABANDONED, record.tier if record is not None
+                 else entry.request.tier)
+            depth_gauge = (t, queued_total)
         if record is None:
             results[entry.request.session_id] = SessionOutcome(
                 session_id=entry.request.session_id,
@@ -442,7 +563,7 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
     def admit(request: SessionRequest, t: float, queue_wait: float,
               record: _Live | None = None,
               remaining_s: float | None = None) -> None:
-        nonlocal epoch_seq, seg_dirty
+        nonlocal epoch_seq, seg_dirty, live_gauge
         free = [n for n in pool if n not in live]
         name = str(rng.choice(free))
         if record is None:
@@ -456,12 +577,18 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
             record.resumptions += 1
             record.queue_wait_s += queue_wait
             duration = remaining_s
+            if recording:
+                tick(PREEMPT_RESUMPTIONS)
+        if recording and queue_wait > 0.0:
+            recorder.observe(QUEUE_WAIT_S, queue_wait)
         epoch_seq += 1
         record.epoch = epoch_seq
         record.last_admit_s = t
         record.depart_s = t + duration
         live[name] = record
         seg_dirty = True
+        if recording:
+            live_gauge = (t, len(live))
         if record.depart_s < horizon:
             push(record.depart_s, _RANK_DEPARTURE, "departure",
                  (name, request.session_id, record.epoch))
@@ -479,6 +606,7 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
         change while suspended — so each admission is one (amortised)
         heap pop, not a re-sort of the room.
         """
+        nonlocal depth_gauge
         admitted_any = False
         while queued_total and len(live) < capacity:
             if all(n in live for n in pool):
@@ -490,14 +618,18 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
             admit(entry.request, t, queue_wait=t - entry.enqueue_s,
                   record=entry.record, remaining_s=entry.remaining)
             admitted_any = True
+        if recording and admitted_any:
+            depth_gauge = (t, queued_total)
         return admitted_any
 
     def evict(name: str, t: float) -> None:
         """Suspend the named session: park its record (and remainder) in
         the waiting room and free its slot + pool name."""
-        nonlocal seg_dirty
+        nonlocal seg_dirty, live_gauge
         victim = live.pop(name)
         seg_dirty = True
+        if recording:
+            live_gauge = (t, len(live))
         remaining = victim.depart_s - t
         if remaining <= 0:
             # A decision gap delayed the victim's own departure past this
@@ -517,7 +649,7 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
     # ------------------------------------------------------------------
     def handle(kind: str, payload, t: float) -> bool:
         """Apply one event; returns True when a replan is needed."""
-        nonlocal seg_dirty
+        nonlocal seg_dirty, live_gauge
         if kind == "arrival":
             request = payload
             free = any(n not in live for n in pool)
@@ -543,10 +675,24 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
                 queue_len = queued_total
             decision, plan = controller.decide_with_plan(
                 request.tier, len(live), queue_len, free, views)
+            if recording:
+                # Highest-volume span site: buffered raw, bulk-fed to
+                # the recorder at chunk boundaries (see flush_spans).
+                adm_spans.append((t, request.tier, decision,
+                                  request.session_id))
+                if len(adm_spans) >= _SPAN_CHUNK:
+                    flush_spans()
             if decision == ADMIT:
                 admit(request, t, queue_wait=0.0)
                 return True
             if decision == PREEMPT:
+                if recording:
+                    tick(PREEMPT_EVICTIONS if plan.action == EVICT
+                         else PREEMPT_DEMOTIONS)
+                    recorder.span(SPAN_PREEMPT, t, 0.0,
+                                  (("action", plan.action),
+                                   ("session", request.session_id),
+                                   ("victim", plan.victim)))
                 if plan.action == EVICT:
                     evict(plan.victim, t)
                 else:
@@ -575,6 +721,8 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
                 return False       # stale: slot reused or session resumed
             del live[name]
             seg_dirty = True
+            if recording:
+                live_gauge = (t, len(live))
             results[session_id] = record.outcome(SERVED, departed_s=t,
                                                  acc=acc)
             drain(t)
@@ -607,6 +755,13 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
         replans += 1
         kinds[outcome.kind] = kinds.get(outcome.kind, 0) + 1
         decision_total += outcome.decision_seconds
+        if recording:
+            # Buffered like the admission spans; the invocation counter
+            # flushes from the loop's own `kinds` tally at end of run.
+            replan_spans.append((t, outcome.decision_seconds,
+                                 outcome.kind, len(workload)))
+            if len(replan_spans) >= _SPAN_CHUNK:
+                flush_spans()
         gap = max(0.0, outcome.decision_seconds)
         if gap > 0 and t < horizon:
             # Decision window: residents run the restricted incumbent,
@@ -674,6 +829,28 @@ def serve_trace(requests: Iterable[SessionRequest], policy: ReplanPolicy,
             session_id=entry.request.session_id, tier=entry.request.tier,
             arrival_s=entry.request.arrival_s, outcome=QUEUED,
             queue_wait_s=wait)
+
+    if recording:
+        # Flush the locally accumulated hot-path telemetry (see the
+        # declarations up top): batched counter ticks and per-plan
+        # segment sums in first-seen order, then the final gauge writes.
+        controller.flush_verdicts()
+        flush_spans()
+        for kind, n in kinds.items():
+            recorder.count(REPLAN_INVOCATIONS, float(n), label=kind)
+        for (name, label), value in count_acc.items():
+            recorder.count(name, value, label=label)
+        for cell in seg_cells.values():
+            recorder.segment(cell[1], cell[2])
+        if live_gauge is not None:
+            recorder.gauge(LIVE_SESSIONS, live_gauge[0], live_gauge[1])
+        if depth_gauge is not None:
+            recorder.gauge(QUEUE_DEPTH, depth_gauge[0], depth_gauge[1])
+        # In-run evaluation-cache effectiveness: deltas against the
+        # (possibly pre-warmed, possibly shared) cache's starting totals.
+        recorder.count(EVAL_CACHE_HITS, float(cache.hits - cache_hits0))
+        recorder.count(EVAL_CACHE_MISSES,
+                       float(cache.misses - cache_misses0))
 
     sessions = tuple(results[sid] for sid in sorted(results))
     return ServeReport(

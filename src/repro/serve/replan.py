@@ -31,6 +31,12 @@ import numpy as np
 from ..core.manager import Manager, RankMap
 from ..core.priorities import dynamic_priorities, normalize_priorities
 from ..mapping.mapping import Mapping, gpu_only_mapping
+from ..obs import NULL_RECORDER, Recorder
+from ..obs.registry import (
+    REPLAN_DECISION_S,
+    REPLAN_INVOCATIONS,
+    SPAN_REPLAN,
+)
 from ..search.reward import DISQUALIFIED, mapping_reward, thresholds_for
 from ..zoo.layers import ModelSpec
 
@@ -74,6 +80,34 @@ class ReplanPolicy:
         vector for static-mode managers, ``None`` in dynamic mode.
         """
         raise NotImplementedError  # pragma: no cover
+
+    def replan_observed(self, workload: list[ModelSpec],
+                        priorities: np.ndarray | None,
+                        incumbent: Incumbent | None,
+                        now_s: float,
+                        recorder: Recorder = NULL_RECORDER) -> ReplanOutcome:
+        """:meth:`replan`, traced on ``recorder``.
+
+        For callers driving a policy directly (the serving loop batches
+        the identical telemetry itself): each outcome
+        ticks the kind-labelled
+        :data:`~repro.obs.registry.REPLAN_INVOCATIONS` counter, streams
+        its modeled decision seconds into the
+        :data:`~repro.obs.registry.REPLAN_DECISION_S` histogram, and
+        traces a :data:`~repro.obs.registry.SPAN_REPLAN` span at
+        simulated ``now_s`` whose duration *is* the modeled decision
+        latency.  The outcome is exactly ``replan``'s — recording never
+        feeds back into the decision.
+        """
+        outcome = self.replan(workload, priorities, incumbent)
+        if recorder.enabled:
+            recorder.count(REPLAN_INVOCATIONS, label=outcome.kind)
+            recorder.observe(REPLAN_DECISION_S, outcome.decision_seconds)
+            recorder.span(SPAN_REPLAN, now_s, outcome.decision_seconds,
+                          (("dnns", len(workload)),
+                           ("kind", outcome.kind),
+                           ("policy", self.name)))
+        return outcome
 
 
 class FullReplan(ReplanPolicy):

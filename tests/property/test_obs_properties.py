@@ -1,0 +1,181 @@
+"""Property-based tests for the :mod:`repro.obs` telemetry contracts.
+
+Three invariants, swept over randomized traces, preemption policies and
+metric streams (derandomized, so tier-1 runs are reproducible bit for
+bit):
+
+* **Zero observer effect** — ``serve_trace`` and the fleet path produce
+  bit-identical reports with the recorder on and off.  Telemetry is a
+  pure side channel: it never draws randomness, never reorders an event.
+* **Merge determinism** — serving a fleet with 1 worker and with N
+  workers yields equal merged :class:`~repro.obs.TelemetrySnapshot`
+  objects, because snapshots fold in fleet order regardless of which
+  process produced them.
+* **Trace round-trip** — ``write_trace`` then ``read_trace`` reconstructs
+  any snapshot exactly, including float values (Python's ``json`` float
+  repr round-trips) and span attribute ordering.
+
+The serving loop runs over the trivially cheap GPU-only manager so each
+hypothesis example costs one or two solver-cached ``serve_trace`` calls.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import GpuBaseline
+from repro.hw import orange_pi_5
+from repro.obs import (TelemetryRecorder, merge_snapshots, read_trace,
+                       write_trace)
+from repro.obs.registry import (COUNTER, GAUGE, HISTOGRAM, METRICS, SPANS)
+from repro.runner import DynamicScenario, FleetScenario, ScenarioRunner
+from repro.serve import AdmissionConfig, FullReplan, ServeConfig, serve_trace
+from repro.sim import EvaluationCache
+from repro.workloads import TraceConfig, sample_session_requests
+
+PLATFORM = orange_pi_5()
+POOL = ("alexnet", "squeezenet", "mobilenet_v2", "shufflenet")
+
+#: Shared solver cache: reports are warm/cold bit-identical, so sharing
+#: only cuts the suite's wall clock (same idiom as the serve properties).
+CACHE = EvaluationCache(PLATFORM)
+
+COUNTER_NAMES = sorted(n for n, m in METRICS.items() if m.kind == COUNTER)
+GAUGE_NAMES = sorted(n for n, m in METRICS.items() if m.kind == GAUGE)
+HIST_NAMES = sorted(n for n, m in METRICS.items() if m.kind == HISTOGRAM)
+SPAN_NAMES = sorted(SPANS)
+
+
+def sample_trace(seed, rate, tiers, shift_prob=0.0, horizon=320.0):
+    return sample_session_requests(
+        np.random.default_rng(seed),
+        TraceConfig(horizon_s=horizon, arrival_rate_per_s=rate,
+                    mean_session_s=110.0, pool=POOL),
+        tiers=tiers, tier_shift_prob=shift_prob)
+
+
+def serve(requests, preemption, recorder=None, capacity=2, horizon=320.0):
+    config = ServeConfig(
+        horizon_s=horizon,
+        admission=AdmissionConfig(capacity=capacity, queue_limit=5,
+                                  max_queue_wait_s=60.0,
+                                  preemption=preemption),
+        pool=POOL, seed=0)
+    kwargs = {} if recorder is None else {"recorder": recorder}
+    return serve_trace(requests, FullReplan(GpuBaseline()), PLATFORM,
+                       config, cache=CACHE, **kwargs)
+
+
+# ------------------------------------------------------ zero observer effect
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       rate=st.sampled_from([1 / 8, 1 / 14, 1 / 20]),
+       tiers=st.sampled_from([("gold", "silver", "bronze"),
+                              ("gold", "bronze"), ("bronze",)]),
+       preemption=st.sampled_from(["none", "evict_lowest_tier",
+                                   "renegotiate"]),
+       shift_prob=st.sampled_from([0.0, 0.3]))
+def test_serve_report_identical_recorder_on_off(seed, rate, tiers,
+                                                preemption, shift_prob):
+    requests = sample_trace(seed, rate, tiers, shift_prob=shift_prob)
+    off = serve(requests, preemption)
+    recorder = TelemetryRecorder(where="prop")
+    on = serve(requests, preemption, recorder=recorder)
+    assert on == off
+    snap = recorder.snapshot()
+    # The recorder actually observed the run, not a no-op shadow.
+    assert snap.counter_total("serve.admission.verdict") == len(requests)
+
+
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       routing=st.sampled_from(["round_robin", "least_loaded"]),
+       preemption=st.sampled_from(["none", "evict_lowest_tier"]))
+def test_fleet_identical_and_merge_deterministic(seed, routing, preemption):
+    """Fleet reports match observe on/off; 1- and 2-worker telemetry merge
+    to equal snapshots."""
+    def fleet(observe):
+        nodes = tuple(DynamicScenario(
+            name=f"node{i}", manager="baseline", policy="full",
+            platform="orange_pi_5", horizon_s=280.0,
+            arrival_rate_per_s=0.05, mean_session_s=90.0, capacity=2,
+            seed=seed, pool=POOL, preemption=preemption, observe=observe)
+            for i in range(2))
+        return FleetScenario(
+            name="prop_fleet", nodes=nodes, routing=routing,
+            horizon_s=280.0, arrival_rate_per_s=0.1, mean_session_s=90.0,
+            seed=seed)
+
+    off = ScenarioRunner(max_workers=1).run_fleet([fleet(False)])[0]
+    on1 = ScenarioRunner(max_workers=1).run_fleet([fleet(True)])[0]
+    on2 = ScenarioRunner(max_workers=2).run_fleet([fleet(True)])[0]
+    assert on1.report == off.report
+    assert on2.report == off.report
+    assert off.telemetry is None
+    assert on1.telemetry is not None
+    assert on1.telemetry == on2.telemetry
+
+
+# ------------------------------------------------------------- round-trip
+op_st = st.one_of(
+    st.tuples(st.just("count"), st.sampled_from(COUNTER_NAMES),
+              st.sampled_from(["", "gold", "a/b"]),
+              st.floats(0.0, 1e6, allow_nan=False)),
+    st.tuples(st.just("gauge"), st.sampled_from(GAUGE_NAMES),
+              st.floats(0.0, 1e5, allow_nan=False),
+              st.floats(-1e6, 1e6, allow_nan=False)),
+    st.tuples(st.just("observe"), st.sampled_from(HIST_NAMES),
+              st.floats(1e-7, 1e4, allow_nan=False)),
+    st.tuples(st.just("span"), st.sampled_from(SPAN_NAMES),
+              st.floats(0.0, 1e5, allow_nan=False),
+              st.floats(0.0, 10.0, allow_nan=False),
+              st.sampled_from(["gold", "evict", "full"])),
+    st.tuples(st.just("segment"), st.sampled_from(["k1", "k2"]),
+              st.floats(1e-6, 1e3, allow_nan=False)),
+)
+
+
+def apply_ops(recorder, ops):
+    for op in ops:
+        if op[0] == "count":
+            recorder.count(op[1], op[3], label=op[2])
+        elif op[0] == "gauge":
+            recorder.gauge(op[1], op[2], op[3])
+        elif op[0] == "observe":
+            recorder.observe(op[1], op[2])
+        elif op[0] == "span":
+            recorder.span(op[1], op[2], op[3], {"tier": op[4]})
+        else:
+            recorder.segment(((op[1],), ((0, 1),), (2.5,)), op[2])
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(ops=st.lists(op_st, max_size=60), max_spans=st.sampled_from([2, 64]))
+def test_trace_round_trip(tmp_path_factory, ops, max_spans):
+    recorder = TelemetryRecorder(where="rt", max_spans=max_spans)
+    apply_ops(recorder, ops)
+    snap = recorder.snapshot()
+    path = tmp_path_factory.mktemp("obs") / "trace.jsonl"
+    write_trace(snap, path)
+    assert read_trace(path) == snap
+
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(ops=st.lists(op_st, max_size=40),
+       split=st.integers(0, 40))
+def test_merge_equals_single_recorder_for_counters(ops, split):
+    """Splitting one op stream across two recorders and merging gives the
+    same counters/histograms/segments as one recorder seeing it all.
+    (Gauges and spans depend on stream order, which the split preserves.)"""
+    whole = TelemetryRecorder(where="w")
+    apply_ops(whole, ops)
+    first, second = TelemetryRecorder(where="a"), TelemetryRecorder(where="b")
+    apply_ops(first, ops[:split])
+    apply_ops(second, ops[split:])
+    merged = merge_snapshots([first.snapshot(), second.snapshot()],
+                             where="w")
+    one = whole.snapshot()
+    assert merged.counters == one.counters
+    assert merged.histograms == one.histograms
+    assert merged.segments == one.segments
+    assert merged.span_stats == one.span_stats

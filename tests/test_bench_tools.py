@@ -75,6 +75,38 @@ class TestFlagRegressions:
         assert flags == []
 
 
+class TestGitSha:
+    def test_stamps_short_sha_in_a_checkout(self):
+        """The repo under test is a git checkout, so the stamp resolves."""
+        rb = _load_record_bench()
+        sha = rb.git_sha()
+        assert sha is not None
+        assert 4 <= len(sha) <= 40
+        assert all(c in "0123456789abcdef" for c in sha)
+
+    def test_non_git_directory_returns_none(self, tmp_path):
+        """A tarball export (no .git anywhere up the tree) must stamp
+        nothing rather than crash the history append."""
+        rb = _load_record_bench()
+        # tmp_path may live under a git-controlled tree on some CI
+        # machines; guard the assumption instead of asserting blindly.
+        import subprocess
+        probe = subprocess.run(["git", "rev-parse", "--git-dir"],
+                               cwd=tmp_path, capture_output=True)
+        if probe.returncode == 0:
+            return
+        assert rb.git_sha(tmp_path) is None
+
+    def test_obs_bench_guarded(self):
+        """The recorder-overhead rows are a guarded hot path."""
+        rb = _load_record_bench()
+        assert "test_bench_serve_obs[" in rb.GUARDED_PREFIXES
+        flags = rb.flag_regressions(
+            {"test_bench_serve_obs[on]": row(1.0)},
+            {"test_bench_serve_obs[on]": row(1.5)})
+        assert len(flags) == 1
+
+
 class TestLastHistoryEntry:
     def test_reads_final_line(self, tmp_path):
         rb = _load_record_bench()

@@ -48,6 +48,10 @@ API_MODULES = (
     "repro.core.power",
     "repro.core.predictor",
     "repro.core.priorities",
+    "repro.obs",
+    "repro.obs.registry",
+    "repro.obs.recorder",
+    "repro.obs.export",
 )
 
 

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Summarize a ``repro.obs`` JSONL trace on the terminal.
+
+Reads a trace written by :func:`repro.obs.write_trace` and prints three
+views of the run:
+
+* the **counter table** — every counter, grouped by metric, labels
+  indented under their totals;
+* the **admission funnel** — per-tier verdict counts parsed from the
+  ``serve.admission.verdict`` counter's ``"<tier>/<verdict>"`` labels,
+  with an admit rate per tier;
+* the **slowest decisions** — the top-N retained spans by modeled
+  decision seconds, with their simulated timestamps and attributes.
+
+Usage:
+    PYTHONPATH=src python tools/trace_summary.py trace.jsonl [--top N]
+
+Runs from a plain checkout too: when ``repro`` is not importable the
+script retries with the repo's ``src/`` on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+try:
+    from repro.obs import TelemetrySnapshot, read_trace
+except ImportError:  # plain checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.obs import TelemetrySnapshot, read_trace
+
+from repro.obs.registry import ADMISSION_VERDICT
+
+
+def format_counters(snapshot: TelemetrySnapshot) -> list[str]:
+    """The counter table: metric totals with labeled rows indented."""
+    by_name: dict[str, list[tuple[str, float]]] = defaultdict(list)
+    for name, label, value in snapshot.counters:
+        by_name[name].append((label, value))
+    lines = ["counters:"]
+    if not by_name:
+        return lines + ["  (none)"]
+    width = max(len(name) for name in by_name) + 2
+    for name in sorted(by_name):
+        rows = by_name[name]
+        total = sum(v for _, v in rows)
+        lines.append(f"  {name:<{width}}{total:>12g}")
+        if len(rows) > 1 or rows[0][0]:
+            for label, value in sorted(rows):
+                lines.append(f"    {label or '(unlabeled)':<{width}}"
+                             f"{value:>10g}")
+    return lines
+
+
+def admission_funnel(snapshot: TelemetrySnapshot) -> list[str]:
+    """Per-tier verdict counts from the admission-verdict counter labels."""
+    funnel: dict[str, dict[str, float]] = defaultdict(dict)
+    for name, label, value in snapshot.counters:
+        if name != ADMISSION_VERDICT or "/" not in label:
+            continue
+        tier, verdict = label.split("/", 1)
+        funnel[tier][verdict] = funnel[tier].get(verdict, 0.0) + value
+    lines = ["admission funnel (per tier):"]
+    if not funnel:
+        return lines + ["  (no admission activity recorded)"]
+    for tier in sorted(funnel):
+        verdicts = funnel[tier]
+        total = sum(verdicts.values())
+        # A "preempt" verdict is an admission too (the arrival displaces
+        # a lower-tier resident), so it counts toward the admit rate.
+        admitted = verdicts.get("admit", 0.0) + verdicts.get("preempt", 0.0)
+        parts = "  ".join(f"{verdict}={verdicts[verdict]:g}"
+                          for verdict in sorted(verdicts))
+        rate = admitted / total if total else 0.0
+        lines.append(f"  {tier:<10} arrivals={total:g}  {parts}  "
+                     f"(admit rate {rate:.0%})")
+    return lines
+
+
+def slowest_spans(snapshot: TelemetrySnapshot, top: int) -> list[str]:
+    """The ``top`` slowest retained spans, slowest first."""
+    lines = [f"slowest decisions (top {top} of {len(snapshot.spans)} "
+             "retained spans):"]
+    spans = sorted(snapshot.spans,
+                   key=lambda s: (-s.duration_s, s.t_s, s.name))[:top]
+    if not spans:
+        return lines + ["  (no spans recorded)"]
+    for span in spans:
+        attrs = " ".join(f"{k}={v}" for k, v in span.attrs)
+        lines.append(f"  t={span.t_s:>10.3f}s  {span.duration_s:>8.4f}s  "
+                     f"{span.name}  {attrs}")
+    return lines
+
+
+def summarize(snapshot: TelemetrySnapshot, top: int = 10) -> str:
+    """The full report for one snapshot, as a printable string."""
+    header = [f"trace from {snapshot.where or '(unnamed)'}"]
+    sections = [format_counters(snapshot), admission_funnel(snapshot),
+                slowest_spans(snapshot, top)]
+    return "\n".join(header + [line for section in sections
+                               for line in [""] + section])
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        description="Summarize a repro.obs JSONL telemetry trace.")
+    parser.add_argument("trace", type=Path,
+                        help="path to a write_trace() JSONL file")
+    parser.add_argument("--top", type=int, default=10,
+                        help="how many slowest spans to show (default 10)")
+    args = parser.parse_args(argv)
+    try:
+        snapshot = read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(summarize(snapshot, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
