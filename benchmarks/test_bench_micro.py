@@ -474,3 +474,107 @@ def test_bench_serve_obs(benchmark, mode):
             assert _OBS_WALL["on"] <= 1.10 * _OBS_WALL["off"] + 0.02, \
                 (f"recorder overhead {_OBS_WALL['on'] / _OBS_WALL['off'] - 1:.0%} "
                  "exceeds the 10% budget")
+
+
+@pytest.mark.parametrize("mode", ["ingest", "epoch"])
+def test_bench_finetune(benchmark, mode, tmp_path):
+    """Closed-loop fine-tuning hot paths: segment ingestion and one
+    warm-start epoch.
+
+    The ``ingest`` row times folding a 512-row served-segment stream
+    (heavy on duplicates, as real traces are) through a bounded
+    :class:`repro.estimator.FinetuneBuffer` — the per-sweep cost
+    ``ExperimentContext.refresh_estimator`` pays before any gradient
+    step.  The ``epoch`` row times one warm-start epoch of
+    :func:`repro.estimator.finetune` over the deduplicated rows on a
+    reduced estimator, bounding the refresh cadence the closed loop can
+    sustain.  Both rows land in ``BENCH_history.jsonl`` and are guarded
+    against silent regression by ``benchmarks/record_bench.py``.
+    """
+    from repro.estimator import (FinetuneBuffer, FinetuneConfig,
+                                 finetune, load_estimator_artifact,
+                                 save_estimator_artifact)
+    from repro.vqvae import LayerVQVAE
+
+    pool = ("alexnet", "squeezenet", "mobilenet_v2", "shufflenet")
+    rows = []
+    for i in range(512):
+        names = [pool[j] for j in range(len(pool)) if (i >> j) % 2] \
+            or [pool[i % len(pool)]]
+        names = names[:3]
+        rows.append({
+            "workload": names,
+            "assignments": [[0] * get_model(n).num_blocks for n in names],
+            "rates": [0.5 + (i % 4) * 0.5] * len(names),
+            "duration_s": 1.0 + (i % 7),
+        })
+
+    if mode == "ingest":
+        buf = benchmark(lambda: FinetuneBuffer(max_rows=128).ingest(rows))
+        assert buf > 0
+        return
+
+    cfg = EstimatorConfig(max_dnns=4, stem_channels=8,
+                          block_channels=(8, 12, 16), attn_dim=8,
+                          decoder_dim=12)
+    path = tmp_path / "estimator.pkl"
+    save_estimator_artifact(path, ThroughputEstimator(
+        np.random.default_rng(0), cfg), LayerVQVAE(
+        np.random.default_rng(1)), PLATFORM)
+    artifact = load_estimator_artifact(path, PLATFORM)
+    buffer = FinetuneBuffer()
+    buffer.ingest(rows)
+    config = FinetuneConfig(epochs=1, batch_size=16, seed=0)
+
+    report = benchmark.pedantic(
+        lambda: finetune(artifact, buffer.rows(), config),
+        rounds=2, iterations=1)
+    assert report.rows == len(buffer)
+    assert report.steps >= 1
+
+
+@pytest.mark.parametrize("rounds", [0, 2], ids=["rounds0", "rounds2"])
+def test_bench_fleet_feedback(benchmark, rounds):
+    """Pressure-fed re-dispatch cost on the inline fleet.
+
+    Serves the same 600 s demand through a 3-node fleet under the
+    ``pressure_feedback`` roster policy with zero and two feedback
+    rounds.  Round ``k`` re-routes the full demand with the node
+    pressure measured from round ``k-1``, so the ``rounds2`` row pays
+    three complete dispatch-then-serve cycles — the pair bounds what
+    closing the routing loop costs over one-shot ``least_loaded``-style
+    dispatch.  Replanning is pinned to the trivial GPU-only manager with
+    pre-warmed per-node caches so the spread is dispatch + event-core
+    work, not solver time.
+    """
+    from repro.baselines import GpuBaseline
+    from repro.serve import AdmissionConfig, FullReplan, ServeConfig, serve_trace
+    from repro.serve.fleet import FleetNode, NodeSpec, serve_fleet
+    from repro.workloads import TraceConfig, sample_session_requests
+
+    pool = ("alexnet", "squeezenet", "mobilenet_v2", "shufflenet")
+    horizon = 600.0
+    requests = sample_session_requests(
+        np.random.default_rng(0),
+        TraceConfig(horizon_s=horizon, arrival_rate_per_s=1 / 4,
+                    mean_session_s=90.0, pool=pool))
+    nodes = []
+    for i in range(3):
+        cache = EvaluationCache(PLATFORM)
+        config = ServeConfig(
+            horizon_s=horizon,
+            admission=AdmissionConfig(capacity=2, queue_limit=4,
+                                      max_queue_wait_s=60.0),
+            pool=pool, seed=i)
+        policy = FullReplan(GpuBaseline())
+        serve_trace(requests[:8], policy, PLATFORM, config, cache=cache)
+        nodes.append(FleetNode(
+            spec=NodeSpec(name=f"n{i}", capacity=2, speed=1.0 + 0.25 * i),
+            platform=PLATFORM, policy=policy, config=config, cache=cache))
+
+    report = benchmark(lambda: serve_fleet(
+        requests, nodes, "pressure_feedback", horizon_s=horizon,
+        feedback_rounds=rounds))
+    assert report.routing == "pressure_feedback"
+    assert report.arrivals == len(requests)
+    assert report.admitted > 0

@@ -7,12 +7,26 @@ artifact format and how the serving stack loads it.
 
 from .artifact import (
     ARTIFACT_FORMAT_VERSION,
+    SUPPORTED_ARTIFACT_VERSIONS,
+    ArtifactLineage,
     ArtifactPlatformMismatch,
     EstimatorArtifact,
+    artifact_generation_candidates,
+    artifact_generation_path,
+    artifact_hash,
+    latest_artifact_generation,
     load_estimator_artifact,
     save_estimator_artifact,
 )
 from .dataset import EstimatorDataset, EstimatorSample, generate_dataset
+from .finetune import (
+    FinetuneBuffer,
+    FinetuneConfig,
+    FinetuneReport,
+    finetune,
+    refresh_artifact,
+    segment_rows_to_samples,
+)
 from .metrics import l2_loss, pairwise_ranking_accuracy, spearman_r
 from .model import EstimatorConfig, ThroughputEstimator
 from .train import (
@@ -24,10 +38,22 @@ from .train import (
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
+    "SUPPORTED_ARTIFACT_VERSIONS",
+    "ArtifactLineage",
     "ArtifactPlatformMismatch",
     "EstimatorArtifact",
+    "artifact_generation_candidates",
+    "artifact_generation_path",
+    "artifact_hash",
+    "latest_artifact_generation",
     "load_estimator_artifact",
     "save_estimator_artifact",
+    "FinetuneBuffer",
+    "FinetuneConfig",
+    "FinetuneReport",
+    "finetune",
+    "refresh_artifact",
+    "segment_rows_to_samples",
     "EstimatorDataset",
     "EstimatorSample",
     "generate_dataset",

@@ -284,6 +284,45 @@ class ExperimentContext:
             val_spearman=artifacts.estimator_val_spearman)
         return path
 
+    def refresh_estimator(self, results, config=None):
+        """Fine-tune the context's estimator on served telemetry segments.
+
+        Closes the paper's open loop: ``results`` are
+        :class:`~repro.runner.DynamicResult` /
+        :class:`~repro.runner.FleetResult` objects from an observed sweep
+        (``observe=True`` so telemetry was recorded); their realized
+        ``(workload, mapping, rates)`` segments become fine-tuning rows
+        (:func:`repro.obs.export_segments` through a
+        :class:`repro.estimator.FinetuneBuffer`, so duplicates collapse
+        deterministically) and :func:`repro.estimator.refresh_artifact`
+        warm-starts from the newest generation of
+        :meth:`estimator_artifact_path`, writing the next
+        ``.gen<N>`` sibling.  Later sweeps through
+        :meth:`serve_sweep`/:meth:`fleet_serve_sweep` pick the new
+        generation up automatically
+        (:func:`repro.runner.resolve_predictor` prefers the newest
+        compatible generation).
+
+        Returns ``(artifact_path, FinetuneReport)``.  Raises
+        ``ValueError`` when no result carries telemetry segments — a
+        silent no-op refresh would masquerade as adaptation.
+        """
+        from ..estimator import FinetuneBuffer, refresh_artifact
+        from ..obs import export_segments
+
+        buffer = FinetuneBuffer()
+        for result in results:
+            snapshot = getattr(result, "telemetry", None)
+            if snapshot is not None:
+                buffer.ingest(export_segments(snapshot))
+        rows = buffer.rows()
+        if not rows:
+            raise ValueError(
+                "no telemetry segments to fine-tune on — run the sweep "
+                "with observe=True so served segments are recorded")
+        return refresh_artifact(self.estimator_artifact_path(), rows,
+                                self.platform, config=config)
+
     # ------------------------------------------------------------------
     def fleet_sweep(self, managers: tuple[str, ...] = ("baseline", "mosaic",
                                                        "rankmap_d"),
@@ -414,7 +453,10 @@ class ExperimentContext:
                           max_workers: int | None = None,
                           cache_path=None,
                           predictor: str = "oracle",
-                          estimator_path=None):
+                          estimator_path=None,
+                          observe: bool = False,
+                          feedback_rounds: int = 0,
+                          rate_shift: tuple[float, float] | None = None):
         """Cluster-scale serving study fanned across the process pool.
 
         The multi-node analogue of :meth:`serve_sweep`: every routing
@@ -430,7 +472,14 @@ class ExperimentContext:
         (trained once by :meth:`estimator_artifact_path` unless
         ``estimator_path`` is given); nodes on platforms the artifact
         was not trained for downgrade to the oracle with a warning,
-        mirroring a shared ``cache_path``.  Returns
+        mirroring a shared ``cache_path``.
+
+        ``observe=True`` records telemetry on every node (the segments
+        feed :meth:`refresh_estimator`), ``feedback_rounds`` iterates
+        dispatch with measured node pressure
+        (:class:`~repro.runner.FleetScenario`), and ``rate_shift``
+        drifts the Poisson demand mid-run — together the knobs of the
+        closed-loop adaptation study.  Returns
         ``(results, summary_rows)``.
         """
         from ..runner import (
@@ -475,7 +524,8 @@ class ExperimentContext:
             predictor=predictor,
             estimator_path=(str(estimator_path)
                             if estimator_path is not None else None),
-            fail_at=fail_at,
+            fail_at=fail_at, observe=observe,
+            feedback_rounds=feedback_rounds, rate_shift=rate_shift,
         )
         results = ScenarioRunner(max_workers=max_workers).run_fleet(
             scenarios)

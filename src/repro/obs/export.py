@@ -158,10 +158,20 @@ def export_segments(snapshot: TelemetrySnapshot) -> list[dict]:
     realized service seconds — the training-row shape the estimator
     fine-tuning loop consumes (realized rates as regression targets,
     ``duration_s`` as a natural sample weight).
+
+    Rows come back sorted by ``(workload, assignments, rates,
+    duration_s)`` regardless of the order segments were recorded — a
+    merged snapshot's segment order depends on the merge order of its
+    parts, and the fine-tuning loop's bit-identity contract needs the
+    exported rows to be a pure function of the snapshot's *contents*.
+    A snapshot with no segments exports ``[]``.
     """
+    ordered = sorted(
+        snapshot.segments,
+        key=lambda u: (u.workload, u.assignments, u.rates, u.duration_s))
     return [{
         "workload": list(usage.workload),
         "assignments": [list(row) for row in usage.assignments],
         "rates": list(usage.rates),
         "duration_s": usage.duration_s,
-    } for usage in snapshot.segments]
+    } for usage in ordered]

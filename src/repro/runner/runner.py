@@ -17,7 +17,7 @@ import pickle
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
@@ -26,14 +26,17 @@ import numpy as np
 from ..baselines import GAConfig, GeneticManager, GpuBaseline, Mosaic, Odmdef, OmniBoost
 from ..core.manager import Manager, RankMap, RankMapConfig
 from ..core.predictor import EstimatorPredictor, OraclePredictor, RatePredictor
-from ..estimator import ArtifactPlatformMismatch, load_estimator_artifact
+from ..estimator import (ArtifactPlatformMismatch,
+                         artifact_generation_candidates,
+                         load_estimator_artifact)
 from ..hw import jetson_class, orange_pi_5
 from ..hw.platform import Platform
 from ..obs import NULL_RECORDER, Recorder, TelemetryRecorder, merge_snapshots
 from ..obs.registry import EVAL_CACHE_DOWNGRADES, PREDICTOR_DOWNGRADES
 from ..search import MCTSConfig
 from ..serve import AdmissionConfig, ServeConfig, build_replan_policy, serve_trace
-from ..serve.fleet import NodeSpec, build_fleet_report, node_speed, plan_dispatch
+from ..serve.fleet import (NodeSpec, build_fleet_report, fleet_pressure,
+                           node_speed, plan_dispatch)
 from ..sim import EvaluationCache, simulate
 from ..sim.cache import platform_fingerprint
 from ..workloads import (SessionRequest, TraceConfig, iter_session_requests,
@@ -77,6 +80,17 @@ def resolve_predictor(scenario, platform: Platform,
     ``"estimator"`` loads the trained artifact at
     ``scenario.estimator_path`` and scores through the learned path.
 
+    Fine-tuned **generations** are preferred automatically: when
+    ``estimator_path`` names a family base, the newest compatible
+    ``<stem>.gen<N><suffix>`` sibling
+    (:func:`repro.estimator.artifact_generation_candidates`) wins over
+    the base file, so a node picks up the latest
+    :func:`repro.estimator.refresh_artifact` output without any spec
+    change.  Naming a generation file directly pins that exact
+    generation.  A generation trained for a different platform falls
+    through to the next older candidate; only when *every* existing
+    candidate mismatches does the scenario downgrade.
+
     Mirroring the ``cache_path`` rules, an artifact trained for a
     *different platform* downgrades to the oracle with a warning (whose
     message carries the artifact path and both platform fingerprints)
@@ -85,8 +99,9 @@ def resolve_predictor(scenario, platform: Platform,
     legitimately warms only the matching nodes — while a corrupt or
     missing artifact raises: the predictor choice changes reports, so a
     broken file must fail loudly rather than silently serve the wrong
-    study.  The returned predictor reports its scoring metrics to
-    ``recorder``.
+    study (a corrupt *newer generation* therefore blocks the whole
+    family rather than silently serving stale weights).  The returned
+    predictor reports its scoring metrics to ``recorder``.
     """
     kind = getattr(scenario, "predictor", "oracle")
     if kind == "oracle":
@@ -94,23 +109,46 @@ def resolve_predictor(scenario, platform: Platform,
         predictor.recorder = recorder
         return predictor
     path = Path(scenario.estimator_path)
-    stat = path.stat()          # missing artifact: FileNotFoundError
-    key = (str(path), stat.st_mtime_ns, stat.st_size,
-           platform_fingerprint(platform))
-    artifact = _ARTIFACT_MEMO.get(key)
-    if artifact is None:
+    fingerprint = platform_fingerprint(platform)
+    artifact = None
+    mismatch: ArtifactPlatformMismatch | None = None
+    for candidate in artifact_generation_candidates(path):
         try:
-            artifact = load_estimator_artifact(path, platform)
-        except ArtifactPlatformMismatch as exc:
-            # Negative-memoise the mismatch too: the verdict is a pure
-            # function of the key, and a heterogeneous fleet re-resolves
-            # the same (artifact, platform) pair once per node slice —
-            # no point re-unpickling the full weight payload each time.
-            # Memoise a *fresh* exception carrying only the message: the
-            # raised one's traceback frames would pin the unpickled
-            # weight arrays in the memo for the process lifetime.
-            artifact = ArtifactPlatformMismatch(str(exc))
-        _ARTIFACT_MEMO[key] = artifact
+            stat = candidate.stat()
+        except FileNotFoundError:
+            continue
+        key = (str(candidate), stat.st_mtime_ns, stat.st_size, fingerprint)
+        loaded = _ARTIFACT_MEMO.get(key)
+        if loaded is None:
+            try:
+                loaded = load_estimator_artifact(candidate, platform)
+            except ArtifactPlatformMismatch as exc:
+                # Negative-memoise the mismatch too: the verdict is a pure
+                # function of the key, and a heterogeneous fleet
+                # re-resolves the same (artifact, platform) pair once per
+                # node slice — no point re-unpickling the full weight
+                # payload each time.  Memoise a *fresh* exception carrying
+                # only the message: the raised one's traceback frames
+                # would pin the unpickled weight arrays in the memo for
+                # the process lifetime.
+                loaded = ArtifactPlatformMismatch(str(exc))
+            _ARTIFACT_MEMO[key] = loaded
+        if isinstance(loaded, ArtifactPlatformMismatch):
+            # Keep the newest mismatch for the downgrade warning but try
+            # the next older generation — a heterogeneous fleet fine-tunes
+            # per platform, so an incompatible child must not shadow a
+            # compatible base.
+            if mismatch is None:
+                mismatch = loaded
+            continue
+        artifact = loaded
+        break
+    if artifact is None and mismatch is None:
+        path.stat()             # missing artifact: FileNotFoundError
+        raise FileNotFoundError(   # pragma: no cover - stat raises first
+            f"no estimator artifact found for {path}")
+    if artifact is None:
+        artifact = mismatch
     if isinstance(artifact, ArtifactPlatformMismatch):
         # Force emission per call: fleet sweeps reuse node names across
         # cells, and the default warnings filter would dedupe the
@@ -374,6 +412,15 @@ def sample_fleet_requests(fleet: FleetScenario) -> list[SessionRequest]:
     arrivals, durations and tiers.  The ``seed + 17`` decoupling matches
     :func:`execute_dynamic_scenario`, keeping routing cells of a sweep
     that share a seed on identical arrival processes.
+
+    A ``rate_shift`` drifts the demand mid-run: the trace is sampled in
+    two segments from one rng stream — pre-shift at the base arrival
+    rate, post-shift at ``rate * multiplier`` with arrival times and
+    session ids re-based after the head — so two scenarios differing
+    only in routing still see byte-identical drifted traces.  Each
+    segment's blind concurrency cap and tier rotation restart at the
+    shift instant (the drift is a change of *regime*, not a continuation
+    of the old one).
     """
     trace_config = TraceConfig(
         horizon_s=fleet.horizon_s,
@@ -381,9 +428,28 @@ def sample_fleet_requests(fleet: FleetScenario) -> list[SessionRequest]:
         mean_session_s=fleet.mean_session_s,
         max_concurrent=max(1, sum(n.capacity for n in fleet.nodes)),
     )
-    return sample_session_requests(
-        np.random.default_rng(fleet.seed + 17), trace_config,
+    rng = np.random.default_rng(fleet.seed + 17)
+    if fleet.rate_shift is None:
+        return sample_session_requests(
+            rng, trace_config, tier_shift_prob=fleet.tier_shift_prob)
+    shift_at, multiplier = fleet.rate_shift
+    head = sample_session_requests(
+        rng, replace(trace_config, horizon_s=shift_at),
         tier_shift_prob=fleet.tier_shift_prob)
+    tail = sample_session_requests(
+        rng, replace(trace_config,
+                     horizon_s=fleet.horizon_s - shift_at,
+                     arrival_rate_per_s=(fleet.arrival_rate_per_s
+                                         * multiplier)),
+        tier_shift_prob=fleet.tier_shift_prob)
+    offset = len(head)
+    return head + [
+        SessionRequest(session_id=request.session_id + offset,
+                       arrival_s=request.arrival_s + shift_at,
+                       duration_s=request.duration_s,
+                       tier=request.tier,
+                       tier_shift=request.tier_shift)
+        for request in tail]
 
 
 def _fleet_node_specs(fleet: FleetScenario) -> list[NodeSpec]:
@@ -442,46 +508,83 @@ class ScenarioRunner:
         regroups per fleet and rolls the node reports up into
         :class:`~repro.serve.fleet.FleetReport` objects.  Reports are
         bit-identical for any ``max_workers``.
+
+        Fleets with ``feedback_rounds=N > 0`` re-dispatch iteratively:
+        round ``k`` plans with the per-node pressure measured from round
+        ``k-1``'s reports (:func:`repro.serve.fleet.fleet_pressure`) and
+        the fleet's result is round ``N``'s.  Mixed sweeps stay batched —
+        each round flattens every still-active fleet's node slices into
+        one pool map, and a fleet whose rounds are exhausted simply stops
+        contributing tasks.  Only each fleet's *final* round records
+        telemetry (intermediate rounds serve with ``observe=False``
+        node specs and a null dispatch recorder), so snapshots — like
+        reports — are a pure function of the scenario list.
         """
         fleets = list(fleets)
         if not fleets:
             return []
-        prepared = []          # (fleet, specs, platforms, plan, dispatch_snap)
-        tasks: list[FleetNodeTask] = []
+        states: list[dict] = []
         for fleet in fleets:
-            requests = sample_fleet_requests(fleet)
-            specs = _fleet_node_specs(fleet)
-            observing = any(node.observe for node in fleet.nodes)
-            dispatch_recorder: Recorder = (
-                TelemetryRecorder(where=f"{fleet.name}/dispatch")
-                if observing else NULL_RECORDER)
-            plan = plan_dispatch(requests, specs, fleet.routing,
-                                 fleet.horizon_s,
-                                 recorder=dispatch_recorder)
-            platforms = [node.platform for node in fleet.nodes]
-            prepared.append((fleet, specs, platforms, plan,
-                             dispatch_recorder.snapshot()))
-            for node, spec, slice_requests in zip(fleet.nodes, specs,
-                                                  plan.node_requests):
-                horizon = (fleet.horizon_s if spec.fail_at_s is None
-                           else min(spec.fail_at_s, fleet.horizon_s))
-                tasks.append(FleetNodeTask(spec=node,
-                                           requests=slice_requests,
-                                           horizon_s=horizon))
-        node_results = self._map(execute_fleet_node, tasks)
+            states.append({
+                "fleet": fleet,
+                "requests": tuple(sample_fleet_requests(fleet)),
+                "specs": _fleet_node_specs(fleet),
+                "platforms": [node.platform for node in fleet.nodes],
+                "pressure": None,      # measured NodePressure from the
+                #                        previous round, None on round 0
+                "plan": None,
+                "dispatch_snap": None,
+                "node_results": None,
+            })
+        max_rounds = max(state["fleet"].feedback_rounds for state in states)
+        for round_index in range(max_rounds + 1):
+            active = [state for state in states
+                      if round_index <= state["fleet"].feedback_rounds]
+            tasks: list[FleetNodeTask] = []
+            for state in active:
+                fleet = state["fleet"]
+                final = round_index == fleet.feedback_rounds
+                observing = final and any(n.observe for n in fleet.nodes)
+                dispatch_recorder: Recorder = (
+                    TelemetryRecorder(where=f"{fleet.name}/dispatch")
+                    if observing else NULL_RECORDER)
+                plan = plan_dispatch(state["requests"], state["specs"],
+                                     fleet.routing, fleet.horizon_s,
+                                     recorder=dispatch_recorder,
+                                     pressure=state["pressure"])
+                state["plan"] = plan
+                state["dispatch_snap"] = dispatch_recorder.snapshot()
+                for node, spec, slice_requests in zip(
+                        fleet.nodes, state["specs"], plan.node_requests):
+                    horizon = (fleet.horizon_s if spec.fail_at_s is None
+                               else min(spec.fail_at_s, fleet.horizon_s))
+                    node_spec = (node if final
+                                 else replace(node, observe=False))
+                    tasks.append(FleetNodeTask(spec=node_spec,
+                                               requests=slice_requests,
+                                               horizon_s=horizon))
+            round_results = self._map(execute_fleet_node, tasks)
+            cursor = 0
+            for state in active:
+                count = len(state["fleet"].nodes)
+                slice_results = round_results[cursor:cursor + count]
+                cursor += count
+                state["node_results"] = slice_results
+                state["pressure"] = fleet_pressure(
+                    state["specs"], [r.report for r in slice_results])
 
         results: list[FleetResult] = []
-        cursor = 0
-        for fleet, specs, platforms, plan, dispatch_snap in prepared:
-            count = len(fleet.nodes)
-            slice_results = node_results[cursor:cursor + count]
-            cursor += count
+        for state in states:
+            fleet = state["fleet"]
+            slice_results = state["node_results"]
             report = build_fleet_report(
-                fleet.horizon_s, fleet.routing, specs, platforms, plan,
+                fleet.horizon_s, fleet.routing, state["specs"],
+                state["platforms"], state["plan"],
                 [r.report for r in slice_results])
             # Snapshots fold in a fixed order — dispatch phase first, then
             # nodes in fleet order — so telemetry is bit-identical for any
             # pool size, exactly like the reports themselves.
+            dispatch_snap = state["dispatch_snap"]
             snaps = ([dispatch_snap] if dispatch_snap is not None else [])
             snaps += [r.telemetry for r in slice_results
                       if r.telemetry is not None]

@@ -273,6 +273,15 @@ class FleetScenario:
     survivors.  Like every spec here the scenario is a pure value — the
     resulting :class:`~repro.serve.fleet.FleetReport` is bit-identical
     for any ``ScenarioRunner`` worker count.
+
+    ``feedback_rounds`` iterates the dispatch-then-serve cycle with
+    measured per-node pressure fed back into the routing policy (see
+    :func:`repro.serve.fleet.serve_fleet`); 0 keeps today's single-shot
+    dispatch.  ``rate_shift`` optionally drifts the demand mid-run: a
+    ``(shift_at_s, rate_multiplier)`` pair multiplies the Poisson
+    arrival rate by ``rate_multiplier`` from ``shift_at_s`` onwards —
+    the trace an estimator trained on pre-shift traffic has never seen,
+    which is what the closed-loop fine-tuning study exercises.
     """
 
     name: str
@@ -284,6 +293,8 @@ class FleetScenario:
     mean_session_s: float = 180.0
     tier_shift_prob: float = 0.0        # mid-session priority-shift odds
     fail_at: tuple[tuple[int, float], ...] = ()   # (node index, fail time)
+    feedback_rounds: int = 0            # pressure-feedback re-dispatch rounds
+    rate_shift: tuple[float, float] | None = None  # (shift_at_s, multiplier)
 
     def __post_init__(self):
         if not self.nodes:
@@ -294,6 +305,24 @@ class FleetScenario:
             raise ValueError("arrival_rate_per_s must be positive")
         if self.mean_session_s <= 0:
             raise ValueError("mean_session_s must be positive")
+        if not isinstance(self.feedback_rounds, int) \
+                or self.feedback_rounds < 0:
+            raise ValueError(
+                f"feedback_rounds must be a non-negative int, "
+                f"got {self.feedback_rounds!r}")
+        if self.rate_shift is not None:
+            if len(self.rate_shift) != 2:
+                raise ValueError(
+                    "rate_shift must be (shift_at_s, rate_multiplier)")
+            shift_at, multiplier = self.rate_shift
+            if not 0.0 < shift_at < self.horizon_s:
+                raise ValueError(
+                    f"rate_shift time {shift_at} must fall inside the "
+                    f"horizon (0, {self.horizon_s})")
+            if multiplier <= 0:
+                raise ValueError(
+                    f"rate_shift multiplier must be positive, "
+                    f"got {multiplier}")
         seen: set[int] = set()
         for index, fail_s in self.fail_at:
             if not 0 <= index < len(self.nodes):
@@ -316,6 +345,7 @@ class FleetScenario:
                 DynamicScenario.from_dict(n) if isinstance(n, dict) else n
                 for n in nodes),
             "fail_at": _tupled,
+            "rate_shift": tuple,
         })
 
 
@@ -440,6 +470,9 @@ def fleet_sweep_scenarios(routings: tuple[str, ...] = ("round_robin",
                           predictor: str = "oracle",
                           estimator_path: str | None = None,
                           fail_at: tuple[tuple[int, float], ...] = (),
+                          observe: bool = False,
+                          feedback_rounds: int = 0,
+                          rate_shift: tuple[float, float] | None = None,
                           ) -> list[FleetScenario]:
     """A (routing x trace) grid of fleet studies over heterogeneous nodes.
 
@@ -456,7 +489,12 @@ def fleet_sweep_scenarios(routings: tuple[str, ...] = ("round_robin",
     select every node's candidate-scoring path; like a shared
     ``cache_path``, a shared estimator artifact only matches the nodes
     whose platform it was trained for — the others downgrade to the
-    oracle with a warning.
+    oracle with a warning.  ``observe`` switches on every node's
+    telemetry recorder (the segments feed
+    :meth:`~repro.experiments.ExperimentContext.refresh_estimator`);
+    ``feedback_rounds``/``rate_shift`` are forwarded to every
+    :class:`FleetScenario` cell (pressure-fed re-dispatch and mid-run
+    demand drift).
     """
     if num_nodes < 1:
         raise ValueError("num_nodes must be at least 1")
@@ -468,7 +506,8 @@ def fleet_sweep_scenarios(routings: tuple[str, ...] = ("round_robin",
             preemption=preemption,
             search_iterations=search_iterations,
             search_rollouts=search_rollouts, cache_path=cache_path,
-            predictor=predictor, estimator_path=estimator_path)
+            predictor=predictor, estimator_path=estimator_path,
+            observe=observe)
         for i in range(num_nodes))
     scenarios: list[FleetScenario] = []
     for trace_index in range(traces_per_cell):
@@ -482,6 +521,8 @@ def fleet_sweep_scenarios(routings: tuple[str, ...] = ("round_robin",
                 mean_session_s=mean_session_s,
                 tier_shift_prob=tier_shift_prob,
                 fail_at=fail_at,
+                feedback_rounds=feedback_rounds,
+                rate_shift=rate_shift,
             ))
     return scenarios
 

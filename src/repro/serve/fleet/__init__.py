@@ -6,13 +6,16 @@ that cluster layer:
 
 * :mod:`repro.serve.fleet.routing` — pluggable session-routing policies
   (round-robin, least-loaded by steady-state throughput headroom,
-  tier-affinity reserving fast nodes for gold sessions, and a
+  tier-affinity reserving fast nodes for gold sessions, a
   preemption-aware tier-affinity variant preferring nodes that can
-  admit without an eviction).
+  admit without an eviction, and a pressure-feedback variant folding
+  realized node pressure from a previous round into the headroom score).
 * :mod:`repro.serve.fleet.dispatch` — the dispatcher: fixes a
   deterministic :class:`DispatchPlan` for a shared Poisson demand
   (including node-failure draining with session re-dispatch), then serves
-  each node's slice through :func:`repro.serve.serve_trace`.
+  each node's slice through :func:`repro.serve.serve_trace` — once, or
+  iteratively re-dispatching with measured pressure via
+  ``serve_fleet(feedback_rounds=N)``.
 * :mod:`repro.serve.fleet.report` — the :class:`FleetReport` rollup of
   per-node :class:`~repro.serve.ServeReport` outputs with cross-node
   fairness and starvation metrics.
@@ -35,12 +38,16 @@ from .report import FleetReport, NodeReport, build_fleet_report, jain_index
 from .routing import (
     ROUTING_POLICIES,
     LeastLoadedRouter,
+    NodePressure,
     NodeView,
     PreemptAwareTierRouter,
+    PressureFeedbackRouter,
     RoundRobinRouter,
     RoutingPolicy,
     TierAffinityRouter,
     build_routing_policy,
+    fleet_pressure,
+    pressure_from_report,
 )
 
 __all__ = [
@@ -55,11 +62,15 @@ __all__ = [
     "build_fleet_report",
     "jain_index",
     "NodeView",
+    "NodePressure",
+    "pressure_from_report",
+    "fleet_pressure",
     "RoutingPolicy",
     "RoundRobinRouter",
     "LeastLoadedRouter",
     "TierAffinityRouter",
     "PreemptAwareTierRouter",
+    "PressureFeedbackRouter",
     "ROUTING_POLICIES",
     "build_routing_policy",
 ]

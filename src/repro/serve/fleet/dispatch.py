@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, replace
-from typing import Iterable
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -52,7 +52,13 @@ from ...zoo.registry import get_model
 from ..loop import ServeConfig, serve_trace
 from ..replan import ReplanPolicy
 from .report import FleetReport, build_fleet_report
-from .routing import NodeView, RoutingPolicy, build_routing_policy
+from .routing import (
+    NodePressure,
+    NodeView,
+    RoutingPolicy,
+    build_routing_policy,
+    fleet_pressure,
+)
 
 __all__ = [
     "NodeSpec",
@@ -192,7 +198,9 @@ def plan_dispatch(requests: Iterable[SessionRequest],
                   nodes: list[NodeSpec] | tuple[NodeSpec, ...],
                   routing: RoutingPolicy | str,
                   horizon_s: float,
-                  recorder: Recorder = NULL_RECORDER) -> DispatchPlan:
+                  recorder: Recorder = NULL_RECORDER,
+                  pressure: Mapping[str, NodePressure] | None = None
+                  ) -> DispatchPlan:
     """Fix the complete routing of ``requests`` across ``nodes``.
 
     Walks arrivals and node failures in one deterministic event order,
@@ -201,9 +209,14 @@ def plan_dispatch(requests: Iterable[SessionRequest],
     an alive node.  Failure events drain the dead node's estimated live
     set back through the router at the failure instant, oldest arrival
     first.  The plan is a pure function of ``(requests, node specs,
-    routing key, horizon_s)``; any iterable of requests works (the
-    dispatcher must see the whole demand to fix the routing, so it
+    routing key, horizon_s, pressure)``; any iterable of requests works
+    (the dispatcher must see the whole demand to fix the routing, so it
     materialises the sorted arrival order here).
+
+    ``pressure`` optionally feeds a previous round's realized per-node
+    :class:`~repro.serve.fleet.routing.NodePressure` to the policy via
+    :meth:`~repro.serve.fleet.routing.RoutingPolicy.observe_pressure`
+    before any routing happens — pressure-blind policies ignore it.
 
     ``recorder`` (:mod:`repro.obs`) counts routed / re-dispatched / lost
     sessions, the per-node routing choices, and traces one dispatch span
@@ -216,6 +229,8 @@ def plan_dispatch(requests: Iterable[SessionRequest],
         raise ValueError("horizon_s must be positive")
     policy = (build_routing_policy(routing) if isinstance(routing, str)
               else routing)
+    if pressure is not None:
+        policy.observe_pressure(pressure)
     states = [_NodeState(spec, i) for i, spec in enumerate(nodes)]
 
     heap: list[tuple] = []
@@ -299,7 +314,8 @@ def serve_fleet(requests: Iterable[SessionRequest],
                 nodes: list[FleetNode] | tuple[FleetNode, ...],
                 routing: RoutingPolicy | str = "round_robin",
                 horizon_s: float | None = None,
-                recorder: Recorder = NULL_RECORDER) -> FleetReport:
+                recorder: Recorder = NULL_RECORDER,
+                feedback_rounds: int = 0) -> FleetReport:
     """Dispatch ``requests`` across ``nodes`` and serve every slice inline.
 
     The single-process reference implementation of the fleet: routing via
@@ -312,27 +328,54 @@ def serve_fleet(requests: Iterable[SessionRequest],
     pool.  ``recorder`` observes both the dispatch phase and every node's
     serving loop (one shared sink on this inline path; the pool path
     keeps per-node recorders and merges their snapshots).
+
+    ``feedback_rounds=N`` iterates the whole dispatch-then-serve cycle
+    ``N`` extra times: round ``k`` re-routes the *same* demand with the
+    per-node :class:`~repro.serve.fleet.routing.NodePressure` measured
+    from round ``k-1``'s node reports (queue depth, abandonment and
+    rejection rates), and only the final round's report is returned.
+    Each round starts from a fresh policy instance, so ``routing`` must
+    be a roster key when ``feedback_rounds > 0``; with a pressure-blind
+    policy the rounds converge trivially (every round routes
+    identically).  Telemetry is recorded on the final round only —
+    intermediate rounds are dispatcher deliberation, not served traffic.
     """
     if not nodes:
         raise ValueError("fleet must have at least one node")
-    policy = (build_routing_policy(routing) if isinstance(routing, str)
-              else routing)
+    if feedback_rounds < 0:
+        raise ValueError(
+            f"feedback_rounds must be >= 0, got {feedback_rounds}")
+    if feedback_rounds and not isinstance(routing, str):
+        raise ValueError(
+            "feedback_rounds > 0 requires a routing roster key: every "
+            "round must re-dispatch with a fresh policy instance")
     if horizon_s is None:
         horizon_s = max(node.config.horizon_s for node in nodes)
     specs = [node.spec for node in nodes]
-    plan = plan_dispatch(requests, specs, policy, horizon_s,
-                         recorder=recorder)
-
-    reports = []
-    for node, slice_requests in zip(nodes, plan.node_requests):
-        config = node.config
-        fail = node.spec.fail_at_s
-        node_horizon = horizon_s if fail is None else min(fail, horizon_s)
-        if config.horizon_s != node_horizon:
-            config = replace(config, horizon_s=node_horizon)
-        reports.append(serve_trace(slice_requests, node.policy,
-                                   node.platform, config, cache=node.cache,
-                                   recorder=recorder))
     platforms = [node.platform.name for node in nodes]
+    # Routing consumes the demand once per round.
+    requests = tuple(requests)
+
+    pressure: dict[str, NodePressure] | None = None
+    for round_index in range(feedback_rounds + 1):
+        final = round_index == feedback_rounds
+        round_recorder = recorder if final else NULL_RECORDER
+        policy = (build_routing_policy(routing)
+                  if isinstance(routing, str) else routing)
+        plan = plan_dispatch(requests, specs, policy, horizon_s,
+                             recorder=round_recorder, pressure=pressure)
+        reports = []
+        for node, slice_requests in zip(nodes, plan.node_requests):
+            config = node.config
+            fail = node.spec.fail_at_s
+            node_horizon = (horizon_s if fail is None
+                            else min(fail, horizon_s))
+            if config.horizon_s != node_horizon:
+                config = replace(config, horizon_s=node_horizon)
+            reports.append(serve_trace(slice_requests, node.policy,
+                                       node.platform, config,
+                                       cache=node.cache,
+                                       recorder=round_recorder))
+        pressure = fleet_pressure(specs, reports)
     return build_fleet_report(horizon_s, policy.name, specs, platforms,
                               plan, reports)

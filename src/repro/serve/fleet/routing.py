@@ -8,7 +8,7 @@ node — never the nodes' internal serving state (which does not exist yet
 at routing time; nodes are served after the dispatch plan is fixed, see
 :mod:`repro.serve.fleet.dispatch`).
 
-Three policies ship in the roster:
+Policies in the roster:
 
 * :class:`RoundRobinRouter` — cycle through the alive nodes in index
   order, ignoring load and speed.  The baseline every smarter policy is
@@ -25,26 +25,42 @@ Three policies ship in the roster:
   partition-preferred first, and fall back to plain tier affinity only
   when the whole fleet looks saturated — preemption then happens where
   the tier partition wants it.
+* :class:`PressureFeedbackRouter` — least-loaded, corrected by the
+  *realized* per-node pressure of a previous serving round
+  (:class:`NodePressure`): residual queue depth inflates a node's
+  estimated load and its denial rate discounts its speed, so the nodes
+  that actually queued, abandoned or rejected traffic last round attract
+  less of it this round.  Pressure arrives through the
+  :meth:`RoutingPolicy.observe_pressure` hook — fed by
+  ``plan_dispatch(..., pressure=...)`` / ``serve_fleet`` feedback rounds
+  — and with no pressure observed the policy is exactly
+  :class:`LeastLoadedRouter`.
 
 All policies are deterministic: ties break on the lowest node index, and
-the only state any of them carries is the round-robin cursor.
+the only state any of them carries is the round-robin cursor and the
+last observed pressure map.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ...obs import NULL_RECORDER, Recorder
 from ...obs.registry import ROUTING_CHOICE
+from ..report import ServeReport
 
 __all__ = [
     "NodeView",
+    "NodePressure",
+    "pressure_from_report",
+    "fleet_pressure",
     "RoutingPolicy",
     "RoundRobinRouter",
     "LeastLoadedRouter",
     "TierAffinityRouter",
     "PreemptAwareTierRouter",
+    "PressureFeedbackRouter",
     "ROUTING_POLICIES",
     "build_routing_policy",
 ]
@@ -77,6 +93,61 @@ class NodeView:
         return self.free_slots * self.speed
 
 
+@dataclass(frozen=True)
+class NodePressure:
+    """Realized serving pressure of one node over a previous round.
+
+    The dispatcher's phase-1 ``est_live`` view cannot see node-internal
+    queueing or admission denial; this record carries exactly that,
+    measured *after* a node served its slice: the sessions still waiting
+    when the horizon closed and the fraction of observed arrivals the
+    node abandoned (queue timeout) or rejected (admission control).
+    """
+
+    queue_depth: int = 0
+    abandonment_rate: float = 0.0
+    rejection_rate: float = 0.0
+
+    @property
+    def denial_rate(self) -> float:
+        """Total turned-away fraction, clamped to [0, 1]."""
+        return min(1.0, max(0.0, self.abandonment_rate
+                            + self.rejection_rate))
+
+
+def pressure_from_report(report: ServeReport) -> NodePressure:
+    """Measure a node's :class:`NodePressure` from its serving report.
+
+    Rates are over the arrivals the node actually observed within the
+    horizon (out-of-horizon requests never reached the queue); a node
+    that observed nothing reports zero pressure.
+    """
+    observed = report.arrivals - report.out_of_horizon
+    if observed <= 0:
+        return NodePressure(queue_depth=report.queued_at_horizon)
+    return NodePressure(
+        queue_depth=report.queued_at_horizon,
+        abandonment_rate=report.abandoned / observed,
+        rejection_rate=report.rejected / observed,
+    )
+
+
+def fleet_pressure(specs: Sequence, reports: Sequence[ServeReport]
+                   ) -> dict[str, "NodePressure"]:
+    """Per-node pressure map of one served round, keyed by node name.
+
+    ``specs`` is the fleet's node-spec sequence (anything with a
+    ``name``), aligned with ``reports`` — the shape both
+    :func:`~repro.serve.fleet.serve_fleet` feedback rounds and the
+    scenario runner's pool path produce.
+    """
+    if len(specs) != len(reports):
+        raise ValueError(
+            f"{len(specs)} node specs but {len(reports)} reports")
+    return {spec.name: pressure_from_report(report)
+            for spec, report in zip(specs, reports)}
+
+
 class RoutingPolicy:
     """Strategy interface: pick a node for each arriving session.
 
@@ -87,6 +158,15 @@ class RoutingPolicy:
     """
 
     name: str = "routing"
+
+    def observe_pressure(self,
+                         pressure: Mapping[str, NodePressure]) -> None:
+        """Feed realized per-node pressure from a previous round.
+
+        A no-op for pressure-blind policies; feedback-aware ones
+        (:class:`PressureFeedbackRouter`) fold it into later choices.
+        The dispatcher calls this once, before routing starts.
+        """
 
     def choose(self, tier: str, nodes: Sequence[NodeView]) -> int:
         """Return the ``index`` of the node the session is routed to."""
@@ -257,12 +337,60 @@ class PreemptAwareTierRouter(TierAffinityRouter):
         return super().choose(tier, nodes)
 
 
+class PressureFeedbackRouter(LeastLoadedRouter):
+    """Least-loaded routing corrected by realized node pressure.
+
+    Before scoring, each node's view is adjusted by the last observed
+    :class:`NodePressure`: the residual queue depth is added to
+    ``est_live`` (sessions the dispatcher's estimate missed but that
+    will contend for the same slots) and the denial rate discounts the
+    node's speed (a node that turned away 30 % of its arrivals is not
+    delivering its nominal throughput).  The speed discount is capped at
+    95 % so a fully-denying node stays orderable instead of dividing by
+    zero in the drain-time comparison.
+
+    With no pressure observed — the first feedback round, or plain
+    one-shot dispatch — every adjustment is the identity and the policy
+    reproduces :class:`LeastLoadedRouter` choice for choice, which is
+    what pins ``feedback_rounds=0`` to today's behaviour.
+    """
+
+    name = "pressure_feedback"
+
+    #: Cap on the denial-rate speed discount; keeps adjusted speed > 0.
+    MAX_SPEED_DISCOUNT = 0.95
+
+    def __init__(self):
+        self._pressure: dict[str, NodePressure] = {}
+
+    def observe_pressure(self,
+                         pressure: Mapping[str, NodePressure]) -> None:
+        """Replace the pressure map used to adjust later choices."""
+        self._pressure = dict(pressure)
+
+    def _adjusted(self, view: NodeView) -> NodeView:
+        """``view`` with the node's observed pressure folded in."""
+        pressure = self._pressure.get(view.name)
+        if pressure is None:
+            return view
+        discount = min(self.MAX_SPEED_DISCOUNT, pressure.denial_rate)
+        return NodeView(index=view.index, name=view.name,
+                        capacity=view.capacity,
+                        speed=view.speed * (1.0 - discount),
+                        est_live=view.est_live + pressure.queue_depth)
+
+    def choose(self, tier: str, nodes: Sequence[NodeView]) -> int:
+        """Best saturation-aware headroom over pressure-adjusted views."""
+        return _most_headroom([self._adjusted(v) for v in nodes])
+
+
 #: Roster of routing-policy factories, keyed for fleet scenario specs.
 ROUTING_POLICIES = {
     "round_robin": RoundRobinRouter,
     "least_loaded": LeastLoadedRouter,
     "tier_affinity": TierAffinityRouter,
     "tier_affinity_preempt": PreemptAwareTierRouter,
+    "pressure_feedback": PressureFeedbackRouter,
 }
 
 

@@ -106,6 +106,19 @@ class TestGitSha:
             {"test_bench_serve_obs[on]": row(1.5)})
         assert len(flags) == 1
 
+    def test_closed_loop_benches_guarded(self):
+        """The fine-tune and pressure-feedback rows are guarded hot
+        paths."""
+        rb = _load_record_bench()
+        assert "test_bench_finetune[" in rb.GUARDED_PREFIXES
+        assert "test_bench_fleet_feedback[" in rb.GUARDED_PREFIXES
+        flags = rb.flag_regressions(
+            {"test_bench_finetune[epoch]": row(1.0),
+             "test_bench_fleet_feedback[rounds2]": row(2.0)},
+            {"test_bench_finetune[epoch]": row(1.4),
+             "test_bench_fleet_feedback[rounds2]": row(2.2)})
+        assert len(flags) == 1 and "finetune" in flags[0]
+
 
 class TestLastHistoryEntry:
     def test_reads_final_line(self, tmp_path):

@@ -40,6 +40,7 @@ API_MODULES = (
     "repro.estimator",
     "repro.estimator.artifact",
     "repro.estimator.dataset",
+    "repro.estimator.finetune",
     "repro.estimator.metrics",
     "repro.estimator.model",
     "repro.estimator.train",

@@ -14,14 +14,20 @@ import pytest
 
 from repro.estimator import (
     ARTIFACT_FORMAT_VERSION,
+    ArtifactLineage,
     ArtifactPlatformMismatch,
     EstimatorConfig,
     ThroughputEstimator,
+    artifact_generation_candidates,
+    artifact_generation_path,
+    latest_artifact_generation,
     load_estimator_artifact,
     save_estimator_artifact,
 )
 from repro.hw import jetson_class, orange_pi_5
-from repro.runner import DynamicScenario, execute_dynamic_scenario
+from repro.runner import (DynamicScenario, execute_dynamic_scenario,
+                          resolve_predictor)
+from repro.sim import EvaluationCache
 from repro.vqvae import LayerVQVAE
 from repro.zoo import get_model
 
@@ -295,3 +301,208 @@ class TestReviewRegressions:
                                estimator_path=str(path), **DYNAMIC_FAST)
         with pytest.raises(ValueError, match="components"):
             execute_dynamic_scenario(spec)
+
+
+class TestArtifactLineage:
+    """The v2 format's provenance block (PR: closed-loop fine-tuning)."""
+
+    def test_fresh_save_has_base_lineage(self, artifact_path):
+        loaded = load_estimator_artifact(artifact_path, orange_pi_5())
+        assert loaded.lineage == ArtifactLineage()
+        assert loaded.lineage.parent_hash is None
+        assert loaded.lineage.finetune_epoch == 0
+
+    def test_lineage_round_trips(self, trained, tmp_path):
+        estimator, vqvae = trained
+        path = tmp_path / "child.pkl"
+        lineage = ArtifactLineage(parent_hash="ab" * 32, segment_count=7,
+                                  finetune_epoch=3)
+        save_estimator_artifact(path, estimator, vqvae, orange_pi_5(),
+                                lineage=lineage)
+        assert load_estimator_artifact(path, orange_pi_5()).lineage == lineage
+
+    def test_v1_payload_loads_with_default_lineage(self, artifact_path):
+        """Pre-lineage artifacts on disk stay readable."""
+        payload = pickle.loads(artifact_path.read_bytes())
+        payload["version"] = 1
+        del payload["lineage"]
+        artifact_path.write_bytes(pickle.dumps(payload))
+        loaded = load_estimator_artifact(artifact_path, orange_pi_5())
+        assert loaded.lineage == ArtifactLineage()
+
+    def test_v1_and_v2_predictions_identical(self, trained, artifact_path,
+                                             tmp_path):
+        """The lineage block is pure metadata: downgrading the payload to
+        v1 must not change a single predicted rate."""
+        v2 = load_estimator_artifact(artifact_path, orange_pi_5())
+        payload = pickle.loads(artifact_path.read_bytes())
+        payload["version"] = 1
+        del payload["lineage"]
+        v1_path = tmp_path / "v1.pkl"
+        v1_path.write_bytes(pickle.dumps(payload))
+        v1 = load_estimator_artifact(v1_path, orange_pi_5())
+        q = np.random.default_rng(5).normal(
+            size=(2, 4, 32, 48)).astype(np.float32)
+        np.testing.assert_array_equal(v1.estimator.predict_rates(q),
+                                      v2.estimator.predict_rates(q))
+
+    def test_non_dict_lineage_refused(self, artifact_path):
+        payload = pickle.loads(artifact_path.read_bytes())
+        payload["lineage"] = ["not", "a", "dict"]
+        artifact_path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(ValueError, match="lineage is list"):
+            load_estimator_artifact(artifact_path, orange_pi_5())
+
+    def test_unknown_lineage_field_refused(self, artifact_path):
+        payload = pickle.loads(artifact_path.read_bytes())
+        payload["lineage"]["surprise"] = 1
+        artifact_path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(ValueError, match="unknown lineage field"):
+            load_estimator_artifact(artifact_path, orange_pi_5())
+
+    def test_mistyped_lineage_values_refused(self, artifact_path):
+        payload = pickle.loads(artifact_path.read_bytes())
+        payload["lineage"]["finetune_epoch"] = True
+        artifact_path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(ValueError, match="finetune_epoch"):
+            load_estimator_artifact(artifact_path, orange_pi_5())
+
+    def test_v2_platform_mismatch_still_distinct_error(self, trained,
+                                                       tmp_path):
+        """A fine-tuned (lineage-carrying) artifact for another board
+        raises the recoverable mismatch subclass, not plain corruption."""
+        estimator, vqvae = trained
+        path = tmp_path / "ft.pkl"
+        save_estimator_artifact(
+            path, estimator, vqvae, jetson_class(),
+            lineage=ArtifactLineage(parent_hash="cd" * 32,
+                                    segment_count=2, finetune_epoch=1))
+        with pytest.raises(ArtifactPlatformMismatch):
+            load_estimator_artifact(path, orange_pi_5())
+
+
+class TestGenerationFamily:
+    """Path arithmetic for fine-tuned artifact generations."""
+
+    def test_generation_path_naming(self, tmp_path):
+        base = tmp_path / "estimator.pkl"
+        assert artifact_generation_path(base, 1).name == "estimator.gen1.pkl"
+        assert artifact_generation_path(base, 12).name == "estimator.gen12.pkl"
+
+    def test_generation_path_rejects_generation_bases(self, tmp_path):
+        with pytest.raises(ValueError, match="family base"):
+            artifact_generation_path(tmp_path / "estimator.gen1.pkl", 2)
+
+    def test_generation_zero_is_the_base(self, tmp_path):
+        with pytest.raises(ValueError, match=">= 1"):
+            artifact_generation_path(tmp_path / "estimator.pkl", 0)
+
+    def test_candidates_newest_first_base_last(self, artifact_path):
+        for n in (1, 3):
+            artifact_generation_path(artifact_path, n).write_bytes(b"x")
+        names = [p.name for p in
+                 artifact_generation_candidates(artifact_path)]
+        assert names == ["estimator.gen3.pkl", "estimator.gen1.pkl",
+                         "estimator.pkl"]
+
+    def test_pinned_generation_is_exact(self, artifact_path):
+        pinned = artifact_generation_path(artifact_path, 2)
+        assert artifact_generation_candidates(pinned) == [pinned]
+
+    def test_unrelated_siblings_ignored(self, artifact_path):
+        (artifact_path.parent / "other.gen5.pkl").write_bytes(b"x")
+        (artifact_path.parent / "estimator.gen2.txt").write_bytes(b"x")
+        assert artifact_generation_candidates(artifact_path) == \
+            [artifact_path]
+
+    def test_latest_generation_number(self, artifact_path):
+        assert latest_artifact_generation(artifact_path) == 0
+        artifact_generation_path(artifact_path, 4).write_bytes(b"x")
+        assert latest_artifact_generation(artifact_path) == 4
+
+
+class TestGenerationResolutionPreference:
+    """resolve_predictor walks the family newest-first (closed loop)."""
+
+    def _spec(self, path, platform="orange_pi_5"):
+        return DynamicScenario(name="gen", manager="rankmap_d",
+                               policy="warm", platform=platform,
+                               predictor="estimator",
+                               estimator_path=str(path), **DYNAMIC_FAST)
+
+    def _newer(self, trained, artifact_path, platform):
+        """A gen1 sibling with *different* weights than the base."""
+        _, vqvae = trained
+        newer = ThroughputEstimator(np.random.default_rng(9), SMALL_CFG)
+        save_estimator_artifact(
+            artifact_generation_path(artifact_path, 1), newer, vqvae,
+            platform)
+        return newer
+
+    def test_newest_compatible_generation_wins(self, trained,
+                                               artifact_path):
+        newer = self._newer(trained, artifact_path, orange_pi_5())
+        predictor = resolve_predictor(self._spec(artifact_path),
+                                      orange_pi_5(),
+                                      EvaluationCache(orange_pi_5()))
+        q = np.random.default_rng(6).normal(
+            size=(2, 4, 32, 48)).astype(np.float32)
+        np.testing.assert_array_equal(predictor.estimator.predict_rates(q),
+                                      newer.predict_rates(q))
+
+    def test_naming_a_generation_pins_it(self, trained, artifact_path):
+        self._newer(trained, artifact_path, orange_pi_5())
+        pinned = artifact_generation_path(artifact_path, 1)
+        # Add a newer generation that must NOT be picked up.
+        _, vqvae = trained
+        save_estimator_artifact(
+            artifact_generation_path(artifact_path, 2),
+            ThroughputEstimator(np.random.default_rng(11), SMALL_CFG),
+            vqvae, orange_pi_5())
+        predictor = resolve_predictor(self._spec(pinned), orange_pi_5(),
+                                      EvaluationCache(orange_pi_5()))
+        expected = load_estimator_artifact(pinned, orange_pi_5())
+        q = np.random.default_rng(6).normal(
+            size=(2, 4, 32, 48)).astype(np.float32)
+        np.testing.assert_array_equal(
+            predictor.estimator.predict_rates(q),
+            expected.estimator.predict_rates(q))
+
+    def test_mismatched_generation_falls_back_to_base(self, trained,
+                                                      artifact_path,
+                                                      recwarn):
+        """A child fine-tuned for another board must not shadow a
+        compatible base — and the fallback is silent (no downgrade)."""
+        self._newer(trained, artifact_path, jetson_class())
+        base = load_estimator_artifact(artifact_path, orange_pi_5())
+        predictor = resolve_predictor(self._spec(artifact_path),
+                                      orange_pi_5(),
+                                      EvaluationCache(orange_pi_5()))
+        q = np.random.default_rng(6).normal(
+            size=(2, 4, 32, 48)).astype(np.float32)
+        np.testing.assert_array_equal(predictor.estimator.predict_rates(q),
+                                      base.estimator.predict_rates(q))
+        assert not [w for w in recwarn
+                    if "downgrading" in str(w.message)]
+
+    def test_every_candidate_mismatching_downgrades(self, trained,
+                                                    tmp_path):
+        """Only when the whole family is foreign does the scenario
+        downgrade to the oracle (with the warning naming the newest)."""
+        estimator, vqvae = trained
+        base = tmp_path / "estimator.pkl"
+        save_estimator_artifact(base, estimator, vqvae, jetson_class())
+        save_estimator_artifact(artifact_generation_path(base, 1),
+                                estimator, vqvae, jetson_class())
+        with pytest.warns(UserWarning, match="downgrading to the oracle"):
+            predictor = resolve_predictor(self._spec(base), orange_pi_5(),
+                                          EvaluationCache(orange_pi_5()))
+        assert not hasattr(predictor, "estimator")  # oracle, not learned
+
+    def test_corrupt_generation_blocks_family(self, artifact_path):
+        """A corrupt *newer* generation must fail loudly rather than
+        silently serve the stale base weights."""
+        artifact_generation_path(artifact_path, 1).write_bytes(b"junk")
+        with pytest.raises(ValueError, match="corrupt estimator artifact"):
+            resolve_predictor(self._spec(artifact_path), orange_pi_5(),
+                              EvaluationCache(orange_pi_5()))

@@ -1,0 +1,262 @@
+"""Unit tests for the estimator fine-tuning loop (repro.estimator.finetune).
+
+Covers the deterministic ingestion buffer (dedup, max-merge, bounded
+reservoir), the warm-start ``finetune`` pass, the generation-writing
+``refresh_artifact`` lineage chain, the ``ExperimentContext`` wiring and
+the offline CLI.  The bit-identity *properties* (ingestion order, worker
+count, v1→v2 round-trip) live in
+``tests/property/test_finetune_properties.py``.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.estimator import (
+    ArtifactLineage,
+    EstimatorConfig,
+    FinetuneBuffer,
+    FinetuneConfig,
+    ThroughputEstimator,
+    artifact_hash,
+    finetune,
+    latest_artifact_generation,
+    load_estimator_artifact,
+    refresh_artifact,
+    save_estimator_artifact,
+    segment_rows_to_samples,
+)
+from repro.hw import jetson_class, orange_pi_5
+from repro.obs import TelemetrySnapshot, write_trace
+from repro.obs.recorder import SegmentUsage
+from repro.vqvae import LayerVQVAE
+from repro.zoo import get_model
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+TINY_CFG = EstimatorConfig(max_dnns=4, stem_channels=4,
+                           block_channels=(4, 4, 4), attn_dim=4,
+                           decoder_dim=8)
+
+FAST_FT = FinetuneConfig(epochs=1, batch_size=4)
+
+
+def seg(names, rate=1.0, duration=5.0):
+    """A synthetic export_segments row over real zoo models."""
+    return {
+        "workload": list(names),
+        "assignments": [[0] * get_model(n).num_blocks for n in names],
+        "rates": [float(rate)] * len(names),
+        "duration_s": float(duration),
+    }
+
+
+@pytest.fixture()
+def base_artifact(tmp_path):
+    """A tiny base artifact for the Orange Pi 5 under a temp family."""
+    estimator = ThroughputEstimator(np.random.default_rng(3), TINY_CFG)
+    vqvae = LayerVQVAE(np.random.default_rng(4))
+    path = tmp_path / "estimator.pkl"
+    save_estimator_artifact(path, estimator, vqvae, orange_pi_5(),
+                            val_l2=0.5, val_spearman=0.8)
+    return path
+
+
+class TestFinetuneBuffer:
+    def test_ingest_counts_new_distinct_segments(self):
+        buf = FinetuneBuffer()
+        assert buf.ingest([seg(("alexnet",)), seg(("squeezenet",))]) == 2
+        assert buf.ingest([seg(("alexnet",))]) == 0
+        assert len(buf) == 2 and buf.seen == 2 and buf.dropped == 0
+
+    def test_duplicate_durations_merge_with_max(self):
+        buf = FinetuneBuffer()
+        buf.ingest([seg(("alexnet",), duration=3.0)])
+        buf.ingest([seg(("alexnet",), duration=9.0)])
+        buf.ingest([seg(("alexnet",), duration=5.0)])
+        (row,) = buf.rows()
+        assert row["duration_s"] == 9.0
+
+    def test_rows_sorted_and_order_invariant(self):
+        rows = [seg(("mobilenet_v2",)), seg(("alexnet",)),
+                seg(("squeezenet", "alexnet"), rate=2.0)]
+        forward, backward = FinetuneBuffer(), FinetuneBuffer()
+        forward.ingest(rows)
+        backward.ingest(reversed(rows))
+        assert forward.rows() == backward.rows()
+        workloads = [tuple(r["workload"]) for r in forward.rows()]
+        assert workloads == sorted(workloads)
+
+    def test_reservoir_bound_is_order_independent(self):
+        rows = [seg((name,)) for name in
+                ("alexnet", "squeezenet", "mobilenet_v2", "shufflenet")]
+        forward, backward = FinetuneBuffer(max_rows=2), FinetuneBuffer(max_rows=2)
+        forward.ingest(rows)
+        backward.ingest(reversed(rows))
+        assert len(forward) == 2
+        assert forward.dropped == 2 and forward.seen == 4
+        assert forward.rows() == backward.rows()
+
+    def test_accepts_raw_segment_usage_records(self):
+        usage = SegmentUsage(("alexnet",), ((0,) * 8,), (1.5,), 2.0)
+        buf = FinetuneBuffer()
+        assert buf.ingest([usage]) == 1
+
+    def test_malformed_row_raises(self):
+        with pytest.raises(ValueError, match="malformed segment row"):
+            FinetuneBuffer().ingest([{"workload": ["alexnet"]}])
+
+    def test_misaligned_row_raises(self):
+        bad = seg(("alexnet", "squeezenet"))
+        bad["rates"] = [1.0]
+        with pytest.raises(ValueError, match="must align"):
+            FinetuneBuffer().ingest([bad])
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_rows"):
+            FinetuneBuffer(max_rows=0)
+
+
+class TestSegmentRowsToSamples:
+    def test_dedup_and_sort(self):
+        rows = [seg(("squeezenet",)), seg(("alexnet",)),
+                seg(("squeezenet",))]
+        samples = segment_rows_to_samples(rows, TINY_CFG)
+        assert [s.names for s in samples] == [("alexnet",), ("squeezenet",)]
+
+    def test_oversized_workload_rejected(self):
+        row = seg(("alexnet", "squeezenet", "mobilenet_v2", "shufflenet",
+                   "resnet50"))
+        with pytest.raises(ValueError, match="max_dnns"):
+            segment_rows_to_samples([row], TINY_CFG)
+
+
+class TestFinetune:
+    def test_zero_rows_is_a_noop(self, base_artifact):
+        artifact = load_estimator_artifact(base_artifact, orange_pi_5())
+        before = [a.copy() for a in artifact.estimator.state_arrays()]
+        report = finetune(artifact, [], FAST_FT)
+        assert report.rows == 0 and report.steps == 0
+        for a, b in zip(before, artifact.estimator.state_arrays()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_rows_move_the_weights(self, base_artifact):
+        artifact = load_estimator_artifact(base_artifact, orange_pi_5())
+        before = [a.copy() for a in artifact.estimator.state_arrays()]
+        report = finetune(artifact, [seg(("alexnet",)),
+                                     seg(("squeezenet",), rate=2.0)],
+                          FAST_FT)
+        assert report.rows == 2 and report.steps >= 1
+        assert len(report.train_loss) == FAST_FT.epochs
+        assert any(not np.array_equal(a, b) for a, b in
+                   zip(before, artifact.estimator.state_arrays()))
+        assert not artifact.estimator.training  # left in eval mode
+
+
+class TestRefreshArtifact:
+    def test_missing_family_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            refresh_artifact(tmp_path / "nope.pkl", [seg(("alexnet",))],
+                             orange_pi_5(), FAST_FT)
+
+    def test_writes_generation_with_lineage(self, base_artifact):
+        parent_hash = artifact_hash(base_artifact)
+        out, report = refresh_artifact(
+            base_artifact, [seg(("alexnet",)), seg(("squeezenet",))],
+            orange_pi_5(), FAST_FT)
+        assert out.name == "estimator.gen1.pkl"
+        child = load_estimator_artifact(out, orange_pi_5())
+        assert child.lineage == ArtifactLineage(
+            parent_hash=parent_hash, segment_count=2, finetune_epoch=1)
+        assert report.rows == 2
+        # Base validation quality is carried over, not recomputed.
+        assert child.val_l2 == pytest.approx(0.5)
+        assert child.val_spearman == pytest.approx(0.8)
+
+    def test_generations_chain(self, base_artifact):
+        out1, _ = refresh_artifact(base_artifact, [seg(("alexnet",))],
+                                   orange_pi_5(), FAST_FT)
+        out2, _ = refresh_artifact(base_artifact, [seg(("squeezenet",))],
+                                   orange_pi_5(), FAST_FT)
+        assert out2.name == "estimator.gen2.pkl"
+        child = load_estimator_artifact(out2, orange_pi_5())
+        assert child.lineage.parent_hash == artifact_hash(out1)
+        assert child.lineage.finetune_epoch == 2
+        assert latest_artifact_generation(base_artifact) == 2
+
+    def test_platform_mismatch_raises_not_downgrades(self, base_artifact):
+        """Fine-tuning the wrong board's weights would poison every later
+        generation — the refresh path has no oracle fallback."""
+        with pytest.raises(ValueError, match="trained for platform"):
+            refresh_artifact(base_artifact, [seg(("alexnet",))],
+                             jetson_class(), FAST_FT)
+        assert latest_artifact_generation(base_artifact) == 0
+
+
+def _load_cli():
+    spec = importlib.util.spec_from_file_location(
+        "finetune_estimator", REPO_ROOT / "tools" / "finetune_estimator.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _trace_with_segments(path, rows):
+    snapshot = TelemetrySnapshot(
+        where="test", max_spans=64, counters=(), gauges=(), histograms=(),
+        spans=(), span_stats=(),
+        segments=tuple(SegmentUsage(tuple(r["workload"]),
+                                    tuple(tuple(a) for a in r["assignments"]),
+                                    tuple(r["rates"]), r["duration_s"])
+                       for r in rows))
+    write_trace(snapshot, path)
+    return path
+
+
+class TestFinetuneCLI:
+    def test_refreshes_a_generation_from_traces(self, base_artifact,
+                                                tmp_path, capsys):
+        cli = _load_cli()
+        trace = _trace_with_segments(tmp_path / "trace.jsonl",
+                                     [seg(("alexnet",)),
+                                      seg(("squeezenet",), rate=2.0)])
+        status = cli.main([str(base_artifact), str(trace),
+                           "--platform", "orange_pi_5", "--epochs", "1",
+                           "--batch-size", "4"])
+        assert status == 0
+        assert latest_artifact_generation(base_artifact) == 1
+        out = capsys.readouterr().out
+        assert "generation 1" in out
+
+    def test_empty_traces_fail_with_message(self, base_artifact, tmp_path,
+                                            capsys):
+        cli = _load_cli()
+        trace = _trace_with_segments(tmp_path / "empty.jsonl", [])
+        status = cli.main([str(base_artifact), str(trace)])
+        assert status == 1
+        assert "no segments" in capsys.readouterr().err
+        assert latest_artifact_generation(base_artifact) == 0
+
+    def test_corrupt_trace_fails_cleanly(self, base_artifact, tmp_path,
+                                         capsys):
+        cli = _load_cli()
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        status = cli.main([str(base_artifact), str(bad)])
+        assert status == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestContextRefresh:
+    def test_refresh_estimator_requires_telemetry(self, tmp_path):
+        from repro.experiments import ExperimentContext
+
+        class Blind:
+            telemetry = None
+
+        ctx = ExperimentContext(preset="tiny", results_dir=tmp_path,
+                                use_artifact_cache=False)
+        with pytest.raises(ValueError, match="observe=True"):
+            ctx.refresh_estimator([Blind()])

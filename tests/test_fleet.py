@@ -107,7 +107,8 @@ class TestRouting:
     def test_roster_builds_fresh_instances(self):
         assert set(ROUTING_POLICIES) == {"round_robin", "least_loaded",
                                          "tier_affinity",
-                                         "tier_affinity_preempt"}
+                                         "tier_affinity_preempt",
+                                         "pressure_feedback"}
         a = build_routing_policy("round_robin")
         b = build_routing_policy("round_robin")
         assert a is not b
@@ -411,3 +412,154 @@ class TestFleetPreemption:
         assert 0.0 < report.eviction_fairness <= 1.0
         if report.evictions:
             assert "preemption:" in report.summary()
+
+
+# ------------------------------------------------- pressure feedback loop
+class TestNodePressure:
+    def _report(self, **kw):
+        from types import SimpleNamespace
+
+        defaults = dict(arrivals=10, out_of_horizon=2, abandoned=2,
+                        rejected=1, queued_at_horizon=3)
+        defaults.update(kw)
+        return SimpleNamespace(**defaults)
+
+    def test_rates_over_observed_arrivals(self):
+        from repro.serve.fleet import pressure_from_report
+
+        pressure = pressure_from_report(self._report())
+        assert pressure.queue_depth == 3
+        assert pressure.abandonment_rate == pytest.approx(2 / 8)
+        assert pressure.rejection_rate == pytest.approx(1 / 8)
+        assert pressure.denial_rate == pytest.approx(3 / 8)
+
+    def test_nothing_observed_is_zero_pressure(self):
+        from repro.serve.fleet import pressure_from_report
+
+        pressure = pressure_from_report(self._report(
+            arrivals=2, out_of_horizon=2, abandoned=0, rejected=0,
+            queued_at_horizon=1))
+        assert pressure.abandonment_rate == 0.0
+        assert pressure.rejection_rate == 0.0
+        assert pressure.queue_depth == 1   # residual queue still counts
+
+    def test_denial_rate_clamped(self):
+        from repro.serve.fleet import NodePressure
+
+        assert NodePressure(abandonment_rate=0.8,
+                            rejection_rate=0.7).denial_rate == 1.0
+        assert NodePressure().denial_rate == 0.0
+
+    def test_fleet_pressure_keys_by_name(self):
+        from repro.serve.fleet import fleet_pressure
+
+        specs = [NodeSpec(name="a", capacity=1),
+                 NodeSpec(name="b", capacity=1)]
+        pressure = fleet_pressure(specs, [self._report(),
+                                          self._report(queued_at_horizon=0)])
+        assert set(pressure) == {"a", "b"}
+        assert pressure["a"].queue_depth == 3
+        assert pressure["b"].queue_depth == 0
+
+    def test_fleet_pressure_length_mismatch_rejected(self):
+        from repro.serve.fleet import fleet_pressure
+
+        with pytest.raises(ValueError, match="specs but"):
+            fleet_pressure([NodeSpec(name="a", capacity=1)], [])
+
+
+class TestPressureFeedbackRouting:
+    def _router(self, pressure=None):
+        from repro.serve.fleet import PressureFeedbackRouter
+
+        router = PressureFeedbackRouter()
+        if pressure:
+            router.observe_pressure(pressure)
+        return router
+
+    def test_no_pressure_reproduces_least_loaded(self):
+        """The feedback_rounds=0 anchor: with nothing observed the policy
+        is LeastLoadedRouter choice for choice."""
+        plain = LeastLoadedRouter()
+        scenarios = [views((3, 1.0, 1), (2, 4.0, 1)),
+                     views((2, 1.0, 1), (2, 1.0, 1)),
+                     views((2, 4.0, 4), (2, 1.0, 4)),
+                     views((2, 4.0, 4), (2, 1.0, 1))]
+        for nodes in scenarios:
+            assert self._router().choose("gold", nodes) \
+                == plain.choose("gold", nodes)
+
+    def test_residual_queue_counts_as_live_load(self):
+        from repro.serve.fleet import NodePressure
+
+        nodes = views((2, 1.0, 0), (2, 1.0, 0))
+        assert self._router().choose("gold", nodes) == 0   # index tie-break
+        router = self._router({"n0": NodePressure(queue_depth=2)})
+        assert router.choose("gold", nodes) == 1
+
+    def test_denial_rate_discounts_speed(self):
+        from repro.serve.fleet import NodePressure
+
+        nodes = views((2, 4.0, 1), (2, 3.0, 1))
+        assert self._router().choose("gold", nodes) == 0   # faster headroom
+        router = self._router({"n0": NodePressure(rejection_rate=0.8)})
+        assert router.choose("gold", nodes) == 1           # 4*0.2 < 3
+
+    def test_full_denial_stays_orderable(self):
+        """The 95% discount cap: a node that turned everything away keeps
+        a positive adjusted speed, so saturation drain-times stay finite."""
+        from repro.serve.fleet import NodePressure
+
+        nodes = views((2, 1.0, 4), (2, 1.0, 4))
+        router = self._router({"n0": NodePressure(abandonment_rate=1.0),
+                               "n1": NodePressure(abandonment_rate=1.0)})
+        assert router.choose("gold", nodes) in (0, 1)      # no crash
+
+    def test_pressure_blind_policies_ignore_the_hook(self):
+        from repro.serve.fleet import NodePressure
+
+        nodes = views((2, 1.0, 0), (2, 1.0, 0))
+        plain = LeastLoadedRouter()
+        plain.observe_pressure({"n0": NodePressure(queue_depth=9)})
+        assert plain.choose("gold", nodes) == 0
+
+
+class TestServeFleetFeedback:
+    def test_feedback_rounds_deterministic(self):
+        requests = demand(rate=1 / 5)
+        a = serve_fleet(requests, fleet_nodes(), "pressure_feedback",
+                        feedback_rounds=2)
+        b = serve_fleet(requests, fleet_nodes(), "pressure_feedback",
+                        feedback_rounds=2)
+        assert a == b
+        assert a.routing == "pressure_feedback"
+
+    def test_round_zero_matches_least_loaded_node_reports(self):
+        """feedback_rounds=0 with the pressure router is bit-for-bit
+        today's least_loaded dispatch (only the routing label differs)."""
+        requests = demand()
+        fed = serve_fleet(requests, fleet_nodes(), "pressure_feedback",
+                          feedback_rounds=0)
+        plain = serve_fleet(requests, fleet_nodes(), "least_loaded")
+        assert [n.report for n in fed.nodes] \
+            == [n.report for n in plain.nodes]
+
+    def test_feedback_survives_node_failure(self):
+        report = serve_fleet(demand(rate=1 / 5), fleet_nodes(fail=100.0),
+                             "pressure_feedback", feedback_rounds=1)
+        assert report.re_dispatched > 0
+        assert report.nodes[0].failed_at_s == 100.0
+
+    def test_policy_objects_cannot_iterate(self):
+        """Each round needs a *fresh* policy; an instance cannot be
+        rebuilt, so feedback_rounds>0 demands a roster key."""
+        from repro.serve.fleet import PressureFeedbackRouter
+
+        with pytest.raises(ValueError, match="roster key"):
+            serve_fleet(demand(), fleet_nodes(), PressureFeedbackRouter(),
+                        feedback_rounds=1)
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError, match="feedback_rounds"):
+            serve_fleet(demand(), fleet_nodes(), "pressure_feedback",
+                        feedback_rounds=-1)

@@ -259,3 +259,40 @@ class TestTraceSummaryCli:
         cli = _load_trace_summary()
         assert cli.main([str(tmp_path / "nope.jsonl")]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestExportSegments:
+    """The sorted-output contract fine-tuning relies on (see
+    repro.estimator.finetune): rows come back in one canonical order no
+    matter how the snapshot was assembled."""
+
+    OTHER = (("alexnet", "mobilenet"), ((0, 0, 1), (1, 1, 0)), (2.0, 1.0))
+
+    def _recorders(self):
+        a, b = TelemetryRecorder(where="a"), TelemetryRecorder(where="b")
+        a.segment(self.OTHER, 1.5)
+        a.segment(SEG_KEY, 2.0)
+        b.segment(SEG_KEY, 3.0)
+        b.segment((("squeezenet",), ((1, 0, 1),), (0.5,)), 4.0)
+        return a, b
+
+    def test_merge_order_does_not_change_export(self):
+        a, b = self._recorders()
+        ab = export_segments(merge_snapshots([a.snapshot(), b.snapshot()]))
+        ba = export_segments(merge_snapshots([b.snapshot(), a.snapshot()]))
+        assert ab == ba
+        keys = [(tuple(r["workload"]),
+                 tuple(tuple(row) for row in r["assignments"]),
+                 tuple(r["rates"])) for r in ab]
+        assert keys == sorted(keys)
+
+    def test_recording_order_does_not_change_export(self):
+        a, _ = self._recorders()
+        flipped = TelemetryRecorder(where="a")
+        flipped.segment(SEG_KEY, 2.0)
+        flipped.segment(self.OTHER, 1.5)
+        assert export_segments(a.snapshot()) \
+            == export_segments(flipped.snapshot())
+
+    def test_empty_snapshot_exports_nothing(self):
+        assert export_segments(TelemetryRecorder().snapshot()) == []

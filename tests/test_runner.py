@@ -677,3 +677,106 @@ class TestEstimatorScenarios:
         with pytest.raises(ValueError, match="silently ignored"):
             DynamicScenario(name="x", estimator_path=artifact_path,
                             **DYNAMIC_FAST)
+
+
+class TestFleetFeedbackRuns:
+    """PR: pressure-fed routing + drifted demand through the runner."""
+
+    def _feedback_fleet(self, routing="pressure_feedback", rounds=2,
+                        shift=None, fail_at=(), observe=False):
+        import dataclasses
+
+        nodes = tuple(dataclasses.replace(n, observe=observe)
+                      for n in _fleet_nodes())
+        return FleetScenario(
+            name=f"fb_{routing}_{rounds}", nodes=nodes, routing=routing,
+            seed=0, horizon_s=240.0, arrival_rate_per_s=1 / 8,
+            mean_session_s=90.0, fail_at=fail_at, feedback_rounds=rounds,
+            rate_shift=shift)
+
+    def test_spec_validates_feedback_and_shift(self):
+        with pytest.raises(ValueError, match="feedback_rounds"):
+            FleetScenario(name="x", nodes=_fleet_nodes(),
+                          feedback_rounds=-1)
+        with pytest.raises(ValueError, match="feedback_rounds"):
+            FleetScenario(name="x", nodes=_fleet_nodes(),
+                          feedback_rounds=1.5)
+        with pytest.raises(ValueError, match="rate_shift"):
+            FleetScenario(name="x", nodes=_fleet_nodes(),
+                          rate_shift=(100.0,))
+        with pytest.raises(ValueError, match="rate_shift"):
+            FleetScenario(name="x", nodes=_fleet_nodes(),
+                          rate_shift=(0.0, 2.0))
+        with pytest.raises(ValueError, match="rate_shift"):
+            FleetScenario(name="x", nodes=_fleet_nodes(), horizon_s=240.0,
+                          rate_shift=(240.0, 2.0))
+        with pytest.raises(ValueError, match="rate_shift"):
+            FleetScenario(name="x", nodes=_fleet_nodes(),
+                          rate_shift=(100.0, 0.0))
+
+    def test_rate_shift_drifts_the_trace(self):
+        from repro.runner import sample_fleet_requests
+
+        flat = self._feedback_fleet(rounds=0)
+        drifted = self._feedback_fleet(rounds=0, shift=(120.0, 4.0))
+        flat_tail = sum(1 for r in sample_fleet_requests(flat)
+                        if r.arrival_s >= 120.0)
+        drifted_tail = sum(1 for r in sample_fleet_requests(drifted)
+                           if r.arrival_s >= 120.0)
+        assert drifted_tail > 2 * flat_tail
+
+    def test_rate_shift_requests_well_formed(self):
+        from repro.runner import sample_fleet_requests
+
+        requests = sample_fleet_requests(
+            self._feedback_fleet(rounds=0, shift=(120.0, 3.0)))
+        assert [r.session_id for r in requests] == list(range(len(requests)))
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= a < 240.0 for a in arrivals)
+        assert all(r.duration_s > 0 for r in requests)
+
+    def test_rate_shift_sampling_is_deterministic(self):
+        from repro.runner import sample_fleet_requests
+
+        fleet = self._feedback_fleet(rounds=0, shift=(120.0, 2.0))
+        assert sample_fleet_requests(fleet) == sample_fleet_requests(fleet)
+
+    def test_parallel_equals_serial_with_feedback(self):
+        """Acceptance: iterative pressure-fed dispatch — including the
+        node-failure re-dispatch path and a drifted trace — stays
+        bit-identical for 1 vs N workers, telemetry included."""
+        fleets = [self._feedback_fleet(rounds=2, shift=(120.0, 2.0),
+                                       fail_at=((1, 100.0),), observe=True),
+                  self._feedback_fleet(rounds=0, observe=True)]
+        serial = ScenarioRunner(max_workers=1).run_fleet(fleets)
+        parallel = ScenarioRunner(max_workers=3).run_fleet(fleets)
+        assert [r.report for r in serial] == [r.report for r in parallel]
+        assert [r.telemetry for r in serial] \
+            == [r.telemetry for r in parallel]
+        assert serial[0].report.re_dispatched > 0
+
+    def test_round_zero_reproduces_least_loaded_dispatch(self):
+        """feedback_rounds=0 keeps the pressure router byte-for-byte on
+        today's least_loaded dispatch (only the routing label differs)."""
+        fed = ScenarioRunner(max_workers=1).run_fleet(
+            [self._feedback_fleet(rounds=0)])[0]
+        plain = ScenarioRunner(max_workers=1).run_fleet(
+            [self._feedback_fleet(routing="least_loaded", rounds=0)])[0]
+        assert [n.report for n in fed.report.nodes] \
+            == [n.report for n in plain.report.nodes]
+
+    def test_fleet_from_dict_roundtrip_with_new_keys(self):
+        import dataclasses
+
+        fleet = self._feedback_fleet(rounds=3, shift=(100.0, 2.5))
+        assert FleetScenario.from_dict(dataclasses.asdict(fleet)) == fleet
+
+    def test_fleet_sweep_scenarios_passthrough(self):
+        specs = fleet_sweep_scenarios(
+            routings=("pressure_feedback",), traces_per_cell=1,
+            num_nodes=2, pool=SMALL_POOL, search_iterations=6,
+            observe=True, feedback_rounds=2, rate_shift=(300.0, 2.0))
+        assert all(s.feedback_rounds == 2 for s in specs)
+        assert all(s.rate_shift == (300.0, 2.0) for s in specs)
+        assert all(node.observe for s in specs for node in s.nodes)
