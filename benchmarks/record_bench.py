@@ -37,7 +37,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 GUARDED_PREFIXES = ("test_bench_serve_replan[", "test_bench_serve_preempt[",
                     "test_bench_serve_scale[", "test_bench_serve_obs[",
                     "test_bench_estimator_predict[",
-                    "test_bench_finetune[", "test_bench_fleet_feedback[")
+                    "test_bench_finetune[", "test_bench_fleet_feedback[",
+                    "test_bench_fleet_energy[")
 
 #: Relative mean-time growth beyond which a guarded row is flagged.
 REGRESSION_THRESHOLD = 0.25

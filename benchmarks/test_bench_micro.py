@@ -578,3 +578,43 @@ def test_bench_fleet_feedback(benchmark, rounds):
     assert report.routing == "pressure_feedback"
     assert report.arrivals == len(requests)
     assert report.admitted > 0
+
+
+@pytest.mark.parametrize("cap", ["cap_off", "cap_on"])
+def test_bench_fleet_energy(benchmark, cap):
+    """Power-governor overhead on the pure dispatch hot path.
+
+    Routes the same 1-hour aggregate trace across a 6-node heterogeneous
+    fleet twice: power-blind (``cap_off``, today's baseline walk) and
+    energy-budgeted (``cap_on``: per-node 3-state DVFS ladders, a 40 W
+    fleet cap with a mid-trace brownout to 18 W, ``least_joules``
+    routing).  The governed row pays per-event draw integration, DVFS
+    renegotiation and departure events the blind walk never schedules —
+    the pair bounds what the cap ledger costs on top of
+    ``test_bench_fleet_dispatch``.
+    """
+    from repro.hw import dvfs_ladder, jetson_class_power, orange_pi_5_power
+    from repro.serve.fleet import FleetPowerConfig, NodeSpec, plan_dispatch
+    from repro.workloads import TraceConfig, sample_session_requests
+
+    config = TraceConfig(horizon_s=3600.0, arrival_rate_per_s=1 / 4,
+                         mean_session_s=90.0)
+    requests = sample_session_requests(np.random.default_rng(0), config)
+    nodes = [NodeSpec(name=f"n{i}", capacity=4, speed=1.0 + 0.5 * i,
+                      fail_at_s=(1800.0 if i == 0 else None))
+             for i in range(6)]
+    power = None
+    routing = "least_loaded"
+    if cap == "cap_on":
+        routing = "least_joules"
+        power = FleetPowerConfig(
+            ladders=tuple(
+                dvfs_ladder(orange_pi_5_power() if i % 2 == 0
+                            else jetson_class_power(), (1.0, 0.8, 0.65))
+                for i in range(6)),
+            cap_w=40.0, cap_shift=(1800.0, 18.0))
+
+    plan = benchmark(lambda: plan_dispatch(requests, nodes, routing, 3600.0,
+                                           power=power))
+    assert sum(plan.routed) > 0
+    assert (plan.power is None) == (cap == "cap_off")

@@ -7,9 +7,11 @@ in their MapFormer follow-up (reference [2] of the paper).
 
 Per-candidate power is estimated analytically: stage service demands come
 from the same layer-latency model every manager profiles with, utilisation
-per component is (predicted rate x demand) summed over resident stages,
-and the platform power model converts utilisations to watts.  Two
-objectives are offered:
+per component is (predicted rate x interference-inflated demand) summed
+over resident stages — the exact busy computation
+:func:`repro.hw.energy.energy_report` measures with, so search-time watts
+and board-validated watts price contention identically — and the platform
+power model converts utilisations to watts.  Two objectives are offered:
 
 * ``"penalty"`` — ``reward - power_weight · watts``: a soft power cap
   whose weight dials the throughput/power trade-off.
@@ -25,7 +27,12 @@ from dataclasses import replace
 
 import numpy as np
 
-from ..hw.energy import EnergyReport, PlatformPower, energy_report
+from ..hw.energy import (
+    EnergyReport,
+    PlatformPower,
+    energy_report,
+    inflated_component_utilisation,
+)
 from ..hw.platform import Platform
 from ..mapping.mapping import Mapping
 from ..search.mcts import MCTS, MCTSConfig, MCTSStats
@@ -60,13 +67,25 @@ class PowerAwareRankMap(RankMap):
         self.name = f"rankmap_p_{objective}"
 
     # ------------------------------------------------------------------
+    def estimated_utilisation(self, workload: list[ModelSpec],
+                              mapping: Mapping,
+                              rates: np.ndarray) -> np.ndarray:
+        """Raw per-component utilisation at predicted rates, unclipped.
+
+        Delegates to the same interference-inflated busy computation
+        :func:`repro.hw.energy.energy_report` measures with, so the
+        search scores candidates against the power landscape board
+        validation will confirm.  Predicted rates are not
+        feasibility-constrained, so values above 1.0 (oversubscription)
+        are possible — ``estimated_watts`` clips them before pricing.
+        """
+        demands = compute_stage_demands(workload, mapping, self.platform)
+        return inflated_component_utilisation(demands, rates, self.platform)
+
     def estimated_watts(self, workload: list[ModelSpec], mapping: Mapping,
                         rates: np.ndarray) -> float:
         """Analytical board draw estimate for one candidate mapping."""
-        demands = compute_stage_demands(workload, mapping, self.platform)
-        util = np.zeros(self.platform.num_components)
-        for d in demands:
-            util[d.component] += rates[d.dnn_index] * d.seconds_per_inference
+        util = self.estimated_utilisation(workload, mapping, rates)
         return self.power.system_watts(np.clip(util, 0.0, 1.0))
 
     def measured_energy(self, workload: list[ModelSpec],

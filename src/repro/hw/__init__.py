@@ -3,9 +3,13 @@
 from .component import ComputeComponent, default_efficiency
 from .energy import (
     ComponentPower,
+    DvfsState,
     EnergyReport,
     PlatformPower,
+    dvfs_ladder,
     energy_report,
+    inflated_component_utilisation,
+    interference_inflation,
     jetson_class_power,
     orange_pi_5_power,
 )
@@ -19,9 +23,13 @@ __all__ = [
     "default_efficiency",
     "ComponentPower",
     "PlatformPower",
+    "DvfsState",
     "EnergyReport",
     "orange_pi_5_power",
     "jetson_class_power",
+    "dvfs_ladder",
+    "interference_inflation",
+    "inflated_component_utilisation",
     "energy_report",
     "TransferLink",
     "Platform",

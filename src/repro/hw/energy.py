@@ -31,9 +31,13 @@ from .platform import Platform
 __all__ = [
     "ComponentPower",
     "PlatformPower",
+    "DvfsState",
     "EnergyReport",
     "orange_pi_5_power",
     "jetson_class_power",
+    "dvfs_ladder",
+    "interference_inflation",
+    "inflated_component_utilisation",
     "energy_report",
 ]
 
@@ -88,6 +92,71 @@ class PlatformPower:
             c.watts(u) for c, u in zip(self.components, utilisations))
 
 
+@dataclass(frozen=True)
+class DvfsState:
+    """One DVFS operating point: a relative speed and its power envelope.
+
+    ``speed_multiplier`` scales the node's nominal steady-state speed
+    (1.0 is the top frequency; lower states trade throughput for watts);
+    ``power`` is the whole platform's envelope *at that operating point*.
+    Fleet nodes carry a small descending ladder of these
+    (:func:`dvfs_ladder`) and the dispatcher's power governor steps down
+    it when the fleet is over its cap.
+    """
+
+    speed_multiplier: float
+    power: PlatformPower
+
+    def __post_init__(self):
+        if not 0.0 < self.speed_multiplier <= 1.0:
+            raise ValueError(
+                f"speed_multiplier must be in (0, 1], "
+                f"got {self.speed_multiplier}")
+
+    def node_watts(self, utilisation: float) -> float:
+        """Board draw at a scalar occupancy-style utilisation in [0, 1].
+
+        The fleet dispatcher cannot see per-component utilisations (nodes
+        serve after the plan is fixed), so it prices a node by applying
+        one occupancy fraction uniformly across the envelope's
+        components.
+        """
+        u = float(np.clip(utilisation, 0.0, 1.0))
+        return self.power.system_watts(
+            np.full(len(self.power.components), u))
+
+
+def dvfs_ladder(power: PlatformPower,
+                multipliers: tuple[float, ...] = (1.0, 0.8, 0.6),
+                ) -> tuple[DvfsState, ...]:
+    """Build a descending DVFS ladder from a nominal power envelope.
+
+    ``multipliers`` must start at 1.0 (the nominal operating point) and
+    strictly decrease.  Each lower state scales every component's dynamic
+    draw by ``m**3`` (the classic ``P ~ f * V^2`` CMOS scaling with
+    voltage tracking frequency) and its idle draw by ``m`` (lower rails
+    leak less); board overhead — rails, DRAM refresh — is frequency-blind
+    and kept as is.
+    """
+    if not multipliers or multipliers[0] != 1.0:
+        raise ValueError("multipliers must start at the nominal 1.0 state")
+    if any(b >= a for a, b in zip(multipliers, multipliers[1:])):
+        raise ValueError(
+            f"multipliers must strictly decrease, got {multipliers}")
+    states = []
+    for m in multipliers:
+        components = tuple(
+            ComponentPower(name=c.name, idle_w=c.idle_w * m,
+                           dynamic_w=c.dynamic_w * m ** 3,
+                           util_exponent=c.util_exponent)
+            for c in power.components)
+        states.append(DvfsState(
+            speed_multiplier=m,
+            power=PlatformPower(components=components,
+                                board_overhead_w=power.board_overhead_w)))
+    return tuple(states)
+
+
 def orange_pi_5_power() -> PlatformPower:
     """Estimated power envelopes for the paper's Orange Pi 5 (RK3588S)."""
     return PlatformPower(
@@ -118,10 +187,19 @@ def jetson_class_power() -> PlatformPower:
 
 @dataclass(frozen=True)
 class EnergyReport:
-    """Power/energy accounting for one mapping at steady state."""
+    """Power/energy accounting for one mapping at steady state.
+
+    ``component_utilisation`` is clipped to [0, 1] — the busy fraction
+    the power model converts to watts (a component cannot draw more than
+    its 100 %-busy power).  ``component_raw_utilisation`` keeps the
+    solver's *unclipped* figure: anything above 1.0 there is
+    oversubscription the watts alone cannot show, which cap accounting
+    and search diagnostics need to see.
+    """
 
     component_names: tuple[str, ...]
     component_utilisation: np.ndarray
+    component_raw_utilisation: np.ndarray  # pre-clip; > 1 = oversubscribed
     component_watts: np.ndarray        # per component, incl. its idle term
     system_watts: float                # components + board overhead
     workload_names: tuple[str, ...]
@@ -135,15 +213,60 @@ class EnergyReport:
 
     @property
     def inferences_per_joule(self) -> float:
-        """System energy efficiency: total inferences per joule."""
-        if self.system_watts <= 0:
-            return float("inf")
-        return self.total_throughput / self.system_watts
+        """System energy efficiency: total inferences per joule.
+
+        Degenerate cases report 0.0, never ``inf``: zero throughput
+        earns nothing per joule, and a zero/negative-watts envelope (an
+        all-zero power model) has no meaningful efficiency — returning
+        ``inf`` would poison ``reward / watts`` comparisons and JSON
+        export alike.
+        """
+        throughput = self.total_throughput
+        if throughput <= 0 or self.system_watts <= 0:
+            return 0.0
+        return throughput / self.system_watts
 
     def __repr__(self) -> str:
         return (f"EnergyReport({self.system_watts:.2f} W, "
                 f"{self.total_throughput:.2f} inf/s, "
                 f"{self.inferences_per_joule:.2f} inf/J)")
+
+
+def interference_inflation(platform: Platform, demands) -> np.ndarray:
+    """Per-component demand inflation from co-resident DNN contexts.
+
+    Each component's factor is its
+    :meth:`~repro.hw.component.Component.interference_factor` at the
+    number of distinct DNNs with at least one stage resident there — the
+    same contention model the steady-state solver applies.  ``demands``
+    is the :func:`repro.sim.demands.compute_stage_demands` list.
+    """
+    inflation = np.ones(platform.num_components)
+    for c in range(platform.num_components):
+        contexts = len({d.dnn_index for d in demands if d.component == c})
+        if contexts:
+            inflation[c] = platform.component(c).interference_factor(contexts)
+    return inflation
+
+
+def inflated_component_utilisation(demands, rates: np.ndarray,
+                                   platform: Platform) -> np.ndarray:
+    """Raw per-component busy fraction at given per-DNN rates.
+
+    Sums ``rate x interference-inflated service demand`` over the
+    resident stages of each component — the single source of truth for
+    power-model utilisation, shared by :func:`energy_report` (with the
+    solver's measured rates) and
+    :meth:`repro.core.power.PowerAwareRankMap.estimated_watts` (with
+    predicted rates).  The result is *unclipped*: values above 1.0 mean
+    the rates oversubscribe the component.
+    """
+    inflation = interference_inflation(platform, demands)
+    util = np.zeros(platform.num_components)
+    for d in demands:
+        util[d.component] += (rates[d.dnn_index] * d.seconds_per_inference
+                              * inflation[d.component])
+    return util
 
 
 def energy_report(workload: list[ModelSpec], mapping: Mapping,
@@ -165,7 +288,8 @@ def energy_report(workload: list[ModelSpec], mapping: Mapping,
     solution = result.solution
     demands = compute_stage_demands(workload, mapping, platform)
 
-    util = np.clip(solution.component_utilisation, 0.0, 1.0)
+    raw_util = np.asarray(solution.component_utilisation, dtype=float)
+    util = np.clip(raw_util, 0.0, 1.0)
     watts = np.array([c.watts(u)
                       for c, u in zip(power.components, util)])
     system = power.system_watts(util)
@@ -175,11 +299,7 @@ def energy_report(workload: list[ModelSpec], mapping: Mapping,
     # no energy and is excluded, consistent with the solver's utilisation).
     n = len(workload)
     dyn_power_per_dnn = np.zeros(n)
-    inflation = np.ones(platform.num_components)
-    for c in range(platform.num_components):
-        contexts = len({d.dnn_index for d in demands if d.component == c})
-        if contexts:
-            inflation[c] = platform.component(c).interference_factor(contexts)
+    inflation = interference_inflation(platform, demands)
     busy = np.array([
         solution.rates[d.dnn_index] * d.seconds_per_inference
         * inflation[d.component]
@@ -204,6 +324,7 @@ def energy_report(workload: list[ModelSpec], mapping: Mapping,
     return EnergyReport(
         component_names=tuple(c.name for c in power.components),
         component_utilisation=util,
+        component_raw_utilisation=raw_util,
         component_watts=watts,
         system_watts=system,
         workload_names=tuple(m.name for m in workload),

@@ -91,6 +91,14 @@ DISPATCH_REDISPATCHED = "fleet.dispatch.re_dispatched"
 DISPATCH_LOST = "fleet.dispatch.lost"
 #: Routing-policy choices, labelled ``"<policy>/<node>"``.
 ROUTING_CHOICE = "fleet.routing.choice"
+#: Estimated fleet board draw after each dispatch event (simulated time).
+POWER_FLEET_WATTS = "fleet.power.watts"
+#: Watt-seconds above the cap in force, labelled by node name.
+POWER_OVER_CAP_WS = "fleet.power.over_cap_ws"
+#: DVFS renegotiation steps, labelled ``"<node>/<new_level>"``.
+POWER_DVFS_TRANSITIONS = "fleet.power.dvfs_transitions"
+#: Arrivals dropped by the power governor, labelled by SLA tier.
+POWER_SHED = "fleet.power.shed"
 
 # ----------------------------------------------------------- estimator
 #: Learned-path candidate-scoring batches (one fused forward each).
@@ -140,6 +148,13 @@ METRICS: dict[str, Metric] = {m.name: m for m in (
     _m(DISPATCH_LOST, COUNTER, "1", "arrivals with no alive node"),
     _m(ROUTING_CHOICE, COUNTER, "1",
        "routing choices, labelled '<policy>/<node>'"),
+    _m(POWER_FLEET_WATTS, GAUGE, "W", "estimated fleet board draw"),
+    _m(POWER_OVER_CAP_WS, COUNTER, "W*s",
+       "watt-seconds over the cap, labelled by node"),
+    _m(POWER_DVFS_TRANSITIONS, COUNTER, "1",
+       "DVFS steps, labelled '<node>/<new_level>'"),
+    _m(POWER_SHED, COUNTER, "1",
+       "power-governor dropped arrivals, labelled by tier"),
     _m(PREDICT_CALLS, COUNTER, "1", "learned-path scoring batches"),
     _m(PREDICT_BATCH_SIZE, HISTOGRAM, "1",
        "candidate-roster size per scoring batch"),

@@ -29,14 +29,16 @@ from ..core.predictor import EstimatorPredictor, OraclePredictor, RatePredictor
 from ..estimator import (ArtifactPlatformMismatch,
                          artifact_generation_candidates,
                          load_estimator_artifact)
-from ..hw import jetson_class, orange_pi_5
+from ..hw import (dvfs_ladder, jetson_class, jetson_class_power,
+                  orange_pi_5, orange_pi_5_power)
+from ..hw.energy import PlatformPower
 from ..hw.platform import Platform
 from ..obs import NULL_RECORDER, Recorder, TelemetryRecorder, merge_snapshots
 from ..obs.registry import EVAL_CACHE_DOWNGRADES, PREDICTOR_DOWNGRADES
 from ..search import MCTSConfig
 from ..serve import AdmissionConfig, ServeConfig, build_replan_policy, serve_trace
-from ..serve.fleet import (NodeSpec, build_fleet_report, fleet_pressure,
-                           node_speed, plan_dispatch)
+from ..serve.fleet import (FleetPowerConfig, NodeSpec, build_fleet_report,
+                           fleet_pressure, node_speed, plan_dispatch)
 from ..sim import EvaluationCache, simulate
 from ..sim.cache import platform_fingerprint
 from ..workloads import (SessionRequest, TraceConfig, iter_session_requests,
@@ -52,6 +54,7 @@ from .scenario import (
 )
 
 __all__ = ["ScenarioRunner", "MANAGER_SPECS", "PLATFORM_SPECS",
+           "POWER_SPECS", "DVFS_MULTIPLIERS",
            "build_manager", "resolve_predictor", "execute_scenario",
            "execute_dynamic_scenario", "FleetNodeTask", "execute_fleet_node",
            "sample_fleet_requests"]
@@ -60,6 +63,18 @@ PLATFORM_SPECS: dict[str, Callable[[], Platform]] = {
     "orange_pi_5": orange_pi_5,
     "jetson_class": jetson_class,
 }
+
+#: Platform-key → power-envelope preset, mirroring :data:`PLATFORM_SPECS`
+#: so a power-capped fleet node prices energy with the same board its
+#: speed came from.
+POWER_SPECS: dict[str, Callable[[], PlatformPower]] = {
+    "orange_pi_5": orange_pi_5_power,
+    "jetson_class": jetson_class_power,
+}
+
+#: Speed multipliers the runner's DVFS ladders are cut from;
+#: ``FleetScenario.power_dvfs_levels`` takes a prefix of this tuple.
+DVFS_MULTIPLIERS: tuple[float, ...] = (1.0, 0.8, 0.65, 0.5)
 
 #: Per-process memo of loaded estimator artifacts, keyed by
 #: (path, mtime_ns, size, platform fingerprint) so every scenario a pool
@@ -472,6 +487,34 @@ def _fleet_node_specs(fleet: FleetScenario) -> list[NodeSpec]:
     return specs
 
 
+def _fleet_power_config(fleet: FleetScenario) -> FleetPowerConfig | None:
+    """The dispatcher power budget a scenario's power knobs describe.
+
+    ``None`` when the fleet is not power-capped.  Each node's DVFS
+    ladder is cut from its platform's :data:`POWER_SPECS` preset at the
+    first ``power_dvfs_levels`` :data:`DVFS_MULTIPLIERS` operating
+    points, so heterogeneous fleets throttle against heterogeneous
+    envelopes.
+    """
+    if fleet.power_cap_w is None:
+        return None
+    multipliers = DVFS_MULTIPLIERS[:fleet.power_dvfs_levels]
+    ladders = []
+    for node in fleet.nodes:
+        try:
+            power = POWER_SPECS[node.platform]()
+        except KeyError:
+            raise ValueError(
+                f"unknown platform {node.platform!r}; "
+                f"choose from {sorted(POWER_SPECS)}") from None
+        ladders.append(dvfs_ladder(power, multipliers))
+    return FleetPowerConfig(ladders=tuple(ladders),
+                            cap_w=fleet.power_cap_w,
+                            cap_shift=fleet.power_cap_shift,
+                            shed_tiers=fleet.power_shed_tiers,
+                            enforce=fleet.power_enforce)
+
+
 class ScenarioRunner:
     """Fan scenarios across a process pool; aggregate in input order.
 
@@ -519,6 +562,13 @@ class ScenarioRunner:
         telemetry (intermediate rounds serve with ``observe=False``
         node specs and a null dispatch recorder), so snapshots — like
         reports — are a pure function of the scenario list.
+
+        Power-capped fleets (``power_cap_w`` set) plan every round under
+        the :func:`_fleet_power_config` budget; the final round's
+        :class:`~repro.serve.fleet.FleetPowerReport` ledger lands on
+        ``FleetReport.power``.  Because the governor runs entirely in
+        phase 1, the power path inherits the same any-worker-count
+        bit-identity.
         """
         fleets = list(fleets)
         if not fleets:
@@ -529,6 +579,7 @@ class ScenarioRunner:
                 "fleet": fleet,
                 "requests": tuple(sample_fleet_requests(fleet)),
                 "specs": _fleet_node_specs(fleet),
+                "power": _fleet_power_config(fleet),
                 "platforms": [node.platform for node in fleet.nodes],
                 "pressure": None,      # measured NodePressure from the
                 #                        previous round, None on round 0
@@ -551,7 +602,8 @@ class ScenarioRunner:
                 plan = plan_dispatch(state["requests"], state["specs"],
                                      fleet.routing, fleet.horizon_s,
                                      recorder=dispatch_recorder,
-                                     pressure=state["pressure"])
+                                     pressure=state["pressure"],
+                                     power=state["power"])
                 state["plan"] = plan
                 state["dispatch_snap"] = dispatch_recorder.snapshot()
                 for node, spec, slice_requests in zip(

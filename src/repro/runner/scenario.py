@@ -282,6 +282,19 @@ class FleetScenario:
     arrival rate by ``rate_multiplier`` from ``shift_at_s`` onwards —
     the trace an estimator trained on pre-shift traffic has never seen,
     which is what the closed-loop fine-tuning study exercises.
+
+    ``power_cap_w`` makes the dispatch energy-budgeted: each node gets a
+    DVFS ladder built from its platform's power preset
+    (``power_dvfs_levels`` operating points deep; 1 pins every node at
+    nominal) and the dispatcher's power governor renegotiates levels —
+    and sheds ``power_shed_tiers`` arrivals — to keep the estimated
+    fleet draw under the cap (:mod:`repro.serve.fleet.power`), with the
+    violation ledger landing on ``FleetReport.power``.
+    ``power_cap_shift=(at_s, new_cap_w)`` is the brownout knob: the cap
+    in force changes mid-trace.  ``power_enforce=False`` keeps the
+    ledger but never throttles or sheds — the cap-blind baseline.  Like
+    everything else here the whole power path runs in dispatch phase 1,
+    so reports stay bit-identical for any worker count.
     """
 
     name: str
@@ -295,6 +308,11 @@ class FleetScenario:
     fail_at: tuple[tuple[int, float], ...] = ()   # (node index, fail time)
     feedback_rounds: int = 0            # pressure-feedback re-dispatch rounds
     rate_shift: tuple[float, float] | None = None  # (shift_at_s, multiplier)
+    power_cap_w: float | None = None    # fleet draw budget; None = power off
+    power_cap_shift: tuple[float, float] | None = None  # (at_s, new_cap_w)
+    power_dvfs_levels: int = 3          # DVFS ladder depth per node (1..4)
+    power_shed_tiers: tuple[str, ...] = ("bronze",)
+    power_enforce: bool = True          # False = cap-blind accounting only
 
     def __post_init__(self):
         if not self.nodes:
@@ -323,6 +341,30 @@ class FleetScenario:
                 raise ValueError(
                     f"rate_shift multiplier must be positive, "
                     f"got {multiplier}")
+        if self.power_cap_w is not None and self.power_cap_w <= 0:
+            raise ValueError(
+                f"power_cap_w must be positive, got {self.power_cap_w}")
+        if self.power_cap_shift is not None:
+            if self.power_cap_w is None:
+                raise ValueError(
+                    "power_cap_shift requires power_cap_w; a brownout "
+                    "needs a cap to drop from")
+            if len(self.power_cap_shift) != 2:
+                raise ValueError(
+                    "power_cap_shift must be (shift_at_s, new_cap_w)")
+            shift_at, new_cap = self.power_cap_shift
+            if not 0.0 < shift_at < self.horizon_s:
+                raise ValueError(
+                    f"power_cap_shift time {shift_at} must fall inside "
+                    f"the horizon (0, {self.horizon_s})")
+            if new_cap <= 0:
+                raise ValueError(
+                    f"power_cap_shift cap must be positive, got {new_cap}")
+        if not isinstance(self.power_dvfs_levels, int) \
+                or not 1 <= self.power_dvfs_levels <= 4:
+            raise ValueError(
+                f"power_dvfs_levels must be an int in 1..4 (the runner "
+                f"ladder depth), got {self.power_dvfs_levels!r}")
         seen: set[int] = set()
         for index, fail_s in self.fail_at:
             if not 0 <= index < len(self.nodes):
@@ -346,6 +388,8 @@ class FleetScenario:
                 for n in nodes),
             "fail_at": _tupled,
             "rate_shift": tuple,
+            "power_cap_shift": tuple,
+            "power_shed_tiers": tuple,
         })
 
 
@@ -473,6 +517,8 @@ def fleet_sweep_scenarios(routings: tuple[str, ...] = ("round_robin",
                           observe: bool = False,
                           feedback_rounds: int = 0,
                           rate_shift: tuple[float, float] | None = None,
+                          power_cap_w: float | None = None,
+                          power_cap_shift: tuple[float, float] | None = None,
                           ) -> list[FleetScenario]:
     """A (routing x trace) grid of fleet studies over heterogeneous nodes.
 
@@ -494,7 +540,9 @@ def fleet_sweep_scenarios(routings: tuple[str, ...] = ("round_robin",
     :meth:`~repro.experiments.ExperimentContext.refresh_estimator`);
     ``feedback_rounds``/``rate_shift`` are forwarded to every
     :class:`FleetScenario` cell (pressure-fed re-dispatch and mid-run
-    demand drift).
+    demand drift), as are ``power_cap_w``/``power_cap_shift`` (the
+    energy budget and its brownout drop) so a sweep can compare routing
+    policies under the same power envelope.
     """
     if num_nodes < 1:
         raise ValueError("num_nodes must be at least 1")
@@ -523,6 +571,8 @@ def fleet_sweep_scenarios(routings: tuple[str, ...] = ("round_robin",
                 fail_at=fail_at,
                 feedback_rounds=feedback_rounds,
                 rate_shift=rate_shift,
+                power_cap_w=power_cap_w,
+                power_cap_shift=power_cap_shift,
             ))
     return scenarios
 
@@ -586,6 +636,9 @@ def summarise_fleet(results: list[FleetResult]) -> list[dict]:
     Rows surface the cluster-scale trade-offs the per-node summary cannot
     see: admission totals, mean session rate, cross-node fairness,
     starvation, and the failure-path counters (re-dispatched / lost).
+    Power-governed reports additionally contribute ``shed`` and the
+    cap-violation columns (zeros when no report in the group carried a
+    power ledger).
     """
     groups: dict[str, list[FleetResult]] = {}
     for r in results:
@@ -593,6 +646,7 @@ def summarise_fleet(results: list[FleetResult]) -> list[dict]:
     rows = []
     for routing, rs in sorted(groups.items()):
         reports = [r.report for r in rs]
+        powered = [rep.power for rep in reports if rep.power is not None]
         rows.append({
             "routing": routing,
             "scenarios": len(rs),
@@ -613,5 +667,10 @@ def summarise_fleet(results: list[FleetResult]) -> list[dict]:
                 [rep.starvation_rate for rep in reports])),
             "mean_queue_wait_s": float(np.mean(
                 [rep.mean_queue_wait_s for rep in reports])),
+            "shed": sum(rep.shed for rep in reports),
+            "mean_fleet_watts": float(np.mean(
+                [p.mean_watts for p in powered])) if powered else 0.0,
+            "over_cap_ws": float(sum(
+                p.fleet_over_cap_ws for p in powered)),
         })
     return rows

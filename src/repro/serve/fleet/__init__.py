@@ -19,6 +19,10 @@ that cluster layer:
 * :mod:`repro.serve.fleet.report` — the :class:`FleetReport` rollup of
   per-node :class:`~repro.serve.ServeReport` outputs with cross-node
   fairness and starvation metrics.
+* :mod:`repro.serve.fleet.power` — energy-budgeted dispatch: per-node
+  DVFS ladders, a fleet-wide power cap with brownout shifts, the
+  ``least_joules``-facing node pricing and the watt-second violation
+  ledger (:class:`FleetPowerReport`) the reports carry.
 
 ``repro.runner.FleetScenario`` wraps a whole fleet study into a
 declarative spec and :meth:`repro.runner.ScenarioRunner.run_fleet` fans
@@ -34,9 +38,11 @@ from .dispatch import (
     plan_dispatch,
     serve_fleet,
 )
+from .power import FleetPowerConfig, FleetPowerReport, PowerSegment
 from .report import FleetReport, NodeReport, build_fleet_report, jain_index
 from .routing import (
     ROUTING_POLICIES,
+    LeastJoulesRouter,
     LeastLoadedRouter,
     NodePressure,
     NodeView,
@@ -68,9 +74,13 @@ __all__ = [
     "RoutingPolicy",
     "RoundRobinRouter",
     "LeastLoadedRouter",
+    "LeastJoulesRouter",
     "TierAffinityRouter",
     "PreemptAwareTierRouter",
     "PressureFeedbackRouter",
     "ROUTING_POLICIES",
     "build_routing_policy",
+    "FleetPowerConfig",
+    "FleetPowerReport",
+    "PowerSegment",
 ]

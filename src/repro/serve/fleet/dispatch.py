@@ -51,6 +51,7 @@ from ...workloads.traces import SessionRequest
 from ...zoo.registry import get_model
 from ..loop import ServeConfig, serve_trace
 from ..replan import ReplanPolicy
+from .power import FleetPowerConfig, FleetPowerReport, _PowerGovernor
 from .report import FleetReport, build_fleet_report
 from .routing import (
     NodePressure,
@@ -69,10 +70,16 @@ __all__ = [
     "serve_fleet",
 ]
 
-# Same-instant processing order: a node failing at t must not receive an
-# arrival at t, so failures drain before arrivals route.
-_RANK_FAILURE = 0
-_RANK_ARRIVAL = 1
+# Same-instant processing order: estimated departures free slots (and
+# watts) first, a shifted power cap takes force before anything routes at
+# that instant, and a node failing at t must not receive an arrival at t —
+# so failures drain before arrivals route.  Departure and cap-shift events
+# exist only on power-governed dispatches; the power-blind walk keeps
+# exactly the failure-before-arrival order it always had.
+_RANK_DEPARTURE = 0
+_RANK_CAP_SHIFT = 1
+_RANK_FAILURE = 2
+_RANK_ARRIVAL = 3
 
 
 @dataclass(frozen=True)
@@ -136,6 +143,12 @@ class DispatchPlan:
     re_dispatched: int
     lost: tuple[SessionRequest, ...]
     out_of_horizon: tuple[SessionRequest, ...] = ()
+    #: Arrivals the power governor dropped to stay under the fleet cap
+    #: (sheddable tiers only; empty on power-blind dispatches).
+    shed: tuple[SessionRequest, ...] = ()
+    #: The power-cap violation ledger of a power-governed dispatch;
+    #: ``None`` when no :class:`FleetPowerConfig` was supplied.
+    power: FleetPowerReport | None = None
 
 
 class _NodeState:
@@ -153,10 +166,13 @@ class _NodeState:
     def expire(self, t: float) -> None:
         self.live = [(end, r) for end, r in self.live if end > t]
 
-    def view(self) -> NodeView:
+    def view(self, speed_multiplier: float = 1.0,
+             marginal_watts: float = 0.0) -> NodeView:
         return NodeView(index=self.index, name=self.spec.name,
-                        capacity=self.spec.capacity, speed=self.spec.speed,
-                        est_live=len(self.live))
+                        capacity=self.spec.capacity,
+                        speed=self.spec.speed * speed_multiplier,
+                        est_live=len(self.live),
+                        marginal_watts=marginal_watts)
 
 
 def node_speed(platform: Platform, pool: tuple[str, ...]) -> float:
@@ -199,7 +215,8 @@ def plan_dispatch(requests: Iterable[SessionRequest],
                   routing: RoutingPolicy | str,
                   horizon_s: float,
                   recorder: Recorder = NULL_RECORDER,
-                  pressure: Mapping[str, NodePressure] | None = None
+                  pressure: Mapping[str, NodePressure] | None = None,
+                  power: FleetPowerConfig | None = None
                   ) -> DispatchPlan:
     """Fix the complete routing of ``requests`` across ``nodes``.
 
@@ -222,6 +239,17 @@ def plan_dispatch(requests: Iterable[SessionRequest],
     sessions, the per-node routing choices, and traces one dispatch span
     per routed arrival — as a pure side channel; the plan is
     bit-identical with recording on or off.
+
+    ``power`` optionally attaches a
+    :class:`~repro.serve.fleet.power.FleetPowerConfig`: the walk then
+    also processes estimated-departure and cap-shift events, prices
+    every node for the routing views (DVFS-scaled speed, marginal
+    watts), renegotiates DVFS levels against the cap after each event,
+    sheds sheddable-tier arrivals that cannot fit under the cap, and
+    returns the full violation ledger on ``DispatchPlan.power``.  All of
+    it happens here in phase 1, so the ledger — like the plan — is
+    bit-identical for any worker count.  Without ``power`` the walk is
+    byte-for-byte today's throughput-only dispatch.
     """
     if not nodes:
         raise ValueError("fleet must have at least one node")
@@ -232,6 +260,8 @@ def plan_dispatch(requests: Iterable[SessionRequest],
     if pressure is not None:
         policy.observe_pressure(pressure)
     states = [_NodeState(spec, i) for i, spec in enumerate(nodes)]
+    governor = (None if power is None
+                else _PowerGovernor(power, nodes, horizon_s, recorder))
 
     heap: list[tuple] = []
     seq = 0
@@ -252,11 +282,24 @@ def plan_dispatch(requests: Iterable[SessionRequest],
         fail = state.spec.fail_at_s
         if fail is not None and fail < horizon_s:
             push(fail, _RANK_FAILURE, state.index)
+    if governor is not None and power.cap_shift is not None:
+        shift_at, new_cap = power.cap_shift
+        if shift_at < horizon_s:
+            push(shift_at, _RANK_CAP_SHIFT, new_cap)
 
     lost: list[SessionRequest] = []
+    shed: list[SessionRequest] = []
     re_dispatched = 0
 
     recording = recorder.enabled
+
+    def loads() -> list[tuple[bool, int]]:
+        return [(s.alive, len(s.live)) for s in states]
+
+    def expire_alive(t: float) -> None:
+        for state in states:
+            if state.alive:
+                state.expire(t)
 
     def route(request: SessionRequest, t: float) -> None:
         alive = [s for s in states if s.alive]
@@ -267,14 +310,22 @@ def plan_dispatch(requests: Iterable[SessionRequest],
             return
         for state in alive:
             state.expire(t)
-        views = [s.view() for s in alive]
+        if governor is None:
+            views = [s.view() for s in alive]
+        else:
+            views = [s.view(governor.speed_multiplier(s.index),
+                            governor.marginal_watts(s.index, len(s.live)))
+                     for s in alive]
         index = policy.choose_observed(request.tier, views, recorder)
         target = states[index]
         if not target.alive:
             raise RuntimeError(
                 f"routing policy {policy.name!r} chose dead node {index}")
         target.assigned.append(request)
-        target.live.append((t + request.duration_s, request))
+        end = t + request.duration_s
+        target.live.append((end, request))
+        if governor is not None and end < horizon_s:
+            push(end, _RANK_DEPARTURE, None)
         if recording:
             recorder.count(DISPATCH_ROUTED, label=target.spec.name)
             recorder.span(SPAN_DISPATCH, t, 0.0,
@@ -284,8 +335,29 @@ def plan_dispatch(requests: Iterable[SessionRequest],
 
     while heap:
         t, rank, _, payload = heapq.heappop(heap)
+        if governor is not None:
+            governor.advance(t)
+        if rank == _RANK_DEPARTURE:
+            # Power-governed walks tick at estimated departures so the
+            # draw integral and DVFS levels track occupancy exactly.
+            expire_alive(t)
+            governor.update(t, loads())
+            continue
+        if rank == _RANK_CAP_SHIFT:
+            governor.shift_cap(payload)
+            expire_alive(t)
+            governor.update(t, loads())
+            continue
         if rank == _RANK_ARRIVAL:
+            if governor is not None:
+                expire_alive(t)
+                if governor.should_shed(payload.tier, loads()):
+                    shed.append(payload)
+                    governor.record_shed(payload.tier)
+                    continue
             route(payload, t)
+            if governor is not None:
+                governor.update(t, loads())
             continue
         # Node failure: drain the estimated live set onto the survivors.
         state = states[payload]
@@ -300,6 +372,8 @@ def plan_dispatch(requests: Iterable[SessionRequest],
             if recording:
                 recorder.count(DISPATCH_REDISPATCHED)
             route(_shift_forward(request, t, est_depart - t), t)
+        if governor is not None:
+            governor.update(t, loads())
 
     return DispatchPlan(
         node_requests=tuple(tuple(s.assigned) for s in states),
@@ -307,6 +381,8 @@ def plan_dispatch(requests: Iterable[SessionRequest],
         re_dispatched=re_dispatched,
         lost=tuple(lost),
         out_of_horizon=tuple(out_of_horizon),
+        shed=tuple(shed),
+        power=None if governor is None else governor.finish(),
     )
 
 
@@ -315,7 +391,8 @@ def serve_fleet(requests: Iterable[SessionRequest],
                 routing: RoutingPolicy | str = "round_robin",
                 horizon_s: float | None = None,
                 recorder: Recorder = NULL_RECORDER,
-                feedback_rounds: int = 0) -> FleetReport:
+                feedback_rounds: int = 0,
+                power: FleetPowerConfig | None = None) -> FleetReport:
     """Dispatch ``requests`` across ``nodes`` and serve every slice inline.
 
     The single-process reference implementation of the fleet: routing via
@@ -339,6 +416,10 @@ def serve_fleet(requests: Iterable[SessionRequest],
     policy the rounds converge trivially (every round routes
     identically).  Telemetry is recorded on the final round only —
     intermediate rounds are dispatcher deliberation, not served traffic.
+
+    ``power`` makes the dispatch energy-budgeted (see
+    :func:`plan_dispatch`): the final report then carries the power-cap
+    violation ledger on ``FleetReport.power`` and counts shed arrivals.
     """
     if not nodes:
         raise ValueError("fleet must have at least one node")
@@ -363,7 +444,8 @@ def serve_fleet(requests: Iterable[SessionRequest],
         policy = (build_routing_policy(routing)
                   if isinstance(routing, str) else routing)
         plan = plan_dispatch(requests, specs, policy, horizon_s,
-                             recorder=round_recorder, pressure=pressure)
+                             recorder=round_recorder, pressure=pressure,
+                             power=power)
         reports = []
         for node, slice_requests in zip(nodes, plan.node_requests):
             config = node.config

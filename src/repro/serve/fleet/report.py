@@ -32,6 +32,7 @@ from ..report import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .dispatch import DispatchPlan, NodeSpec
+    from .power import FleetPowerReport
 
 # jain_index moved to repro.serve.report (the node-level eviction-fairness
 # metric needs it below the fleet layer) and stays re-exported here.
@@ -54,6 +55,12 @@ class NodeReport:
     routed: int
     report: ServeReport
     failed_at_s: float | None = None
+    #: Estimated board energy over the horizon (watt-seconds); ``None``
+    #: on power-blind dispatches.
+    energy_ws: float | None = None
+    #: This node's attributed share of the fleet's over-cap watt-seconds;
+    #: ``None`` on power-blind dispatches.
+    over_cap_ws: float | None = None
 
     @property
     def utilisation(self) -> float:
@@ -74,6 +81,11 @@ class FleetReport:
     re_dispatched: int = 0         # failure-drained session continuations
     lost: int = 0                  # arrivals with no alive node to take them
     out_of_horizon: int = 0        # demand arriving after the horizon
+    shed: int = 0                  # arrivals dropped by the power governor
+    #: Power-cap violation ledger of a power-governed dispatch
+    #: (:class:`~repro.serve.fleet.power.FleetPowerReport`); ``None``
+    #: when the fleet ran power-blind.
+    power: "FleetPowerReport | None" = None
 
     # ------------------------------------------------------- admission
     def _sessions(self) -> list[SessionOutcome]:
@@ -98,9 +110,10 @@ class FleetReport:
     @property
     def arrivals(self) -> int:
         """Distinct sessions offered to the fleet, matching the
-        single-node ledger: lost and out-of-horizon demand included."""
+        single-node ledger: lost, power-shed and out-of-horizon demand
+        included."""
         return sum(n.routed for n in self.nodes) - self.re_dispatched \
-            + self.lost + self.out_of_horizon
+            + self.lost + self.out_of_horizon + self.shed
 
     @property
     def admitted(self) -> int:
@@ -227,7 +240,8 @@ class FleetReport:
 
         Counts are per *distinct* session (a failure-re-dispatched
         session is its continuation's fate, not two arrivals), so per-tier
-        arrivals sum to ``arrivals - lost - out_of_horizon``.  ``denied``
+        arrivals sum to ``arrivals - lost - out_of_horizon - shed`` (shed
+        sessions never reach a node and have no serving record).  ``denied``
         counts rejections plus queue abandonments — the demand the fleet
         turned away — which is where routing policies differ most visibly
         (tier affinity keeps gold denial low under load).
@@ -259,6 +273,7 @@ class FleetReport:
             f"  sessions: {self.arrivals} offered, {self.admitted} admitted, "
             f"{self.rejected} rejected, {self.abandoned} abandoned, "
             f"{self.re_dispatched} re-dispatched, {self.lost} lost"
+            + (f", {self.shed} shed" if self.shed else "")
             + (f", {self.out_of_horizon} out of horizon"
                if self.out_of_horizon else ""),
             f"  service: {self.delivered_inferences:.0f} inferences, mean "
@@ -274,14 +289,22 @@ class FleetReport:
                 f"({self.resumptions} resumed, {self.evicted_sessions} "
                 f"lost), {self.demotions} demotions; eviction fairness "
                 f"{self.eviction_fairness:.3f}")
+        if self.power is not None:
+            lines.append(
+                f"  power: mean {self.power.mean_watts:.2f} W, over cap "
+                f"{self.power.fleet_over_cap_ws:.1f} Ws, "
+                f"{len(self.power.dvfs_transitions)} DVFS transitions, "
+                f"{self.shed} shed")
         for node in self.nodes:
             failed = (f", FAILED at {node.failed_at_s:.0f} s"
                       if node.failed_at_s is not None else "")
+            energy = (f", {node.energy_ws:.0f} Ws"
+                      if node.energy_ws is not None else "")
             lines.append(
                 f"    {node.name} [{node.platform}, cap {node.capacity}, "
                 f"speed {node.speed:.1f}]: {node.routed} routed, "
                 f"{node.report.admitted} admitted, util "
-                f"{node.utilisation:.1%}{failed}")
+                f"{node.utilisation:.1%}{energy}{failed}")
         return "\n".join(lines)
 
 
@@ -297,13 +320,20 @@ def build_fleet_report(horizon_s: float, routing: str,
     so both produce structurally identical — and therefore bit-comparable
     — reports.
     """
+    ledger = plan.power
     nodes = tuple(
         NodeReport(name=spec.name, platform=platform, speed=spec.speed,
                    capacity=spec.capacity, routed=routed, report=report,
-                   failed_at_s=spec.fail_at_s)
-        for spec, platform, routed, report
-        in zip(specs, platforms, plan.routed, reports))
+                   failed_at_s=spec.fail_at_s,
+                   energy_ws=(None if ledger is None
+                              else ledger.node_energy_ws[i]),
+                   over_cap_ws=(None if ledger is None
+                                else ledger.node_over_cap_ws[i]))
+        for i, (spec, platform, routed, report)
+        in enumerate(zip(specs, platforms, plan.routed, reports)))
     return FleetReport(horizon_s=horizon_s, routing=routing, nodes=nodes,
                        re_dispatched=plan.re_dispatched,
                        lost=len(plan.lost),
-                       out_of_horizon=len(plan.out_of_horizon))
+                       out_of_horizon=len(plan.out_of_horizon),
+                       shed=len(plan.shed),
+                       power=ledger)

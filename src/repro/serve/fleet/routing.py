@@ -25,6 +25,10 @@ Policies in the roster:
   partition-preferred first, and fall back to plain tier affinity only
   when the whole fleet looks saturated — preemption then happens where
   the tier partition wants it.
+* :class:`LeastJoulesRouter` — energy-aware: among nodes with a free
+  estimated slot, minimise the marginal joules per delivered inference
+  (the power governor's per-node pricing), tie-breaking on headroom and
+  falling back to the drain score when the whole fleet is saturated.
 * :class:`PressureFeedbackRouter` — least-loaded, corrected by the
   *realized* per-node pressure of a previous serving round
   (:class:`NodePressure`): residual queue depth inflates a node's
@@ -58,6 +62,7 @@ __all__ = [
     "RoutingPolicy",
     "RoundRobinRouter",
     "LeastLoadedRouter",
+    "LeastJoulesRouter",
     "TierAffinityRouter",
     "PreemptAwareTierRouter",
     "PressureFeedbackRouter",
@@ -81,6 +86,11 @@ class NodeView:
     capacity: int              # the node's admission capacity
     speed: float               # relative steady-state throughput weight
     est_live: int              # dispatcher-estimated live sessions
+    #: Estimated extra board draw of landing one more session here (W).
+    #: Priced by the dispatch power governor at the node's current DVFS
+    #: state; 0.0 on power-blind dispatches, which makes every
+    #: energy-aware comparison degenerate to pure headroom.
+    marginal_watts: float = 0.0
 
     @property
     def free_slots(self) -> int:
@@ -337,6 +347,37 @@ class PreemptAwareTierRouter(TierAffinityRouter):
         return super().choose(tier, nodes)
 
 
+class LeastJoulesRouter(RoutingPolicy):
+    """Route to the node serving the session at the fewest joules.
+
+    Among nodes with a free estimated slot the router minimises
+    ``marginal_watts / speed`` — the extra board draw of taking the
+    session divided by the node's delivery rate, i.e. estimated joules
+    per delivered inference.  ``marginal_watts`` is priced by the
+    dispatch power governor at each node's *current* DVFS state, so a
+    throttled node is charged its cheaper-but-slower operating point.
+    SLA headroom stays in charge on two edges: ties (including every
+    power-blind dispatch, where marginal watts are all 0.0) break on
+    the saturation-aware drain score then the lowest index, and a fleet
+    with no free slot anywhere falls back to the drain-score pick — an
+    overloaded fleet drains its backlog where it clears fastest rather
+    than where watts are cheapest.
+    """
+
+    name = "least_joules"
+
+    def choose(self, tier: str, nodes: Sequence[NodeView]) -> int:
+        """Cheapest joules per inference among free nodes; drain score
+        under fleet-wide saturation."""
+        with_free = [v for v in nodes if v.free_slots > 0]
+        if not with_free:
+            return _most_headroom(nodes)
+        best = min(with_free,
+                   key=lambda v: (v.marginal_watts / v.speed,
+                                  -_drain_score(v), v.index))
+        return best.index
+
+
 class PressureFeedbackRouter(LeastLoadedRouter):
     """Least-loaded routing corrected by realized node pressure.
 
@@ -377,7 +418,8 @@ class PressureFeedbackRouter(LeastLoadedRouter):
         return NodeView(index=view.index, name=view.name,
                         capacity=view.capacity,
                         speed=view.speed * (1.0 - discount),
-                        est_live=view.est_live + pressure.queue_depth)
+                        est_live=view.est_live + pressure.queue_depth,
+                        marginal_watts=view.marginal_watts)
 
     def choose(self, tier: str, nodes: Sequence[NodeView]) -> int:
         """Best saturation-aware headroom over pressure-adjusted views."""
@@ -388,6 +430,7 @@ class PressureFeedbackRouter(LeastLoadedRouter):
 ROUTING_POLICIES = {
     "round_robin": RoundRobinRouter,
     "least_loaded": LeastLoadedRouter,
+    "least_joules": LeastJoulesRouter,
     "tier_affinity": TierAffinityRouter,
     "tier_affinity_preempt": PreemptAwareTierRouter,
     "pressure_feedback": PressureFeedbackRouter,

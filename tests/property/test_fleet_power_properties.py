@@ -1,0 +1,76 @@
+"""Property-based tests for energy-budgeted fleet dispatch determinism.
+
+The power governor runs entirely in dispatch phase 1 (the parent
+process), so everything it produces — `least_joules` routing decisions,
+DVFS transitions, the watt-second violation ledger, shed counts — must be
+bit-identical whether the node slices are then served by 1 worker or N.
+Swept over randomized demand, brownout shifts, node failures and the
+cap-blind baseline (derandomized, mirroring
+``tests/property/test_obs_properties.py`` so tier-1 runs reproduce bit
+for bit).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import FleetScenario, ScenarioRunner
+from repro.runner.scenario import DynamicScenario
+
+POOL = ("alexnet", "squeezenet", "mobilenet_v2", "shufflenet")
+
+
+def power_fleet(seed, cap, shift, enforce, fail, observe=False):
+    nodes = tuple(DynamicScenario(
+        name=f"node{i}", manager="baseline", policy="full",
+        platform=("orange_pi_5" if i % 2 == 0 else "jetson_class"),
+        horizon_s=280.0, arrival_rate_per_s=0.05, mean_session_s=90.0,
+        capacity=2, seed=seed, pool=POOL, observe=observe)
+        for i in range(3))
+    return FleetScenario(
+        name="power_prop", nodes=nodes, routing="least_joules",
+        horizon_s=280.0, arrival_rate_per_s=0.12, mean_session_s=90.0,
+        seed=seed, fail_at=fail, power_cap_w=cap, power_cap_shift=shift,
+        power_enforce=enforce)
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       cap=st.sampled_from([14.0, 22.0, 40.0]),
+       shift=st.sampled_from([None, (90.0, 9.0), (200.0, 30.0)]),
+       enforce=st.booleans(),
+       fail=st.sampled_from([(), ((0, 120.0),)]))
+def test_power_ledger_worker_count_invariant(seed, cap, shift, enforce,
+                                             fail):
+    """1-vs-2-worker runs agree on every report bit, ledger included."""
+    fleet = power_fleet(seed, cap, shift, enforce, fail)
+    one = ScenarioRunner(max_workers=1).run_fleet([fleet])[0]
+    two = ScenarioRunner(max_workers=2).run_fleet([fleet])[0]
+    assert one.report == two.report
+    ledger = one.report.power
+    assert ledger is not None
+    assert ledger.enforced == enforce
+    # The ledger's segment trace always tiles the full horizon.
+    assert ledger.segments[0].start_s == 0.0
+    assert abs(ledger.segments[-1].end_s - 280.0) < 1e-9
+    if not enforce:
+        # The cap-blind baseline never renegotiates or sheds.
+        assert ledger.dvfs_transitions == ()
+        assert one.report.shed == 0
+
+
+@settings(max_examples=4, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 10_000),
+       shift=st.sampled_from([(90.0, 9.0), (140.0, 12.0)]))
+def test_power_telemetry_merge_deterministic(seed, shift):
+    """Power metrics ride the observe path without perturbing reports,
+    and 1- vs 2-worker telemetry snapshots merge identically."""
+    off = ScenarioRunner(max_workers=1).run_fleet(
+        [power_fleet(seed, 30.0, shift, True, ())])[0]
+    on1 = ScenarioRunner(max_workers=1).run_fleet(
+        [power_fleet(seed, 30.0, shift, True, (), observe=True)])[0]
+    on2 = ScenarioRunner(max_workers=2).run_fleet(
+        [power_fleet(seed, 30.0, shift, True, (), observe=True)])[0]
+    assert on1.report == off.report
+    assert on2.report == off.report
+    assert on1.telemetry is not None
+    assert on1.telemetry == on2.telemetry

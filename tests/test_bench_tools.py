@@ -119,6 +119,17 @@ class TestGitSha:
              "test_bench_fleet_feedback[rounds2]": row(2.2)})
         assert len(flags) == 1 and "finetune" in flags[0]
 
+    def test_fleet_energy_bench_guarded(self):
+        """The power-governor dispatch rows are a guarded hot path."""
+        rb = _load_record_bench()
+        assert "test_bench_fleet_energy[" in rb.GUARDED_PREFIXES
+        flags = rb.flag_regressions(
+            {"test_bench_fleet_energy[cap_on]": row(1.0),
+             "test_bench_fleet_energy[cap_off]": row(0.5)},
+            {"test_bench_fleet_energy[cap_on]": row(1.6),
+             "test_bench_fleet_energy[cap_off]": row(0.5)})
+        assert len(flags) == 1 and "cap_on" in flags[0]
+
 
 class TestLastHistoryEntry:
     def test_reads_final_line(self, tmp_path):

@@ -34,6 +34,7 @@ API_MODULES = (
     "repro.serve.fleet.routing",
     "repro.serve.fleet.dispatch",
     "repro.serve.fleet.report",
+    "repro.serve.fleet.power",
     "repro.runner",
     "repro.runner.runner",
     "repro.runner.scenario",

@@ -1,19 +1,26 @@
 """Tests for the multi-node fleet dispatcher (routing, dispatch, report)."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.core import OraclePredictor, RankMap, RankMapConfig
-from repro.hw import jetson_class, orange_pi_5
+from repro.hw import (dvfs_ladder, jetson_class, jetson_class_power,
+                      orange_pi_5, orange_pi_5_power)
 from repro.search import MCTSConfig
 from repro.serve import AdmissionConfig, ServeConfig, build_replan_policy
 from repro.serve.fleet import (
     ROUTING_POLICIES,
     DispatchPlan,
     FleetNode,
+    FleetPowerConfig,
+    FleetPowerReport,
+    LeastJoulesRouter,
     LeastLoadedRouter,
     NodeSpec,
     NodeView,
+    PowerSegment,
     RoundRobinRouter,
     TierAffinityRouter,
     build_routing_policy,
@@ -106,6 +113,7 @@ class TestRouting:
 
     def test_roster_builds_fresh_instances(self):
         assert set(ROUTING_POLICIES) == {"round_robin", "least_loaded",
+                                         "least_joules",
                                          "tier_affinity",
                                          "tier_affinity_preempt",
                                          "pressure_feedback"}
@@ -563,3 +571,323 @@ class TestServeFleetFeedback:
         with pytest.raises(ValueError, match="feedback_rounds"):
             serve_fleet(demand(), fleet_nodes(), "pressure_feedback",
                         feedback_rounds=-1)
+
+
+# ---------------------------------------------------------------- power
+def power_views(*specs):
+    """(capacity, speed, est_live, marginal_watts) NodeView shorthand."""
+    return [NodeView(index=i, name=f"n{i}", capacity=cap, speed=speed,
+                     est_live=live, marginal_watts=watts)
+            for i, (cap, speed, live, watts) in enumerate(specs)]
+
+
+def fleet_ladders(n=3, multipliers=(1.0, 0.8, 0.6)):
+    """Heterogeneous DVFS ladders matching the fleet_nodes platform mix."""
+    return tuple(
+        dvfs_ladder(orange_pi_5_power() if i % 2 == 0
+                    else jetson_class_power(), multipliers)
+        for i in range(n))
+
+
+class TestLeastJoulesRouting:
+    def test_picks_cheapest_marginal_joules(self):
+        router = LeastJoulesRouter()
+        # Node 1 serves the session at fewer joules: same speed, less
+        # marginal draw.
+        nodes = power_views((2, 1.0, 0, 4.0), (2, 1.0, 0, 1.5))
+        assert router.choose("gold", nodes) == 1
+
+    def test_joules_not_watts(self):
+        router = LeastJoulesRouter()
+        # Node 0 draws more but serves 4x faster: fewer joules per
+        # delivered inference than the slow low-watt node.
+        nodes = power_views((2, 4.0, 0, 4.0), (2, 1.0, 0, 2.0))
+        assert router.choose("gold", nodes) == 0
+
+    def test_tie_breaks_on_drain_score_then_index(self):
+        router = LeastJoulesRouter()
+        # Equal joules: the emptier node wins on headroom.
+        nodes = power_views((2, 1.0, 1, 2.0), (3, 1.0, 0, 2.0))
+        assert router.choose("gold", nodes) == 1
+        # Fully symmetric: lowest index.
+        even = power_views((2, 1.0, 0, 2.0), (2, 1.0, 0, 2.0))
+        assert router.choose("gold", even) == 0
+
+    def test_zero_watts_degenerates_to_least_loaded(self):
+        """Power-blind views (marginal_watts=0.0) must reproduce the
+        least-loaded choice — the degenerate anchor of the whole policy."""
+        shapes = [((3, 1.0, 1, 0.0), (2, 4.0, 1, 0.0)),
+                  ((2, 1.0, 1, 0.0), (2, 1.0, 1, 0.0)),
+                  ((2, 1.0, 0, 0.0), (3, 2.0, 2, 0.0))]
+        baseline = LeastLoadedRouter()
+        for shape in shapes:
+            nodes = power_views(*shape)
+            assert LeastJoulesRouter().choose("gold", nodes) \
+                == baseline.choose("gold", nodes)
+
+    def test_saturated_falls_back_to_drain_score(self):
+        router = LeastJoulesRouter()
+        # No free slots anywhere: route where the backlog drains fastest,
+        # exactly like least_loaded under saturation — watts are moot on
+        # a node that cannot admit.
+        nodes = power_views((2, 4.0, 4, 0.5), (2, 1.0, 4, 0.1))
+        assert router.choose("gold", nodes) == 0
+
+    def test_free_slot_beats_cheap_saturated_node(self):
+        router = LeastJoulesRouter()
+        nodes = power_views((2, 1.0, 2, 0.1), (2, 1.0, 1, 9.0))
+        assert router.choose("gold", nodes) == 1
+
+
+class TestFleetPowerConfig:
+    def test_rejects_empty_or_flat_ladders(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            FleetPowerConfig(ladders=((),))
+        good = dvfs_ladder(orange_pi_5_power(), (1.0, 0.5))
+        bad = (good[0], good[0])        # equal multipliers: not decreasing
+        with pytest.raises(ValueError, match="strictly"):
+            FleetPowerConfig(ladders=(bad,))
+
+    def test_rejects_bad_cap_and_shift(self):
+        ladder = dvfs_ladder(orange_pi_5_power(), (1.0,))
+        with pytest.raises(ValueError, match="cap_w"):
+            FleetPowerConfig(ladders=(ladder,), cap_w=0.0)
+        with pytest.raises(ValueError, match="cap_shift"):
+            FleetPowerConfig(ladders=(ladder,), cap_shift=(0.0, 5.0))
+        with pytest.raises(ValueError, match="cap_shift"):
+            FleetPowerConfig(ladders=(ladder,), cap_shift=(10.0, -1.0))
+        with pytest.raises(ValueError, match="hysteresis"):
+            FleetPowerConfig(ladders=(ladder,), hysteresis=1.5)
+
+    def test_ladder_count_must_match_fleet(self):
+        requests = [request(0, 1.0, 5.0)]
+        specs = [NodeSpec(name="a", capacity=2), NodeSpec(name="b", capacity=2)]
+        config = FleetPowerConfig(ladders=fleet_ladders(n=1))
+        with pytest.raises(ValueError, match="ladders"):
+            plan_dispatch(requests, specs, "least_joules", 100.0,
+                          power=config)
+
+
+class TestPowerLedger:
+    def test_segment_over_cap_watt_seconds(self):
+        seg = PowerSegment(start_s=10.0, end_s=30.0, watts=12.0, cap_w=10.0)
+        assert seg.duration_s == pytest.approx(20.0)
+        assert seg.over_cap_ws == pytest.approx(40.0)
+        under = PowerSegment(start_s=0.0, end_s=5.0, watts=3.0, cap_w=10.0)
+        assert under.over_cap_ws == 0.0
+
+    def _report(self, segments):
+        return FleetPowerReport(
+            cap_w=10.0, cap_shift=None, enforced=True, node_names=("n0",),
+            node_energy_ws=(sum(s.watts * s.duration_s for s in segments),),
+            node_over_cap_ws=(sum(s.over_cap_ws for s in segments),),
+            node_final_levels=(0,), dvfs_transitions=(), segments=segments)
+
+    def test_over_cap_between_is_pro_rata(self):
+        report = self._report((
+            PowerSegment(0.0, 100.0, 15.0, 10.0),     # 500 Ws over
+            PowerSegment(100.0, 200.0, 8.0, 10.0),    # under
+        ))
+        assert report.fleet_over_cap_ws == pytest.approx(500.0)
+        # A window covering half the violating segment gets half its Ws.
+        assert report.over_cap_ws_between(50.0, 150.0) \
+            == pytest.approx(250.0)
+        assert report.over_cap_ws_between(0.0, 200.0) \
+            == pytest.approx(500.0)
+        assert report.over_cap_ws_between(100.0, 200.0) == 0.0
+
+    def test_empty_ledger_mean_watts(self):
+        assert self._report(()).mean_watts == 0.0
+
+    def test_summary_mentions_cap_and_nodes(self):
+        text = self._report((PowerSegment(0.0, 10.0, 5.0, 10.0),)).summary()
+        assert "PowerLedger[cap 10.0 W" in text and "n0:" in text
+
+
+class TestPowerGovernedDispatch:
+    def _specs(self, n=3, capacity=2, fail=None):
+        return [NodeSpec(name=f"n{i}", capacity=capacity,
+                         speed=1.0 + 0.5 * i,
+                         fail_at_s=(fail if i == 0 else None))
+                for i in range(n)]
+
+    def _demand(self, seed=0, rate=1 / 6, horizon=240.0):
+        return sample_session_requests(
+            np.random.default_rng(seed),
+            TraceConfig(horizon_s=horizon, arrival_rate_per_s=rate,
+                        mean_session_s=90.0))
+
+    def test_power_blind_plan_has_no_ledger(self):
+        plan = plan_dispatch(self._demand(), self._specs(), "least_loaded",
+                             240.0)
+        assert plan.power is None and plan.shed == ()
+
+    def test_degenerate_power_is_byte_identical_to_least_loaded(self):
+        """Satellite regression: cap=inf + single DVFS state must leave
+        the dispatch byte-identical to today's power-blind least_loaded —
+        the governor rides along but never perturbs a routing decision."""
+        requests = self._demand(rate=1 / 5)
+        plain = plan_dispatch(requests, self._specs(), "least_loaded", 240.0)
+        config = FleetPowerConfig(
+            ladders=fleet_ladders(multipliers=(1.0,)), cap_w=math.inf)
+        governed = plan_dispatch(requests, self._specs(), "least_loaded",
+                                 240.0, power=config)
+        assert governed.node_requests == plain.node_requests
+        assert governed.routed == plain.routed
+        assert governed.lost == plain.lost
+        assert governed.out_of_horizon == plain.out_of_horizon
+        assert governed.shed == ()
+        ledger = governed.power
+        assert ledger is not None
+        assert ledger.fleet_over_cap_ws == 0.0
+        assert ledger.dvfs_transitions == ()
+        assert ledger.node_final_levels == (0, 0, 0)
+        assert ledger.fleet_energy_ws > 0.0
+
+    def test_degenerate_power_survives_node_failure(self):
+        requests = self._demand(rate=1 / 5)
+        specs = self._specs(fail=100.0)
+        plain = plan_dispatch(requests, specs, "least_loaded", 240.0)
+        governed = plan_dispatch(
+            requests, specs, "least_loaded", 240.0,
+            power=FleetPowerConfig(ladders=fleet_ladders(multipliers=(1.0,)),
+                                   cap_w=math.inf))
+        assert governed.node_requests == plain.node_requests
+        assert governed.re_dispatched == plain.re_dispatched
+        # The dead node stops accruing energy at its failure time: it
+        # must not out-consume the always-on nodes over a 240 s horizon.
+        ledger = governed.power
+        assert ledger.node_energy_ws[0] < max(ledger.node_energy_ws[1:])
+
+    def test_segments_partition_horizon(self):
+        config = FleetPowerConfig(ladders=fleet_ladders(), cap_w=30.0,
+                                  cap_shift=(120.0, 14.0))
+        plan = plan_dispatch(self._demand(), self._specs(), "least_joules",
+                             240.0, power=config)
+        segments = plan.power.segments
+        assert segments[0].start_s == 0.0
+        assert segments[-1].end_s == pytest.approx(240.0)
+        for prev, cur in zip(segments, segments[1:]):
+            assert cur.start_s == pytest.approx(prev.end_s)
+        assert all(s.cap_w == 30.0 for s in segments if s.end_s <= 120.0)
+        assert all(s.cap_w == 14.0 for s in segments if s.start_s >= 120.0)
+
+    def test_deterministic_per_config(self):
+        config = FleetPowerConfig(ladders=fleet_ladders(), cap_w=22.0,
+                                  cap_shift=(100.0, 12.0))
+        plans = [plan_dispatch(self._demand(), self._specs(fail=150.0),
+                               "least_joules", 240.0, power=config)
+                 for _ in range(2)]
+        assert plans[0] == plans[1]
+
+    def test_brownout_enforcement_beats_cap_blind(self):
+        """Dropping the cap mid-trace makes the enforced fleet throttle
+        (DVFS transitions at/after the shift) and accrue no more over-cap
+        watt-seconds than the cap-blind baseline, which never throttles."""
+        requests = self._demand(rate=1 / 5)
+        specs = self._specs()
+        shift = (120.0, 12.0)
+        enforced = plan_dispatch(
+            requests, specs, "least_joules", 240.0,
+            power=FleetPowerConfig(ladders=fleet_ladders(), cap_w=1000.0,
+                                   cap_shift=shift)).power
+        blind = plan_dispatch(
+            requests, specs, "least_joules", 240.0,
+            power=FleetPowerConfig(ladders=fleet_ladders(), cap_w=1000.0,
+                                   cap_shift=shift, enforce=False)).power
+        # Pre-shift both fleets fit under the generous cap.
+        assert enforced.over_cap_ws_between(0.0, 120.0) == 0.0
+        assert blind.over_cap_ws_between(0.0, 120.0) == 0.0
+        # Post-shift the blind fleet violates; enforcement throttles.
+        assert blind.over_cap_ws_between(120.0, 240.0) > 0.0
+        assert enforced.over_cap_ws_between(120.0, 240.0) \
+            < blind.over_cap_ws_between(120.0, 240.0)
+        assert enforced.dvfs_transitions
+        assert all(t >= 120.0 for t, _, _ in enforced.dvfs_transitions)
+        assert blind.dvfs_transitions == ()
+        assert blind.node_final_levels == (0, 0, 0)
+        assert blind.shed == 0
+
+    def test_impossible_cap_sheds_sheddable_tiers_only(self):
+        """A cap below even the ladder-floor fleet draw sheds every
+        sheddable arrival; non-sheddable tiers still route (and their
+        overage lands in the ledger instead)."""
+        requests = self._demand(rate=1 / 5)
+        config = FleetPowerConfig(ladders=fleet_ladders(), cap_w=0.5,
+                                  shed_tiers=("bronze", "silver"))
+        plan = plan_dispatch(requests, self._specs(), "least_joules",
+                             240.0, power=config)
+        assert plan.shed
+        assert {r.tier for r in plan.shed} <= {"bronze", "silver"}
+        routed_tiers = {r.tier for node in plan.node_requests for r in node}
+        assert "gold" in routed_tiers
+        assert not any(r.tier in ("bronze", "silver")
+                       for node in plan.node_requests for r in node)
+        assert plan.power.shed == len(plan.shed)
+        assert dict(plan.power.shed_by_tier) == {
+            tier: sum(1 for r in plan.shed if r.tier == tier)
+            for tier in {r.tier for r in plan.shed}}
+        assert plan.power.fleet_over_cap_ws > 0.0
+
+    def test_shed_arrivals_balance_the_plan(self):
+        requests = self._demand(rate=1 / 4, horizon=300.0)
+        config = FleetPowerConfig(ladders=fleet_ladders(), cap_w=16.0,
+                                  cap_shift=(100.0, 8.0))
+        plan = plan_dispatch(requests, self._specs(fail=150.0),
+                             "least_joules", 240.0, power=config)
+        assert sum(plan.routed) - plan.re_dispatched + len(plan.lost) \
+            + len(plan.out_of_horizon) + len(plan.shed) == len(requests)
+        shed_ids = {r.session_id for r in plan.shed}
+        routed_ids = {r.session_id for node in plan.node_requests
+                      for r in node}
+        assert not shed_ids & routed_ids
+
+    def test_dead_fleet_arrival_is_lost_not_shed(self):
+        requests = [request(0, 10.0, 20.0, tier="bronze"),
+                    request(1, 80.0, 20.0, tier="bronze")]
+        specs = [NodeSpec(name="only", capacity=2, fail_at_s=50.0)]
+        config = FleetPowerConfig(ladders=fleet_ladders(n=1), cap_w=0.5)
+        plan = plan_dispatch(requests, specs, "least_joules", 200.0,
+                             power=config)
+        # Arrival 0 hits a live-but-over-budget fleet: shed.  Arrival 1
+        # hits a dead fleet: lost, exactly as on the power-blind path.
+        assert [r.session_id for r in plan.shed] == [0]
+        assert 1 in {r.session_id for r in plan.lost}
+
+
+class TestServeFleetPower:
+    def test_power_ledger_rides_the_fleet_report(self):
+        requests = demand()
+        config = FleetPowerConfig(ladders=fleet_ladders(), cap_w=24.0)
+        report = serve_fleet(requests, fleet_nodes(), "least_joules",
+                             power=config)
+        assert report.routing == "least_joules"
+        assert report.power is not None
+        assert report.power.fleet_energy_ws > 0.0
+        assert report.arrivals == len(requests)
+        for node in report.nodes:
+            assert node.energy_ws is not None and node.energy_ws > 0.0
+            assert node.over_cap_ws is not None
+        assert "power" in report.summary()
+
+    def test_degenerate_power_matches_power_blind_serving(self):
+        requests = demand()
+        config = FleetPowerConfig(
+            ladders=fleet_ladders(multipliers=(1.0,)), cap_w=math.inf)
+        governed = serve_fleet(requests, fleet_nodes(), "least_loaded",
+                               power=config)
+        plain = serve_fleet(requests, fleet_nodes(), "least_loaded")
+        assert [n.report for n in governed.nodes] \
+            == [n.report for n in plain.nodes]
+        assert governed.shed == 0
+
+    def test_power_with_feedback_rounds_deterministic(self):
+        requests = demand(rate=1 / 5)
+        config = FleetPowerConfig(ladders=fleet_ladders(), cap_w=20.0,
+                                  cap_shift=(120.0, 10.0))
+        a = serve_fleet(requests, fleet_nodes(), "pressure_feedback",
+                        feedback_rounds=1, power=config)
+        b = serve_fleet(requests, fleet_nodes(), "pressure_feedback",
+                        feedback_rounds=1, power=config)
+        assert a == b
+        assert a.power is not None

@@ -6,14 +6,19 @@ import pytest
 from repro.core import OraclePredictor, PowerAwareRankMap, RankMap, RankMapConfig
 from repro.hw import (
     ComponentPower,
+    DvfsState,
     PlatformPower,
+    dvfs_ladder,
     energy_report,
+    inflated_component_utilisation,
+    interference_inflation,
     orange_pi_5,
     orange_pi_5_power,
 )
-from repro.mapping import gpu_only_mapping, single_component_mapping
+from repro.mapping import (gpu_only_mapping, random_partition_mapping,
+                           single_component_mapping)
 from repro.search import MCTSConfig
-from repro.sim import simulate
+from repro.sim import compute_stage_demands, simulate
 from repro.zoo import get_model
 
 PLATFORM = orange_pi_5()
@@ -212,13 +217,157 @@ class TestPowerAwareRankMap:
         # Board validation adds measurement windows to the modeled latency.
         assert decision.decision_seconds > 0
 
-    def test_estimated_watts_tracks_measured(self):
-        """The analytical watt estimate should be in the measured
-        ballpark (it ignores interference, so allow a broad band)."""
-        workload = wl("alexnet", "squeezenet")
-        mapping = gpu_only_mapping(workload)
+    def test_estimated_watts_matches_measured_at_true_rates(self):
+        """Regression (search-vs-board power divergence): the search-side
+        estimate now applies the same interference inflation the
+        board-side :func:`energy_report` measures with, so at the
+        simulator's true rates the two agree exactly — on a *contended*
+        mapping, where the old inflation-free estimate diverged."""
+        workload = wl("alexnet", "squeezenet", "mobilenet")
+        mapping = random_partition_mapping(
+            workload, PLATFORM.num_components, np.random.default_rng(3))
         manager = self._manager()
         rates = simulate(workload, mapping, PLATFORM).rates
         estimate = manager.estimated_watts(workload, mapping, rates)
         measured = manager.measured_energy(workload, mapping).system_watts
-        assert 0.4 * measured < estimate < 2.0 * measured
+        assert estimate == pytest.approx(measured, rel=1e-9)
+
+    def test_estimated_utilisation_matches_energy_report(self):
+        """The shared inflation helper keeps the search's utilisation
+        view and the board report's in lockstep, component by component."""
+        workload = wl("alexnet", "squeezenet", "mobilenet")
+        mapping = random_partition_mapping(
+            workload, PLATFORM.num_components, np.random.default_rng(3))
+        manager = self._manager()
+        rates = simulate(workload, mapping, PLATFORM).rates
+        estimated = manager.estimated_utilisation(workload, mapping, rates)
+        report = manager.measured_energy(workload, mapping)
+        np.testing.assert_allclose(
+            estimated, report.component_raw_utilisation, rtol=1e-9)
+
+    def test_oversubscribed_prediction_estimates_above_one(self):
+        """Predicted rates are not feasibility-constrained: the raw
+        estimate may exceed 1.0, and estimated_watts must clip it to the
+        capacity draw rather than extrapolating past full utilisation."""
+        workload = wl("alexnet", "squeezenet")
+        mapping = gpu_only_mapping(workload)
+        manager = self._manager()
+        rates = simulate(workload, mapping, PLATFORM).rates * 5.0
+        raw = manager.estimated_utilisation(workload, mapping, rates)
+        assert raw.max() > 1.0
+        capped = manager.estimated_watts(workload, mapping, rates)
+        assert capped == pytest.approx(
+            POWER.system_watts(np.clip(raw, 0.0, 1.0)))
+
+
+class TestInterferenceHelpers:
+    def test_inflation_matches_context_counts(self):
+        workload = wl("alexnet", "squeezenet")
+        demands = compute_stage_demands(workload, gpu_only_mapping(workload),
+                                        PLATFORM)
+        inflation = interference_inflation(PLATFORM, demands)
+        # Two DNNs share the GPU; the CPU clusters host nothing.
+        assert inflation[0] == pytest.approx(
+            PLATFORM.component(0).interference_factor(2))
+        assert inflation[1] == 1.0 and inflation[2] == 1.0
+
+    def test_inflated_utilisation_sums_demand(self):
+        workload = wl("alexnet")
+        demands = compute_stage_demands(workload, gpu_only_mapping(workload),
+                                        PLATFORM)
+        rates = np.array([2.0])
+        util = inflated_component_utilisation(demands, rates, PLATFORM)
+        expected = 2.0 * sum(d.seconds_per_inference for d in demands)
+        # A single context draws no interference penalty.
+        assert util[0] == pytest.approx(expected)
+        assert util[1] == 0.0 and util[2] == 0.0
+
+
+class TestEnergyReportRawUtilisation:
+    def test_raw_matches_clipped_when_feasible(self):
+        workload = wl("alexnet", "squeezenet")
+        report = energy_report(workload, gpu_only_mapping(workload),
+                               PLATFORM, POWER)
+        np.testing.assert_allclose(
+            np.clip(report.component_raw_utilisation, 0.0, 1.0),
+            report.component_utilisation)
+
+    def test_priced_utilisation_never_exceeds_one(self):
+        workload = wl("alexnet", "squeezenet", "resnet50", "vgg16")
+        mapping = gpu_only_mapping(workload)
+        report = energy_report(workload, mapping, PLATFORM, POWER)
+        assert np.all(report.component_utilisation <= 1.0 + 1e-9)
+        assert np.all(report.component_raw_utilisation
+                      >= report.component_utilisation - 1e-12)
+
+
+class TestInferencesPerJoule:
+    def _report(self, throughput, watts):
+        from repro.hw.energy import EnergyReport
+
+        return EnergyReport(
+            component_names=("gpu",),
+            component_utilisation=np.zeros(1),
+            component_raw_utilisation=np.zeros(1),
+            component_watts=np.zeros(1),
+            system_watts=watts,
+            workload_names=("x",),
+            rates=np.array([throughput]),
+            dnn_joules_per_inference=np.zeros(1))
+
+    def test_zero_throughput_is_zero_not_nan(self):
+        assert self._report(0.0, 5.0).inferences_per_joule == 0.0
+
+    def test_degenerate_watts_guarded(self):
+        """Regression: watts <= 0 used to return inf — a starved power
+        model must report zero efficiency, not infinite."""
+        assert self._report(10.0, 0.0).inferences_per_joule == 0.0
+        assert self._report(0.0, 0.0).inferences_per_joule == 0.0
+
+    def test_normal_case_is_ratio(self):
+        assert self._report(10.0, 5.0).inferences_per_joule \
+            == pytest.approx(2.0)
+
+
+class TestDvfs:
+    def test_state_validation(self):
+        with pytest.raises(ValueError, match="speed_multiplier"):
+            DvfsState(speed_multiplier=0.0, power=POWER)
+        with pytest.raises(ValueError, match="speed_multiplier"):
+            DvfsState(speed_multiplier=1.2, power=POWER)
+
+    def test_node_watts_monotone_in_occupancy(self):
+        state = DvfsState(speed_multiplier=1.0, power=POWER)
+        draws = [state.node_watts(u) for u in (0.0, 0.3, 0.7, 1.0)]
+        assert draws == sorted(draws)
+        assert draws[0] > 0.0        # idle + board overhead, not zero
+
+    def test_ladder_validation(self):
+        with pytest.raises(ValueError, match="start"):
+            dvfs_ladder(POWER, (0.9, 0.5))
+        with pytest.raises(ValueError, match="decrease"):
+            dvfs_ladder(POWER, (1.0, 0.8, 0.8))
+        with pytest.raises(ValueError):
+            dvfs_ladder(POWER, ())
+
+    def test_ladder_scales_dynamic_cubically(self):
+        """Throttling follows the DVFS rule of thumb: dynamic power
+        drops with the cube of the clock, idle linearly, the board
+        overhead not at all."""
+        ladder = dvfs_ladder(POWER, (1.0, 0.5))
+        nominal, throttled = ladder
+        assert nominal.power == POWER
+        for base, scaled in zip(POWER.components,
+                                throttled.power.components):
+            assert scaled.dynamic_w == pytest.approx(base.dynamic_w * 0.125)
+            assert scaled.idle_w == pytest.approx(base.idle_w * 0.5)
+            assert scaled.util_exponent == base.util_exponent
+        assert throttled.power.board_overhead_w \
+            == pytest.approx(POWER.board_overhead_w)
+
+    def test_throttled_state_draws_less(self):
+        full = DvfsState(speed_multiplier=1.0, power=POWER)
+        ladder = dvfs_ladder(POWER, (1.0, 0.6))
+        for occupancy in (0.0, 0.5, 1.0):
+            assert ladder[1].node_watts(occupancy) \
+                < full.node_watts(occupancy)

@@ -1,5 +1,7 @@
 """Tests for the fleet-scale scenario runner (specs, pool, determinism)."""
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -405,6 +407,80 @@ class TestFleetScenario:
         assert len(results) == 1
         assert summary[0]["routing"] == "round_robin"
         assert results[0].report.admitted > 0
+
+
+def _power_fleet(**kw):
+    base = dict(name="powered", nodes=_fleet_nodes(), routing="least_joules",
+                seed=0, horizon_s=240.0, arrival_rate_per_s=1 / 10,
+                mean_session_s=90.0, power_cap_w=24.0)
+    base.update(kw)
+    return FleetScenario(**base)
+
+
+class TestFleetPowerScenarios:
+    def test_power_spec_validated(self):
+        with pytest.raises(ValueError, match="power_cap_w"):
+            _power_fleet(power_cap_w=0.0)
+        with pytest.raises(ValueError, match="requires power_cap_w"):
+            _power_fleet(power_cap_w=None,
+                         power_cap_shift=(100.0, 10.0))
+        with pytest.raises(ValueError, match="inside"):
+            _power_fleet(power_cap_shift=(240.0, 10.0))
+        with pytest.raises(ValueError, match="positive"):
+            _power_fleet(power_cap_shift=(100.0, -1.0))
+        with pytest.raises(ValueError, match="power_dvfs_levels"):
+            _power_fleet(power_dvfs_levels=0)
+        with pytest.raises(ValueError, match="power_dvfs_levels"):
+            _power_fleet(power_dvfs_levels=9)
+
+    def test_from_dict_converts_power_fields(self):
+        spec = {
+            "name": "p", "nodes": list(_fleet_nodes(2)),
+            "routing": "least_joules", "power_cap_w": 20.0,
+            "power_cap_shift": [100.0, 8.0],
+            "power_shed_tiers": ["bronze", "silver"],
+        }
+        fleet = FleetScenario.from_dict(spec)
+        assert fleet.power_cap_shift == (100.0, 8.0)
+        assert fleet.power_shed_tiers == ("bronze", "silver")
+        assert fleet == pickle.loads(pickle.dumps(fleet))
+
+    def test_power_capped_run_carries_ledger(self):
+        result = ScenarioRunner(max_workers=1).run_fleet(
+            [_power_fleet(power_cap_shift=(120.0, 10.0))])[0]
+        report = result.report
+        assert report.power is not None
+        assert report.power.cap_shift == (120.0, 10.0)
+        assert report.power.fleet_energy_ws > 0.0
+        assert all(n.energy_ws is not None for n in report.nodes)
+        rows = summarise_fleet([result])
+        assert rows[0]["mean_fleet_watts"] > 0.0
+        assert "over_cap_ws" in rows[0] and "shed" in rows[0]
+
+    def test_degenerate_power_matches_power_off_node_reports(self):
+        """cap=inf + a single DVFS level must not perturb serving: the
+        governor only accounts, so per-node reports match the power-off
+        run bit for bit."""
+        import math
+
+        powered = ScenarioRunner(max_workers=1).run_fleet(
+            [_power_fleet(routing="least_loaded", power_cap_w=math.inf,
+                          power_dvfs_levels=1)])[0].report
+        plain = ScenarioRunner(max_workers=1).run_fleet(
+            [_power_fleet(routing="least_loaded",
+                          power_cap_w=None)])[0].report
+        assert [n.report for n in powered.nodes] \
+            == [n.report for n in plain.nodes]
+        assert powered.shed == 0
+        assert powered.power.fleet_over_cap_ws == 0.0
+        assert plain.power is None
+
+    def test_power_parallel_equals_serial(self):
+        fleets = [_power_fleet(power_cap_shift=(120.0, 10.0),
+                               fail_at=((1, 150.0),))]
+        serial = ScenarioRunner(max_workers=1).run_fleet(fleets)
+        parallel = ScenarioRunner(max_workers=3).run_fleet(fleets)
+        assert [r.report for r in serial] == [r.report for r in parallel]
 
 
 class TestStrictScenarioDicts:
