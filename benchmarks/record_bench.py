@@ -38,7 +38,8 @@ GUARDED_PREFIXES = ("test_bench_serve_replan[", "test_bench_serve_preempt[",
                     "test_bench_serve_scale[", "test_bench_serve_obs[",
                     "test_bench_estimator_predict[",
                     "test_bench_finetune[", "test_bench_fleet_feedback[",
-                    "test_bench_fleet_energy[")
+                    "test_bench_fleet_energy[",
+                    "test_bench_simulator_solve_batch[")
 
 #: Relative mean-time growth beyond which a guarded row is flagged.
 REGRESSION_THRESHOLD = 0.25

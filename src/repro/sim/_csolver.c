@@ -1,0 +1,237 @@
+/* Scalar-trajectory contention solver, C twin of repro/sim/_kernel.py.
+ *
+ * Compiled on demand by repro.sim._cext (cc -O2 -shared -fPIC, never
+ * -ffast-math: the kernel must stay IEEE-exact) and loaded via ctypes.
+ * One call solves a packed batch: element b's stages live in
+ * offsets[b]..offsets[b+1] of the flat per-stage arrays.  Every loop
+ * accumulates in the same order as the scalar python solver
+ * (solve_steady_state) — segment sums walk stages in index order, the
+ * limit-cycle window averages chronologically, damping groups as
+ * d*x + (1-d)*y — so the float trajectory is bit-compatible with the
+ * scalar oracle, which tests/property/test_backend_equivalence.py locks.
+ *
+ * Returns 0 on success, 1 on scratch-allocation failure.
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+int solve_packed(const int64_t *offsets, int64_t n_batch,
+                 const int64_t *comp_of, const int64_t *dnn_of,
+                 const double *inflated, const double *kernel_time,
+                 const double *hol_k, const double *weights,
+                 int64_t num_dnns, int64_t num_comp, int64_t max_iter,
+                 double damping, double tol, int64_t cycle_window,
+                 double cycle_tol, int64_t cycle_burn_in,
+                 double *out_rates, double *out_alloc, double *out_eff,
+                 double *out_util, int64_t *out_iters, uint8_t *out_conv)
+{
+    int64_t max_stages = 0;
+    for (int64_t b = 0; b < n_batch; b++) {
+        int64_t n = offsets[b + 1] - offsets[b];
+        if (n > max_stages)
+            max_stages = n;
+    }
+
+    double *alloc = malloc((size_t)max_stages * sizeof(double));
+    double *hol_wait = malloc((size_t)max_stages * sizeof(double));
+    double *blocked = malloc((size_t)max_stages * sizeof(double));
+    double *stage_rate = malloc((size_t)max_stages * sizeof(double));
+    double *cap_rate = malloc((size_t)max_stages * sizeof(double));
+    double *ceiling_rate = malloc((size_t)max_stages * sizeof(double));
+    double *target = malloc((size_t)max_stages * sizeof(double));
+    double *need = malloc((size_t)max_stages * sizeof(double));
+    uint8_t *wants_more = malloc((size_t)max_stages * sizeof(uint8_t));
+    double *rates = malloc((size_t)num_dnns * sizeof(double));
+    double *new_rates = malloc((size_t)num_dnns * sizeof(double));
+    double *means = malloc((size_t)num_dnns * sizeof(double));
+    double *weight_sum = malloc((size_t)num_comp * sizeof(double));
+    double *totals = malloc((size_t)num_comp * sizeof(double));
+    double *sat_need = malloc((size_t)num_comp * sizeof(double));
+    double *hot_weight = malloc((size_t)num_comp * sizeof(double));
+    double *ring = malloc((size_t)cycle_window * (size_t)num_dnns
+                          * sizeof(double));
+    if (!alloc || !hol_wait || !blocked || !stage_rate || !cap_rate
+        || !ceiling_rate || !target || !need || !wants_more || !rates
+        || !new_rates || !means || !weight_sum || !totals || !sat_need
+        || !hot_weight || !ring) {
+        free(alloc); free(hol_wait); free(blocked); free(stage_rate);
+        free(cap_rate); free(ceiling_rate); free(target); free(need);
+        free(wants_more); free(rates); free(new_rates); free(means);
+        free(weight_sum); free(totals); free(sat_need); free(hot_weight);
+        free(ring);
+        return 1;
+    }
+
+    for (int64_t b = 0; b < n_batch; b++) {
+        const int64_t s0 = offsets[b];
+        const int64_t n_stages = offsets[b + 1] - s0;
+        const int64_t *comp = comp_of + s0;
+        const int64_t *dnn = dnn_of + s0;
+        const double *infl = inflated + s0;
+        const double *ktime = kernel_time + s0;
+        const double *holk = hol_k + s0;
+        const double *wgt = weights + s0;
+
+        /* Entitlements, accumulated in stage order like bincount. */
+        for (int64_t c = 0; c < num_comp; c++)
+            weight_sum[c] = 0.0;
+        for (int64_t s = 0; s < n_stages; s++)
+            weight_sum[comp[s]] += wgt[s];
+        for (int64_t s = 0; s < n_stages; s++)
+            alloc[s] = wgt[s] / weight_sum[comp[s]];
+
+        int has_hol = 0;
+        for (int64_t s = 0; s < n_stages; s++) {
+            if (holk[s] != 0.0) {
+                has_hol = 1;
+                break;
+            }
+        }
+
+        for (int64_t d = 0; d < num_dnns; d++)
+            rates[d] = 0.0;
+        for (int64_t s = 0; s < n_stages; s++)
+            hol_wait[s] = 0.0;
+
+        int64_t iterations = 0;
+        int converged = 0;
+        for (int64_t it = 1; it <= max_iter; it++) {
+            iterations = it;
+            if (has_hol) {
+                for (int64_t c = 0; c < num_comp; c++)
+                    totals[c] = 0.0;
+                for (int64_t s = 0; s < n_stages; s++) {
+                    blocked[s] = rates[dnn[s]] * infl[s] * ktime[s];
+                    totals[comp[s]] += blocked[s];
+                }
+                for (int64_t s = 0; s < n_stages; s++) {
+                    double new_wait = holk[s] * (totals[comp[s]] - blocked[s]);
+                    hol_wait[s] = damping * hol_wait[s]
+                        + (1.0 - damping) * new_wait;
+                }
+            }
+
+            for (int64_t d = 0; d < num_dnns; d++)
+                new_rates[d] = INFINITY;
+            for (int64_t s = 0; s < n_stages; s++) {
+                cap_rate[s] = alloc[s] / infl[s];
+                ceiling_rate[s] = 1.0 / (infl[s] + hol_wait[s]);
+                double sr = cap_rate[s] < ceiling_rate[s]
+                    ? cap_rate[s] : ceiling_rate[s];
+                stage_rate[s] = sr;
+                if (sr < new_rates[dnn[s]])
+                    new_rates[dnn[s]] = sr;
+            }
+            for (int64_t d = 0; d < num_dnns; d++) {
+                if (isinf(new_rates[d]))
+                    new_rates[d] = 0.0;
+            }
+
+            /* Water-fill, same satisfied/hungry split as the scalar path. */
+            for (int64_t c = 0; c < num_comp; c++) {
+                sat_need[c] = 0.0;
+                hot_weight[c] = 0.0;
+            }
+            for (int64_t s = 0; s < n_stages; s++) {
+                need[s] = new_rates[dnn[s]] * infl[s];
+                int limiting = stage_rate[s]
+                    <= new_rates[dnn[s]] * (1.0 + 1e-9);
+                wants_more[s] = limiting && cap_rate[s] <= ceiling_rate[s];
+                if (wants_more[s])
+                    hot_weight[comp[s]] += wgt[s];
+                else
+                    sat_need[comp[s]] += need[s];
+            }
+            for (int64_t s = 0; s < n_stages; s++) {
+                int64_t c = comp[s];
+                if (hot_weight[c] > 0.0) {
+                    if (wants_more[s]) {
+                        double free_c = 1.0 - sat_need[c];
+                        if (free_c < 0.0)
+                            free_c = 0.0;
+                        target[s] = free_c * wgt[s] / hot_weight[c];
+                    } else {
+                        target[s] = need[s];
+                    }
+                } else {
+                    target[s] = alloc[s];
+                }
+            }
+
+            double max_rate = 0.0;
+            double max_diff = 0.0;
+            for (int64_t d = 0; d < num_dnns; d++) {
+                if (new_rates[d] > max_rate)
+                    max_rate = new_rates[d];
+                double diff = fabs(new_rates[d] - rates[d]);
+                if (diff > max_diff)
+                    max_diff = diff;
+                rates[d] = new_rates[d];
+            }
+            double floor_r = max_rate > 1e-12 ? max_rate : 1e-12;
+            if (max_diff <= tol * floor_r) {
+                converged = 1;
+                break;
+            }
+
+            if (it > cycle_burn_in - cycle_window) {
+                double *row = ring + ((it - 1) % cycle_window) * num_dnns;
+                for (int64_t d = 0; d < num_dnns; d++)
+                    row[d] = rates[d];
+            }
+            if (it >= cycle_burn_in) {
+                double worst = 0.0;
+                for (int64_t d = 0; d < num_dnns; d++) {
+                    double first = ring[((it - cycle_window) % cycle_window)
+                                        * num_dnns + d];
+                    double lo = first, hi = first, mean = first;
+                    for (int64_t k = it - cycle_window + 1; k < it; k++) {
+                        double v = ring[(k % cycle_window) * num_dnns + d];
+                        if (v < lo)
+                            lo = v;
+                        if (v > hi)
+                            hi = v;
+                        mean = mean + v;
+                    }
+                    mean /= (double)cycle_window;
+                    means[d] = mean;
+                    double mfloor = mean > 1e-12 ? mean : 1e-12;
+                    double ratio = (hi - lo) / mfloor;
+                    if (ratio > worst)
+                        worst = ratio;
+                }
+                if (worst <= cycle_tol) {
+                    for (int64_t d = 0; d < num_dnns; d++)
+                        rates[d] = means[d];
+                    converged = 1;
+                    break;
+                }
+            }
+
+            for (int64_t s = 0; s < n_stages; s++)
+                alloc[s] = damping * alloc[s] + (1.0 - damping) * target[s];
+        }
+
+        for (int64_t d = 0; d < num_dnns; d++)
+            out_rates[b * num_dnns + d] = rates[d];
+        for (int64_t c = 0; c < num_comp; c++)
+            out_util[b * num_comp + c] = 0.0;
+        for (int64_t s = 0; s < n_stages; s++) {
+            out_alloc[s0 + s] = alloc[s];
+            out_eff[s0 + s] = infl[s] + hol_wait[s];
+            out_util[b * num_comp + comp[s]] += rates[dnn[s]] * infl[s];
+        }
+        out_iters[b] = iterations;
+        out_conv[b] = (uint8_t)converged;
+    }
+
+    free(alloc); free(hol_wait); free(blocked); free(stage_rate);
+    free(cap_rate); free(ceiling_rate); free(target); free(need);
+    free(wants_more); free(rates); free(new_rates); free(means);
+    free(weight_sum); free(totals); free(sat_need); free(hot_weight);
+    free(ring);
+    return 0;
+}

@@ -237,6 +237,7 @@ def solve_steady_state(demands: list[StageDemand], num_dnns: int,
 def solve_steady_state_batch(demand_sets: list[list[StageDemand]],
                              num_dnns: int, platform: Platform,
                              max_iter: int = _MAX_ITER,
+                             backend: str = "numpy",
                              ) -> list[ContentionSolution]:
     """Solve B mappings' fixed points simultaneously.
 
@@ -248,7 +249,18 @@ def solve_steady_state_batch(demand_sets: list[list[StageDemand]],
     min-reduction, convergence and the limit-cycle resolution are tracked
     per element, and elements that converge are *compacted out* of the
     stacked arrays so stragglers keep iterating on ever-smaller batches.
+
+    ``backend`` selects the implementation (:mod:`repro.sim.backend`):
+    ``"numpy"`` runs this vectorized path, ``"compiled"`` dispatches to
+    the native kernel (numba or the cc-built C twin, numpy fallback with
+    a one-time warning when neither is available).  Unknown names raise
+    :class:`ValueError`.
     """
+    if backend != "numpy":
+        from .backend import normalize_backend, solve_batch_compiled
+        if normalize_backend(backend) == "compiled":
+            return solve_batch_compiled(demand_sets, num_dnns, platform,
+                                        max_iter)
     n_total = len(demand_sets)
     if n_total == 0:
         return []

@@ -66,19 +66,23 @@ def simulate(workload: list[ModelSpec], mapping: Mapping,
 
 
 def simulate_batch(workload: list[ModelSpec], mappings: list[Mapping],
-                   platform: Platform) -> list[SimResult]:
+                   platform: Platform,
+                   backend: str = "numpy") -> list[SimResult]:
     """Steady-state throughput of several mappings of the same workload.
 
     Equivalent to ``[simulate(workload, m, platform) for m in mappings]``
     but solves all fixed points simultaneously on stacked arrays (see
     :func:`repro.sim.contention.solve_steady_state_batch`), which is what
-    makes MCTS rollout batches and scenario sweeps cheap.
+    makes MCTS rollout batches and scenario sweeps cheap.  ``backend``
+    selects the solver implementation (``"numpy"`` or ``"compiled"``, see
+    :mod:`repro.sim.backend`).
     """
     if not mappings:
         return []
     demand_sets = [compute_stage_demands(workload, m, platform)
                    for m in mappings]
-    solutions = solve_steady_state_batch(demand_sets, len(workload), platform)
+    solutions = solve_steady_state_batch(demand_sets, len(workload), platform,
+                                         backend=backend)
     ideal = np.array([platform.ideal_throughput(m) for m in workload])
     names = tuple(m.name for m in workload)
     return [

@@ -130,6 +130,19 @@ class TestGitSha:
              "test_bench_fleet_energy[cap_off]": row(0.5)})
         assert len(flags) == 1 and "cap_on" in flags[0]
 
+    def test_solver_backend_benches_guarded(self):
+        """The per-backend solve-batch sweep is a guarded hot path: a
+        silent slowdown of the compiled rows would erase the backend's
+        whole reason to exist."""
+        rb = _load_record_bench()
+        assert "test_bench_simulator_solve_batch[" in rb.GUARDED_PREFIXES
+        flags = rb.flag_regressions(
+            {"test_bench_simulator_solve_batch[16]": row(0.010),
+             "test_bench_simulator_solve_batch[compiled-16]": row(0.001)},
+            {"test_bench_simulator_solve_batch[16]": row(0.010),
+             "test_bench_simulator_solve_batch[compiled-16]": row(0.002)})
+        assert len(flags) == 1 and "compiled-16" in flags[0]
+
 
 class TestLastHistoryEntry:
     def test_reads_final_line(self, tmp_path):

@@ -1,0 +1,62 @@
+"""Repo hygiene gate: generated artifacts must never be tracked.
+
+PR 8 accidentally committed 89 ``__pycache__/*.pyc`` files; this tier-1
+test makes that class of mistake fail CI instead of slipping through
+review.  It asks git for the tracked file list (the working tree will
+legitimately contain bytecode), so it only runs inside a git checkout
+and skips in tarball exports.
+"""
+
+import fnmatch
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Tracked paths matching any of these are generated artifacts, not source.
+FORBIDDEN_PATTERNS = (
+    "*/__pycache__/*",
+    "__pycache__/*",
+    "*.pyc",
+    "*.pyo",
+    "*/.pytest_cache/*",
+    "*/.hypothesis/*",
+    "*/.benchmarks/*",
+    "*.so",
+    "src/repro/sim/_build/*",
+)
+
+
+def _tracked_files():
+    probe = subprocess.run(["git", "ls-files", "-z"], cwd=REPO_ROOT,
+                           capture_output=True)
+    if probe.returncode != 0:
+        pytest.skip("not a git checkout (tarball export)")
+    return [p for p in probe.stdout.decode().split("\0") if p]
+
+
+def test_no_generated_artifacts_tracked():
+    tracked = _tracked_files()
+    assert tracked, "git ls-files returned nothing for a live checkout"
+    offenders = sorted(
+        path for path in tracked
+        if any(fnmatch.fnmatch(path, pat) for pat in FORBIDDEN_PATTERNS))
+    assert offenders == [], (
+        f"{len(offenders)} generated file(s) are tracked by git "
+        f"(e.g. {offenders[:5]}); git rm --cached them — .gitignore "
+        f"already covers these patterns")
+
+
+def test_gitignore_covers_cache_patterns():
+    """The root .gitignore must keep covering the cache directories, so
+    the artifacts this gate polices cannot re-enter the index by a plain
+    ``git add .``."""
+    gitignore = REPO_ROOT / ".gitignore"
+    assert gitignore.is_file(), "root .gitignore is missing"
+    rules = {line.strip() for line in gitignore.read_text().splitlines()}
+    for required in ("__pycache__/", "*.pyc", ".pytest_cache/",
+                     ".hypothesis/", ".benchmarks/",
+                     "src/repro/sim/_build/"):
+        assert required in rules, f".gitignore lost the {required!r} rule"

@@ -86,6 +86,28 @@ class TestEvaluationCache:
         with pytest.raises(ValueError):
             EvaluationCache(PLATFORM, maxsize=0)
 
+    def test_backend_validated_and_in_key(self):
+        """The solver backend is part of the canonical key, so entries
+        solved on one backend can never answer for the other."""
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            EvaluationCache(PLATFORM, backend="fortran")
+        workload = wl("alexnet", "mobilenet")
+        mapping = gpu_only_mapping(workload)
+        numpy_key = EvaluationCache.key(workload, mapping)
+        assert numpy_key == EvaluationCache.key(workload, mapping, "numpy")
+        assert numpy_key != EvaluationCache.key(workload, mapping,
+                                                "compiled")
+
+    def test_backend_instances_do_not_share_entries(self):
+        workload = wl("alexnet", "mobilenet")
+        mapping = gpu_only_mapping(workload)
+        cache = EvaluationCache(PLATFORM, backend="numpy")
+        cache.simulate_one(workload, mapping)
+        assert EvaluationCache.key(workload, mapping, "numpy") \
+            in cache._store
+        assert EvaluationCache.key(workload, mapping, "compiled") \
+            not in cache._store
+
     def test_clear(self):
         workload = wl("alexnet",)
         cache = EvaluationCache(PLATFORM)
@@ -134,6 +156,22 @@ class TestCachePersistence:
         cache.save(path)
         payload = pickle.loads(path.read_bytes())
         payload["version"] = 999
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            EvaluationCache.load(path, PLATFORM)
+
+    def test_load_refuses_pre_backend_v1_files(self, tmp_path):
+        """v1 caches predate backend-tagged keys; loading one would alias
+        numpy and compiled entries together, so it must refuse (the
+        runner then downgrades to a cold start)."""
+        import pickle
+
+        workload = wl("alexnet",)
+        cache = self._primed_cache(workload)
+        path = tmp_path / "cache.pkl"
+        cache.save(path)
+        payload = pickle.loads(path.read_bytes())
+        payload["version"] = 1
         path.write_bytes(pickle.dumps(payload))
         with pytest.raises(ValueError, match="format version"):
             EvaluationCache.load(path, PLATFORM)
